@@ -1,0 +1,48 @@
+// calib runs the paper workload across the factor space and prints phase
+// totals; it exists to calibrate the cost and network models against the
+// published figures.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/topol"
+)
+
+func main() {
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
+	cfg := md.PMEDefaultConfig()
+	cfg.Temperature = 300
+
+	run := func(label string, net netmodel.Params, nodes, cpus int, mw pmd.MiddlewareKind) {
+		res, err := pmd.Run(cluster.Config{Nodes: nodes, CPUsPerNode: cpus, Net: net, Seed: 1},
+			cluster.PentiumIII1GHz(),
+			pmd.Config{System: sys, MD: cfg, Steps: 10, Middleware: mw})
+		if err != nil {
+			fmt.Println("ERR", err)
+			return
+		}
+		c, pm := res.PhaseTotals()
+		fmt.Printf("%-14s p=%d classic=%6.2fs (cmp %5.2f com %5.2f syn %5.2f) pme=%6.2fs (cmp %5.2f com %5.2f syn %5.2f) total=%6.2fs\n",
+			label, nodes*cpus, c.Wall, c.Comp, c.Comm, c.Sync, pm.Wall, pm.Comp, pm.Comm, pm.Sync, c.Wall+pm.Wall)
+	}
+
+	for _, net := range netmodel.All() {
+		for _, p := range []int{1, 2, 4, 8} {
+			run(net.Name[:7], net, p, 1, pmd.MiddlewareMPI)
+		}
+	}
+	for _, p := range []int{2, 4, 8} {
+		run("TCP dual", netmodel.TCPGigE(), p/2, 2, pmd.MiddlewareMPI)
+	}
+	for _, p := range []int{2, 4, 8} {
+		run("Myri dual", netmodel.MyrinetGM(), p/2, 2, pmd.MiddlewareMPI)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		run("TCP CMPI", netmodel.TCPGigE(), p, 1, pmd.MiddlewareCMPI)
+	}
+}

@@ -1,0 +1,95 @@
+// charmmbench regenerates the paper's figures from the simulated cluster
+// study.
+//
+// Usage:
+//
+//	charmmbench -figure all            # every figure, text tables
+//	charmmbench -figure 5 -format csv  # one figure as CSV
+//	charmmbench -figure 3 -steps 10 -procs 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, or all")
+	format := flag.String("format", "text", "output format: text or csv")
+	steps := flag.Int("steps", 0, "MD steps per measurement (default: the paper's 10)")
+	procs := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,8)")
+	quick := flag.Bool("quick", false, "reduced protocol (2 steps, p ≤ 4) for smoke runs")
+	seed := flag.Uint64("seed", 0, "override the deterministic seeds")
+	outdir := flag.String("outdir", "", "also write every figure as CSV into this directory")
+	flag.Parse()
+
+	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed}
+	if *procs != "" {
+		for _, tok := range strings.Split(*procs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "charmmbench: bad -procs entry %q\n", tok)
+				os.Exit(2)
+			}
+			opts.Procs = append(opts.Procs, v)
+		}
+	}
+
+	f := core.FormatText
+	switch *format {
+	case "text":
+	case "csv":
+		f = core.FormatCSV
+	default:
+		fmt.Fprintf(os.Stderr, "charmmbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	study := core.NewStudy(opts)
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		for _, id := range core.FigureIDs() {
+			if id == "1" || id == "2" {
+				continue // diagrams have no data rows
+			}
+			path := filepath.Join(*outdir, "figure_"+id+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "charmmbench:", err)
+				os.Exit(1)
+			}
+			if err := study.Figure(id, out, core.FormatCSV); err != nil {
+				fmt.Fprintln(os.Stderr, "charmmbench:", err)
+				os.Exit(1)
+			}
+			if err := out.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "charmmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+	}
+	var err error
+	if *figure == "all" {
+		if f == core.FormatCSV {
+			fmt.Fprintln(os.Stderr, "charmmbench: -format csv needs a single -figure")
+			os.Exit(2)
+		}
+		err = study.All(os.Stdout)
+	} else {
+		err = study.Figure(*figure, os.Stdout, f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charmmbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// netprobe measures the modelled networks with NetPIPE-style
+// micro-benchmarks on the simulated cluster: ping-pong latency/bandwidth
+// curves, collective costs, and the dual-processor interrupt effect.
+//
+// Usage:
+//
+//	netprobe                 # all networks, the standard sweep
+//	netprobe -net tcp -p 8   # one network, one job size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	netName := flag.String("net", "", "single network: tcp, score, myrinet, fast (default: all)")
+	procs := flag.Int("p", 8, "ranks for the collective benchmarks")
+	flag.Parse()
+
+	nets := netmodel.All()
+	if *netName != "" {
+		n, ok := netmodel.ByName(*netName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "netprobe: unknown network %q\n", *netName)
+			os.Exit(2)
+		}
+		nets = []netmodel.Params{n}
+	}
+
+	fmt.Println("Ping-pong half-round-trip time and throughput (2 ranks)")
+	var rows [][]string
+	for _, net := range nets {
+		for _, size := range []int{0, 64, 1024, 16 << 10, 128 << 10, 1 << 20} {
+			lat, bw := pingpong(net, size)
+			rows = append(rows, []string{
+				net.Name, fmt.Sprintf("%d", size),
+				fmt.Sprintf("%.1f", lat*1e6),
+				fmt.Sprintf("%.1f", bw/1e6),
+			})
+		}
+	}
+	if err := report.Table(os.Stdout, []string{"network", "bytes", "half-RTT (µs)", "MB/s"}, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "netprobe:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nCollective costs at p=%d (85 KB force vector)\n", *procs)
+	rows = rows[:0]
+	for _, net := range nets {
+		ar := collective(net, *procs, func(r *mpi.Rank) { r.Allreduce(85248, 10e-6) })
+		bar := collective(net, *procs, func(r *mpi.Rank) { r.Barrier() })
+		a2a := collective(net, *procs, func(r *mpi.Rank) { r.AlltoallUniform(276480 / *procs) })
+		rows = append(rows, []string{
+			net.Name,
+			fmt.Sprintf("%.2f", ar*1e3),
+			fmt.Sprintf("%.2f", bar*1e3),
+			fmt.Sprintf("%.2f", a2a*1e3),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"network", "allreduce (ms)", "barrier (ms)", "alltoall (ms)"}, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "netprobe:", err)
+		os.Exit(1)
+	}
+}
+
+// pingpong returns the average half-round-trip time and throughput for the
+// given message size.
+func pingpong(net netmodel.Params, size int) (latency, bandwidth float64) {
+	const iters = 20
+	var elapsed float64
+	cfg := cluster.Config{Nodes: 2, CPUsPerNode: 1, Net: net, Seed: 1}
+	_, err := mpi.Run(cfg, cluster.PentiumIII1GHz(), func(r *mpi.Rank) {
+		if r.ID == 0 {
+			for i := 0; i < iters; i++ {
+				r.Send(1, 1, size)
+				r.Recv(1, 2)
+			}
+			elapsed = r.Now()
+		} else {
+			for i := 0; i < iters; i++ {
+				r.Recv(0, 1)
+				r.Send(0, 2, size)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	half := elapsed / (2 * iters)
+	if size == 0 {
+		return half, 0
+	}
+	return half, float64(size) / half
+}
+
+// collective returns the wall time of one collective invocation.
+func collective(net netmodel.Params, p int, op func(*mpi.Rank)) float64 {
+	var worst float64
+	cfg := cluster.Config{Nodes: p, CPUsPerNode: 1, Net: net, Seed: 1}
+	_, err := mpi.Run(cfg, cluster.PentiumIII1GHz(), func(r *mpi.Rank) {
+		op(r)
+		if r.Now() > worst {
+			worst = r.Now()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return worst
+}

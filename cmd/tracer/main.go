@@ -1,0 +1,83 @@
+// tracer runs one parallel MD configuration under full event tracing and
+// renders the per-rank timeline; optionally it writes a Chrome trace-event
+// JSON file for chrome://tracing / Perfetto.
+//
+// Usage:
+//
+//	tracer -net tcp -p 4 -steps 2 -width 140 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/topol"
+	"repro/internal/trace"
+)
+
+func main() {
+	netName := flag.String("net", "tcp", "network: tcp, score, myrinet, fast")
+	procs := flag.Int("p", 4, "processors")
+	cpus := flag.Int("cpus", 1, "CPUs per node (1 or 2)")
+	steps := flag.Int("steps", 2, "MD steps")
+	useCMPI := flag.Bool("cmpi", false, "use the CMPI middleware")
+	width := flag.Int("width", 120, "timeline width in characters")
+	out := flag.String("o", "", "write Chrome trace JSON to this file")
+	flag.Parse()
+
+	net, ok := netmodel.ByName(*netName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracer: unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+	mw := pmd.MiddlewareMPI
+	if *useCMPI {
+		mw = pmd.MiddlewareCMPI
+	}
+
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
+	md.Relax(sys, 80)
+	cfg := md.PMEDefaultConfig()
+	cfg.Temperature = 300
+
+	col := &trace.Collector{}
+	res, err := pmd.Run(
+		cluster.Config{Nodes: *procs / *cpus, CPUsPerNode: *cpus, Net: net, Seed: 1},
+		cluster.PentiumIII1GHz(),
+		pmd.Config{System: sys, MD: cfg, Steps: *steps, Middleware: mw, Tracer: col},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+
+	c, pm := res.PhaseTotals()
+	fmt.Printf("%s, p=%d (%d CPU/node), %d steps, %s middleware: classic %.3f s, pme %.3f s\n\n",
+		net.Name, *procs, *cpus, *steps, mw, c.Wall, pm.Wall)
+	if err := col.RenderTimeline(os.Stdout, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+	busy := col.Busy(trace.KindCompute)
+	fmt.Printf("\n%d events collected; rank-0 compute occupancy %.1f%%\n",
+		col.Len(), 100*busy[0]/res.Wall)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracer:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := col.WriteChromeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tracer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

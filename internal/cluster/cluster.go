@@ -1,0 +1,147 @@
+// Package cluster models the experimental platform of the paper: a cluster
+// of PC nodes (uni- or dual-processor Pentium III, 1 GHz) joined by one of
+// the modelled interconnects. It provides the node resources (NIC transmit/
+// receive engines, the interrupt CPU) and the cost model that converts
+// counted MD work into virtual CPU seconds.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/work"
+)
+
+// Config describes one cluster configuration (one cell of the paper's
+// factor space, middleware excluded — that lives in the MPI layer).
+type Config struct {
+	Nodes       int
+	CPUsPerNode int // 1 or 2
+	Net         netmodel.Params
+	Seed        uint64 // stream for network stall draws
+}
+
+// Node holds the shared per-node resources.
+type Node struct {
+	ID    int
+	NicTx *sim.Resource // transmit DMA engine / socket send path
+	NicRx *sim.Resource // receive DMA engine
+	Intr  *sim.Resource // interrupt CPU (CPU 0) for interrupt-driven nets
+}
+
+// Machine is the simulated cluster.
+type Machine struct {
+	Env   *sim.Env
+	Cfg   Config
+	Nodes []*Node
+
+	// ActiveFlows counts in-flight transfers fabric-wide; the TCP stall
+	// model keys off it.
+	ActiveFlows int
+
+	Rng *rng.Source
+}
+
+// New builds a machine inside env.
+func New(env *sim.Env, cfg Config) *Machine {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.CPUsPerNode != 1 && cfg.CPUsPerNode != 2 {
+		panic(fmt.Sprintf("cluster: unsupported CPUs per node %d", cfg.CPUsPerNode))
+	}
+	m := &Machine{Env: env, Cfg: cfg, Rng: rng.New(cfg.Seed ^ 0x636c7573746572)}
+	for i := 0; i < cfg.Nodes; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:    i,
+			NicTx: sim.NewResource(env, fmt.Sprintf("node%d.tx", i), 1),
+			NicRx: sim.NewResource(env, fmt.Sprintf("node%d.rx", i), 1),
+			Intr:  sim.NewResource(env, fmt.Sprintf("node%d.intr", i), 1),
+		})
+	}
+	return m
+}
+
+// Ranks returns the number of MPI ranks the machine hosts.
+func (m *Machine) Ranks() int { return m.Cfg.Nodes * m.Cfg.CPUsPerNode }
+
+// NodeOf maps a rank to its node (block placement: ranks r and r+1 share a
+// node in the dual-CPU configuration, like consecutive MPI ranks under
+// typical process managers).
+func (m *Machine) NodeOf(rank int) *Node {
+	return m.Nodes[rank/m.Cfg.CPUsPerNode]
+}
+
+// SameNode reports whether two ranks share a node.
+func (m *Machine) SameNode(a, b int) bool {
+	return a/m.Cfg.CPUsPerNode == b/m.Cfg.CPUsPerNode
+}
+
+// StallDelay draws a flow-control stall for one message, or 0. It
+// implements the TCP pathology: stalls appear only when the fabric carries
+// more concurrent flows than the threshold and grow more likely with
+// congestion.
+func (m *Machine) StallDelay() float64 {
+	p := m.Cfg.Net
+	if p.StallProb == 0 || m.ActiveFlows <= p.StallFlowThreshold {
+		return 0
+	}
+	prob := p.StallProb * float64(m.ActiveFlows-p.StallFlowThreshold)
+	if prob > 0.9 {
+		prob = 0.9
+	}
+	if m.Rng.Float64() >= prob {
+		return 0
+	}
+	return m.Rng.Exponential(p.StallMean)
+}
+
+// CostModel converts work counters into CPU seconds on the modelled
+// processor. The constants are calibrated once (cmd/calib) so the
+// sequential 10-step paper workload lands near the published Fig. 3 wall
+// times (classic ≈ 3.4 s, PME ≈ 2.8 s on the 1 GHz Pentium III) and are
+// never varied between experiments.
+type CostModel struct {
+	BondTerm     float64
+	AngleTerm    float64
+	DihedralTerm float64
+	PairEval     float64
+	ListDistEval float64
+	GridCharge   float64
+	FFTOp        float64
+	RecipPoint   float64
+	Integrate    float64
+	Other        float64
+}
+
+// PentiumIII1GHz is the calibrated cost model of the paper's cluster nodes.
+func PentiumIII1GHz() CostModel {
+	return CostModel{
+		BondTerm:     0.45e-6,
+		AngleTerm:    0.80e-6,
+		DihedralTerm: 1.60e-6,
+		PairEval:     0.50e-6,
+		ListDistEval: 0.032e-6,
+		GridCharge:   0.11e-6,
+		FFTOp:        7.6e-9,
+		RecipPoint:   0.055e-6,
+		Integrate:    0.25e-6,
+		Other:        0.10e-6,
+	}
+}
+
+// Seconds converts counters to CPU time.
+func (c CostModel) Seconds(w work.Counters) float64 {
+	return float64(w.BondTerms)*c.BondTerm +
+		float64(w.AngleTerms)*c.AngleTerm +
+		float64(w.DihedralTerms)*c.DihedralTerm +
+		float64(w.PairEvals)*c.PairEval +
+		float64(w.ListDistEvals)*c.ListDistEval +
+		float64(w.GridCharges)*c.GridCharge +
+		float64(w.FFTOps)*c.FFTOp +
+		float64(w.RecipPoints)*c.RecipPoint +
+		float64(w.Integrate)*c.Integrate +
+		float64(w.Other)*c.Other
+}

@@ -1,0 +1,165 @@
+// Package cmpi models the CHARMM-MPI (CMPI) communication middleware the
+// paper analyzes in §4.2: a portability layer over MPI that uses split
+// non-blocking send/receive calls for data movement and implements every
+// global synchronization as repeated exchanges of one-byte messages among
+// nearest neighbours, repeated p−1 times. On networks with per-packet and
+// per-message overheads (TCP/IP on Ethernet) this synchronization style
+// destroys scalability — exactly the effect of the paper's Fig. 8.
+//
+// The collectives here follow the same philosophy the paper attributes to
+// portable middleware: simple ring algorithms built on the split primitives
+// with explicit synchronization fences, rather than the tuned trees of the
+// underlying MPI library.
+package cmpi
+
+import "repro/internal/mpi"
+
+const (
+	tagSync  = 1 << 18
+	tagRing  = tagSync + 1024
+	tagChain = tagSync + 2048
+)
+
+// Middleware wraps a rank with CMPI-style operations.
+type Middleware struct {
+	R *mpi.Rank
+	// FencesPerOp is how many synchronization fences wrap each collective
+	// (CMPI fences before and after by default to keep its internal state
+	// machines coherent across nodes).
+	FencesPerOp int
+}
+
+// New returns a CMPI layer over r with the default double fence.
+func New(r *mpi.Rank) *Middleware {
+	return &Middleware{R: r, FencesPerOp: 2}
+}
+
+// Sync is the CMPI synchronization primitive: p−1 rounds of one-byte
+// exchanges with both nearest neighbours on the rank ring. All of its time
+// is booked as synchronization, matching the paper's classification.
+func (m *Middleware) Sync() {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	prev := r.SyncClass
+	r.SyncClass = true
+	defer func() { r.SyncClass = prev }()
+	left := (r.ID - 1 + p) % p
+	right := (r.ID + 1) % p
+	for round := 0; round < p-1; round++ {
+		tag := tagSync + round
+		sr := r.Isend(right, tag, 1)
+		sl := r.Isend(left, tag, 1)
+		r.Recv(left, tag)
+		r.Recv(right, tag)
+		r.Wait(sr)
+		r.Wait(sl)
+	}
+}
+
+// fence runs the configured number of Sync calls.
+func (m *Middleware) fence() {
+	for i := 0; i < m.FencesPerOp; i++ {
+		m.Sync()
+	}
+}
+
+// GlobalSum is CMPI's allreduce: a synchronization fence, then a ring pass
+// where each rank forwards the full buffer p−1 times, combining at each
+// hop (volume (p−1)·bytes per rank — the unsegmented portable ring).
+func (m *Middleware) GlobalSum(bytes int, reduceOp float64) {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	m.fence()
+	left := (r.ID - 1 + p) % p
+	right := (r.ID + 1) % p
+	for round := 0; round < p-1; round++ {
+		tag := tagRing + round
+		sreq := r.Isend(right, tag, bytes)
+		r.Recv(left, tag)
+		if reduceOp > 0 {
+			r.Compute(reduceOp)
+		}
+		r.Wait(sreq)
+	}
+	m.fence()
+}
+
+// Broadcast is CMPI's chain broadcast: the payload trickles down the rank
+// ring 0→1→…→p−1 (latency grows linearly with p).
+func (m *Middleware) Broadcast(root, bytes int) {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	m.fence()
+	vrank := (r.ID - root + p) % p
+	if vrank > 0 {
+		r.Recv((r.ID-1+p)%p, tagChain)
+	}
+	if vrank < p-1 {
+		r.Send((r.ID+1)%p, tagChain, bytes)
+	}
+	m.fence()
+}
+
+// Allgatherv circulates the variable-size blocks around the ring (p−1
+// rounds; round k moves the block originally owned by (id−k) onward).
+func (m *Middleware) Allgatherv(blocks []int) {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(blocks) != p {
+		panic("cmpi: Allgatherv needs one block per rank")
+	}
+	m.fence()
+	left := (r.ID - 1 + p) % p
+	right := (r.ID + 1) % p
+	for round := 0; round < p-1; round++ {
+		tag := tagRing + 512 + round
+		sendBlock := blocks[(r.ID-round+p)%p]
+		sreq := r.Isend(right, tag, sendBlock)
+		r.Recv(left, tag)
+		r.Wait(sreq)
+	}
+	m.fence()
+}
+
+// Alltoallv posts split sends to every partner at once and then drains the
+// matching receives — the unscheduled flood that loses the "firm grip on
+// the communication system" the paper describes.
+func (m *Middleware) Alltoallv(sizes [][]int) {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(sizes) != p {
+		panic("cmpi: Alltoallv needs a p×p matrix")
+	}
+	m.fence()
+	reqs := make([]*mpi.Request, 0, p-1)
+	for off := 1; off < p; off++ {
+		dst := (r.ID + off) % p
+		reqs = append(reqs, r.Isend(dst, tagRing+768+r.ID, sizes[r.ID][dst]))
+	}
+	for off := 1; off < p; off++ {
+		src := (r.ID - off + p) % p
+		r.Recv(src, tagRing+768+src)
+	}
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+	m.fence()
+}
+
+// Barrier in CMPI is just Sync.
+func (m *Middleware) Barrier() { m.Sync() }

@@ -1,0 +1,210 @@
+// Package core is the façade of the reproduction library: it wires the
+// synthetic CHARMM-like workload, the simulated PC-cluster platform and the
+// figure generators into one entry point.
+//
+// Typical use:
+//
+//	study := core.NewStudy(core.Options{})
+//	err := study.Figure("3", os.Stdout, core.FormatText)
+//
+// or run everything:
+//
+//	err := study.All(os.Stdout)
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/figures"
+	"repro/internal/md"
+	"repro/internal/topol"
+)
+
+// Format selects the output rendering.
+type Format int
+
+const (
+	// FormatText renders aligned tables with ASCII charts.
+	FormatText Format = iota
+	// FormatCSV renders machine-readable CSV.
+	FormatCSV
+)
+
+// Options tunes a Study; the zero value reproduces the paper's protocol
+// (10 MD steps of the 3552-atom system over p ∈ {1, 2, 4, 8}).
+type Options struct {
+	// Quick switches to the reduced test protocol (2 steps, p ≤ 4).
+	Quick bool
+	// Steps overrides the number of measured MD steps when > 0.
+	Steps int
+	// Procs overrides the processor counts when non-empty.
+	Procs []int
+	// SystemSeed/ClusterSeed select the deterministic random streams.
+	SystemSeed  uint64
+	ClusterSeed uint64
+}
+
+// Study owns a cached experiment suite.
+type Study struct {
+	Suite *figures.Suite
+}
+
+// NewStudy builds a study (and its 3552-atom molecular system) once.
+func NewStudy(o Options) *Study {
+	cfg := figures.Default()
+	if o.Quick {
+		cfg = figures.Quick()
+	}
+	if o.Steps > 0 {
+		cfg.Steps = o.Steps
+	}
+	if len(o.Procs) > 0 {
+		cfg.Procs = o.Procs
+	}
+	if o.SystemSeed != 0 {
+		cfg.SystemSeed = o.SystemSeed
+	}
+	if o.ClusterSeed != 0 {
+		cfg.ClusterSeed = o.ClusterSeed
+	}
+	return &Study{Suite: figures.NewSuite(cfg)}
+}
+
+// System returns the molecular workload.
+func (s *Study) System() *topol.System { return s.Suite.System() }
+
+// FigureIDs lists the reproducible experiment identifiers.
+func FigureIDs() []string {
+	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit"}
+	sort.Strings(ids)
+	return ids
+}
+
+// Figure regenerates one paper figure (or the factorial table) and writes
+// it in the requested format.
+func (s *Study) Figure(id string, w io.Writer, format Format) error {
+	switch id {
+	case "1":
+		return figures.RenderFig1(w)
+	case "2":
+		return figures.RenderFig2(w)
+	case "3":
+		rows, err := s.Suite.Fig3()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig3(w, rows)
+		}
+		return figures.RenderFig3(w, rows)
+	case "4":
+		rows, err := s.Suite.Fig4()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig4(w, rows)
+		}
+		return figures.RenderFig4(w, rows)
+	case "5", "6":
+		nets, err := s.Suite.Fig56()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig56(w, nets)
+		}
+		if id == "5" {
+			return figures.RenderFig5(w, nets)
+		}
+		return figures.RenderFig6(w, nets)
+	case "7":
+		rows, err := s.Suite.Fig7()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig7(w, rows)
+		}
+		return figures.RenderFig7(w, rows)
+	case "8":
+		rows, err := s.Suite.Fig8()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig8(w, rows)
+		}
+		return figures.RenderFig8(w, rows)
+	case "9":
+		rows, err := s.Suite.Fig9()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFig9(w, rows)
+		}
+		return figures.RenderFig9(w, rows)
+	case "factorial":
+		rows, err := s.Suite.Factorial()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVFactorial(w, rows)
+		}
+		return figures.RenderFactorial(w, rows)
+	case "effects":
+		a, err := s.Suite.FactorAnalysis()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVEffects(w, a)
+		}
+		return figures.RenderEffects(w, a)
+	case "ablation":
+		rows, err := s.Suite.Ablation()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVAblation(w, rows)
+		}
+		return figures.RenderAblation(w, rows)
+	case "scalelimit":
+		rows, err := s.Suite.ScaleLimit()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVScaleLimit(w, rows)
+		}
+		return figures.RenderScaleLimit(w, rows)
+	}
+	return fmt.Errorf("core: unknown figure %q (known: %v)", id, FigureIDs())
+}
+
+// All regenerates every figure in text form, separated by blank lines.
+func (s *Study) All(w io.Writer) error {
+	for _, id := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit"} {
+		if err := s.Figure(id, w, FormatText); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSequential runs the sequential engine on the study's workload for the
+// given number of steps and returns the per-step energy reports — the
+// baseline the parallel engine is validated against.
+func (s *Study) RunSequential(steps int) []md.EnergyReport {
+	cfg := s.Suite.Cfg.MD
+	e := md.NewEngine(s.Suite.System(), cfg)
+	return e.Run(steps, nil, nil)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedStudy is reused across tests: the suite caches runs, so building it
+// once keeps the package fast.
+var sharedStudy = NewStudy(Options{Quick: true})
+
+func quickStudy() *Study { return sharedStudy }
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 13 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	s := quickStudy()
+	var b strings.Builder
+	if err := s.Figure("42", &b, FormatText); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigureTextAndCSV(t *testing.T) {
+	s := quickStudy()
+	for _, id := range FigureIDs() {
+		var txt, csv strings.Builder
+		if err := s.Figure(id, &txt, FormatText); err != nil {
+			t.Fatalf("figure %s text: %v", id, err)
+		}
+		if err := s.Figure(id, &csv, FormatCSV); err != nil {
+			t.Fatalf("figure %s csv: %v", id, err)
+		}
+		if strings.Count(txt.String(), "\n") < 3 {
+			t.Fatalf("figure %s text too short:\n%s", id, txt.String())
+		}
+		lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("figure %s csv too short", id)
+		}
+		cols := strings.Count(lines[0], ",")
+		for i, ln := range lines {
+			if strings.Count(ln, ",") != cols {
+				t.Fatalf("figure %s csv ragged at line %d:\n%s", id, i, csv.String())
+			}
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	s := quickStudy()
+	var b strings.Builder
+	if err := s.All(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Figure 3", "Figure 7", "factorial"} {
+		if !strings.Contains(b.String(), marker) {
+			t.Fatalf("All output missing %q", marker)
+		}
+	}
+}
+
+func TestOptionsOverrides(t *testing.T) {
+	s := NewStudy(Options{Quick: true, Steps: 1, Procs: []int{1, 2}, SystemSeed: 5, ClusterSeed: 6})
+	if s.Suite.Cfg.Steps != 1 {
+		t.Fatalf("steps = %d", s.Suite.Cfg.Steps)
+	}
+	if len(s.Suite.Cfg.Procs) != 2 {
+		t.Fatalf("procs = %v", s.Suite.Cfg.Procs)
+	}
+	if s.Suite.Cfg.SystemSeed != 5 || s.Suite.Cfg.ClusterSeed != 6 {
+		t.Fatal("seeds not applied")
+	}
+}
+
+func TestRunSequential(t *testing.T) {
+	s := NewStudy(Options{Quick: true, Steps: 1, Procs: []int{1}})
+	reports := s.RunSequential(2)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Total() == 0 {
+		t.Fatal("zero energy")
+	}
+}
+
+func TestSystemScale(t *testing.T) {
+	if n := quickStudy().System().N(); n != 3552 {
+		t.Fatalf("system atoms = %d", n)
+	}
+}

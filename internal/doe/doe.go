@@ -1,0 +1,174 @@
+// Package doe implements the factorial experimental-design analysis of
+// Jain ("The Art of Computer Systems Performance Analysis"), the
+// methodology the paper's §3.1 follows: response variables, factors and
+// levels, main effects, two-factor interactions and the allocation of
+// variation. It turns the full-factorial table of runs into the statement
+// the paper makes qualitatively — which platform factor actually matters.
+package doe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observation is one run of the design: a response value under a complete
+// assignment of factor levels.
+type Observation struct {
+	Levels map[string]string // factor name → level name
+	Y      float64           // response (e.g. wall-clock seconds)
+}
+
+// Effect is the deviation of one factor level's mean response from the
+// grand mean.
+type Effect struct {
+	Factor string
+	Level  string
+	Effect float64
+	Mean   float64
+	N      int
+}
+
+// Interaction quantifies one two-factor interaction via its sum of
+// squares.
+type Interaction struct {
+	FactorA, FactorB string
+	SumSquares       float64
+}
+
+// Analysis is the outcome of Analyze.
+type Analysis struct {
+	GrandMean float64
+	Effects   []Effect // sorted by factor, then level
+	MainSS    map[string]float64
+	Interact  []Interaction // sorted by descending sum of squares
+	SST       float64       // total sum of squares
+	Residual  float64       // SST − main − two-factor interactions
+}
+
+// VariationExplained returns the fraction of the total variation allocated
+// to the given factor's main effect (Jain's "allocation of variation").
+func (a *Analysis) VariationExplained(factor string) float64 {
+	if a.SST == 0 {
+		return 0
+	}
+	return a.MainSS[factor] / a.SST
+}
+
+// DominantFactor returns the factor explaining the most variation.
+func (a *Analysis) DominantFactor() string {
+	best, bestSS := "", -1.0
+	for f, ss := range a.MainSS {
+		if ss > bestSS || (ss == bestSS && f < best) {
+			best, bestSS = f, ss
+		}
+	}
+	return best
+}
+
+// Analyze computes grand mean, per-level main effects, two-factor
+// interaction sums of squares and the allocation of variation. Every
+// observation must assign the same factor set.
+func Analyze(obs []Observation) (*Analysis, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("doe: no observations")
+	}
+	factors := make([]string, 0, len(obs[0].Levels))
+	for f := range obs[0].Levels {
+		factors = append(factors, f)
+	}
+	sort.Strings(factors)
+	for i, o := range obs {
+		if len(o.Levels) != len(factors) {
+			return nil, fmt.Errorf("doe: observation %d has %d factors, want %d", i, len(o.Levels), len(factors))
+		}
+		for _, f := range factors {
+			if _, ok := o.Levels[f]; !ok {
+				return nil, fmt.Errorf("doe: observation %d missing factor %q", i, f)
+			}
+		}
+	}
+
+	a := &Analysis{MainSS: map[string]float64{}}
+	var sum float64
+	for _, o := range obs {
+		sum += o.Y
+	}
+	a.GrandMean = sum / float64(len(obs))
+	for _, o := range obs {
+		d := o.Y - a.GrandMean
+		a.SST += d * d
+	}
+
+	// Main effects.
+	effOf := map[string]map[string]float64{}
+	for _, f := range factors {
+		byLevel := map[string][]float64{}
+		for _, o := range obs {
+			l := o.Levels[f]
+			byLevel[l] = append(byLevel[l], o.Y)
+		}
+		levels := make([]string, 0, len(byLevel))
+		for l := range byLevel {
+			levels = append(levels, l)
+		}
+		sort.Strings(levels)
+		effOf[f] = map[string]float64{}
+		var ss float64
+		for _, l := range levels {
+			ys := byLevel[l]
+			var s float64
+			for _, y := range ys {
+				s += y
+			}
+			mean := s / float64(len(ys))
+			eff := mean - a.GrandMean
+			effOf[f][l] = eff
+			ss += float64(len(ys)) * eff * eff
+			a.Effects = append(a.Effects, Effect{
+				Factor: f, Level: l, Effect: eff, Mean: mean, N: len(ys),
+			})
+		}
+		a.MainSS[f] = ss
+	}
+
+	// Two-factor interactions: cell mean minus grand mean and both main
+	// effects.
+	var mainTotal float64
+	for _, ss := range a.MainSS {
+		mainTotal += ss
+	}
+	var interTotal float64
+	for i := 0; i < len(factors); i++ {
+		for j := i + 1; j < len(factors); j++ {
+			fa, fb := factors[i], factors[j]
+			cells := map[[2]string][]float64{}
+			for _, o := range obs {
+				k := [2]string{o.Levels[fa], o.Levels[fb]}
+				cells[k] = append(cells[k], o.Y)
+			}
+			var ss float64
+			for k, ys := range cells {
+				var s float64
+				for _, y := range ys {
+					s += y
+				}
+				mean := s / float64(len(ys))
+				d := mean - a.GrandMean - effOf[fa][k[0]] - effOf[fb][k[1]]
+				ss += float64(len(ys)) * d * d
+			}
+			a.Interact = append(a.Interact, Interaction{FactorA: fa, FactorB: fb, SumSquares: ss})
+			interTotal += ss
+		}
+	}
+	sort.Slice(a.Interact, func(i, j int) bool {
+		if a.Interact[i].SumSquares != a.Interact[j].SumSquares {
+			return a.Interact[i].SumSquares > a.Interact[j].SumSquares
+		}
+		return a.Interact[i].FactorA < a.Interact[j].FactorA
+	})
+	a.Residual = a.SST - mainTotal - interTotal
+	if a.Residual < 0 && a.Residual > -1e-9*a.SST {
+		a.Residual = 0 // numerical noise
+	}
+	return a, nil
+}

@@ -1,0 +1,154 @@
+package doe
+
+import (
+	"math"
+	"testing"
+)
+
+// cross builds a full factorial from a response function.
+func cross(f func(net, mw, cpu string) float64) []Observation {
+	var obs []Observation
+	for _, net := range []string{"tcp", "score", "myrinet"} {
+		for _, mw := range []string{"mpi", "cmpi"} {
+			for _, cpu := range []string{"uni", "dual"} {
+				obs = append(obs, Observation{
+					Levels: map[string]string{"network": net, "middleware": mw, "cpus": cpu},
+					Y:      f(net, mw, cpu),
+				})
+			}
+		}
+	}
+	return obs
+}
+
+func TestAdditiveModelRecovered(t *testing.T) {
+	netEff := map[string]float64{"tcp": 3, "score": -1, "myrinet": -2}
+	mwEff := map[string]float64{"mpi": -1.5, "cmpi": 1.5}
+	obs := cross(func(net, mw, cpu string) float64 {
+		return 10 + netEff[net] + mwEff[mw]
+	})
+	a, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.GrandMean-10) > 1e-12 {
+		t.Fatalf("grand mean %v", a.GrandMean)
+	}
+	for _, e := range a.Effects {
+		var want float64
+		switch e.Factor {
+		case "network":
+			want = netEff[e.Level]
+		case "middleware":
+			want = mwEff[e.Level]
+		case "cpus":
+			want = 0
+		}
+		if math.Abs(e.Effect-want) > 1e-12 {
+			t.Fatalf("effect %s=%s: %v want %v", e.Factor, e.Level, e.Effect, want)
+		}
+	}
+	// Purely additive: interactions and residual vanish.
+	for _, in := range a.Interact {
+		if in.SumSquares > 1e-18 {
+			t.Fatalf("phantom interaction %+v", in)
+		}
+	}
+	if math.Abs(a.Residual) > 1e-9 {
+		t.Fatalf("residual %v", a.Residual)
+	}
+	if a.DominantFactor() != "network" {
+		t.Fatalf("dominant = %q", a.DominantFactor())
+	}
+}
+
+func TestInteractionDetected(t *testing.T) {
+	// CMPI only hurts on TCP: a pure network×middleware interaction.
+	obs := cross(func(net, mw, cpu string) float64 {
+		if net == "tcp" && mw == "cmpi" {
+			return 20
+		}
+		return 10
+	})
+	a, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interact[0].FactorA+a.Interact[0].FactorB != "middleware"+"network" {
+		t.Fatalf("largest interaction %+v", a.Interact[0])
+	}
+	if a.Interact[0].SumSquares <= 0 {
+		t.Fatal("interaction not detected")
+	}
+}
+
+func TestVariationSumsToTotal(t *testing.T) {
+	obs := cross(func(net, mw, cpu string) float64 {
+		base := map[string]float64{"tcp": 6, "score": 3, "myrinet": 2}[net]
+		if mw == "cmpi" {
+			base *= 1.8
+		}
+		if cpu == "dual" && net == "tcp" {
+			base += 1.5
+		}
+		return base
+	})
+	a, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var main, inter float64
+	for _, ss := range a.MainSS {
+		main += ss
+	}
+	for _, in := range a.Interact {
+		inter += in.SumSquares
+	}
+	// For a 3-factor design, SST decomposes into main + 2-way + 3-way
+	// (residual here). All parts must be non-negative and add up.
+	if a.Residual < -1e-9 {
+		t.Fatalf("negative residual %v", a.Residual)
+	}
+	if math.Abs(main+inter+a.Residual-a.SST) > 1e-9*a.SST {
+		t.Fatalf("decomposition broken: %v + %v + %v != %v", main, inter, a.Residual, a.SST)
+	}
+	if frac := a.VariationExplained("network"); frac <= 0 || frac > 1 {
+		t.Fatalf("network variation %v", frac)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty design accepted")
+	}
+	bad := []Observation{
+		{Levels: map[string]string{"a": "x"}, Y: 1},
+		{Levels: map[string]string{"b": "y"}, Y: 2},
+	}
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("inconsistent factors accepted")
+	}
+}
+
+func TestSingleFactorTwoLevels(t *testing.T) {
+	obs := []Observation{
+		{Levels: map[string]string{"net": "a"}, Y: 1},
+		{Levels: map[string]string{"net": "a"}, Y: 3},
+		{Levels: map[string]string{"net": "b"}, Y: 5},
+		{Levels: map[string]string{"net": "b"}, Y: 7},
+	}
+	a, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GrandMean != 4 {
+		t.Fatalf("grand mean %v", a.GrandMean)
+	}
+	// Effects: a → −2, b → +2; SS = 2·4 + 2·4 = 16; SST = 9+1+1+9 = 20.
+	if a.MainSS["net"] != 16 || a.SST != 20 {
+		t.Fatalf("SS=%v SST=%v", a.MainSS["net"], a.SST)
+	}
+	if math.Abs(a.VariationExplained("net")-0.8) > 1e-12 {
+		t.Fatalf("variation %v", a.VariationExplained("net"))
+	}
+}

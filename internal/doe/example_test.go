@@ -1,0 +1,21 @@
+package doe_test
+
+import (
+	"fmt"
+
+	"repro/internal/doe"
+)
+
+func ExampleAnalyze() {
+	obs := []doe.Observation{
+		{Levels: map[string]string{"net": "tcp"}, Y: 6},
+		{Levels: map[string]string{"net": "tcp"}, Y: 6},
+		{Levels: map[string]string{"net": "myrinet"}, Y: 2},
+		{Levels: map[string]string{"net": "myrinet"}, Y: 2},
+	}
+	a, _ := doe.Analyze(obs)
+	fmt.Printf("grand mean %.0f, dominant factor %s, variation %.0f%%\n",
+		a.GrandMean, a.DominantFactor(), 100*a.VariationExplained("net"))
+	// Output:
+	// grand mean 4, dominant factor net, variation 100%
+}

@@ -1,0 +1,96 @@
+package ewald
+
+import (
+	"math"
+
+	"repro/internal/space"
+	"repro/internal/units"
+)
+
+// DirectRMSForceError estimates the root-mean-square force error (kcal/mol/Å)
+// from truncating the direct-space Ewald sum at cutoff rc, using the
+// Kolafa–Perram formula:
+//
+//	ΔF ≈ 2·Q²·sqrt(1/(N·rc·V)) · exp(−β²·rc²) · CoulombConst,
+//
+// with Q² = Σq² over the n charges in volume V.
+func DirectRMSForceError(beta, rc float64, charges []float64, volume float64) float64 {
+	n := float64(len(charges))
+	if n == 0 || rc <= 0 || volume <= 0 {
+		return 0
+	}
+	var q2 float64
+	for _, q := range charges {
+		q2 += q * q
+	}
+	return units.CoulombConst * 2 * q2 * math.Sqrt(1/(n*rc*volume)) * math.Exp(-beta*beta*rc*rc)
+}
+
+// RecipRMSForceError estimates the RMS force error of a classical Ewald
+// reciprocal sum truncated at kmax reciprocal vectors along the smallest
+// box edge (Kolafa–Perram):
+//
+//	ΔF ≈ 2·Q²·β/(π²) · sqrt(1/(N·kmax·V^{2/3})) ·
+//	       exp(−(π·kmax/(β·L))²) · CoulombConst.
+//
+// For mesh Ewald it bounds the error of a grid with kmax = K/2 modes per
+// dimension (interpolation error adds on top of it).
+func RecipRMSForceError(beta float64, kmax int, charges []float64, box space.Box) float64 {
+	n := float64(len(charges))
+	if n == 0 || kmax < 1 {
+		return 0
+	}
+	var q2 float64
+	for _, q := range charges {
+		q2 += q * q
+	}
+	l := math.Min(box.L.X, math.Min(box.L.Y, box.L.Z))
+	v := box.Volume()
+	arg := math.Pi * float64(kmax) / (beta * l)
+	return units.CoulombConst * 2 * q2 * beta / (math.Pi * math.Pi) *
+		math.Sqrt(1/(n*float64(kmax)*math.Pow(v, 2.0/3.0))) * math.Exp(-arg*arg)
+}
+
+// OptimalBeta returns the smallest Ewald splitting parameter β such that
+// the direct-space truncation factor erfc(β·rc)/rc falls below tol — the
+// standard way to pick β for a given cutoff (then the mesh is sized to
+// match the reciprocal side). Solved by bisection; tol must be in (0, 1).
+func OptimalBeta(rc, tol float64) float64 {
+	if rc <= 0 || tol <= 0 || tol >= 1 {
+		panic("ewald: OptimalBeta needs rc > 0 and tol in (0,1)")
+	}
+	f := func(b float64) float64 { return math.Erfc(b*rc) / rc }
+	lo, hi := 1e-6, 10.0
+	if f(hi) > tol {
+		return hi
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10; i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) > tol {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// SuggestMesh returns mesh dimensions giving at most the target grid
+// spacing (Å) in each box dimension, rounded up to the next even size —
+// the heuristic CHARMM documentation gives for choosing FFTX/FFTY/FFTZ.
+func SuggestMesh(box space.Box, spacing float64) (k1, k2, k3 int) {
+	if spacing <= 0 {
+		panic("ewald: non-positive mesh spacing")
+	}
+	up := func(l float64) int {
+		k := int(math.Ceil(l / spacing))
+		if k%2 == 1 {
+			k++
+		}
+		if k < 8 {
+			k = 8
+		}
+		return k
+	}
+	return up(box.L.X), up(box.L.Y), up(box.L.Z)
+}

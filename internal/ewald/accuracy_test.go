@@ -1,0 +1,152 @@
+package ewald
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/units"
+	"repro/internal/vec"
+)
+
+func TestOptimalBeta(t *testing.T) {
+	rc := 10.0
+	b := OptimalBeta(rc, 1e-6)
+	// The returned β must satisfy the tolerance and not be wastefully large.
+	if got := math.Erfc(b*rc) / rc; got > 1e-6 {
+		t.Fatalf("erfc(βrc)/rc = %g above tolerance", got)
+	}
+	if got := math.Erfc(b*0.98*rc) / rc; got < 1e-8 {
+		t.Fatalf("β = %g is far larger than needed", b)
+	}
+	// Tighter tolerance → larger β; longer cutoff → smaller β.
+	if OptimalBeta(rc, 1e-8) <= b {
+		t.Fatal("tighter tolerance did not raise β")
+	}
+	if OptimalBeta(14, 1e-6) >= b {
+		t.Fatal("longer cutoff did not lower β")
+	}
+	// The paper's setup: rc = 10 Å with β = 0.34 corresponds to a direct
+	// tolerance near erfc(3.4)/10 ≈ 1.5e-7.
+	if paper := OptimalBeta(10, 1.5e-7); math.Abs(paper-0.34) > 0.02 {
+		t.Fatalf("paper-consistent β = %g, want ≈0.34", paper)
+	}
+}
+
+func TestOptimalBetaValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.1}, {10, 0}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OptimalBeta(%v) did not panic", bad)
+				}
+			}()
+			OptimalBeta(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestDirectErrorBehaviour(t *testing.T) {
+	charges := []float64{1, -1, 0.5, -0.5}
+	const v = 1000.0
+	e1 := DirectRMSForceError(0.3, 10, charges, v)
+	e2 := DirectRMSForceError(0.4, 10, charges, v)
+	if e2 >= e1 {
+		t.Fatal("larger β should shrink the direct error")
+	}
+	e3 := DirectRMSForceError(0.3, 12, charges, v)
+	if e3 >= e1 {
+		t.Fatal("longer cutoff should shrink the direct error")
+	}
+	if DirectRMSForceError(0.3, 10, nil, v) != 0 {
+		t.Fatal("empty system should have zero error")
+	}
+}
+
+func TestRecipErrorBehaviour(t *testing.T) {
+	charges := []float64{1, -1, 1, -1}
+	box := space.NewBox(20, 20, 20)
+	e1 := RecipRMSForceError(0.4, 8, charges, box)
+	e2 := RecipRMSForceError(0.4, 16, charges, box)
+	if e2 >= e1 {
+		t.Fatal("more k-vectors should shrink the reciprocal error")
+	}
+	e3 := RecipRMSForceError(0.3, 8, charges, box)
+	if e3 >= e1 {
+		t.Fatal("smaller β should shrink the reciprocal error")
+	}
+}
+
+// TestErrorEstimateTracksRealError checks the Kolafa–Perram direct estimate
+// against the RMS force difference measured between a short and a
+// near-exact direct-space cutoff.
+func TestErrorEstimateTracksRealError(t *testing.T) {
+	box := space.NewBox(20, 20, 20)
+	r := rng.New(3)
+	pos, charges := randomNeutralSystem(r, 40, box)
+	const beta = 0.30
+
+	// Per-atom direct-space force vectors at the given cutoff (kcal/mol/Å).
+	force := func(rc float64) []vec.V {
+		out := make([]vec.V, len(pos))
+		for i := range pos {
+			for j := range pos {
+				if i == j {
+					continue
+				}
+				d := box.MinImage(pos[i], pos[j])
+				rr := d.Norm()
+				if rr > rc {
+					continue
+				}
+				qq := charges[i] * charges[j]
+				erfc := math.Erfc(beta * rr)
+				dedr := -units.CoulombConst * qq *
+					(erfc/(rr*rr) + 2*beta/math.SqrtPi*math.Exp(-beta*beta*rr*rr)/rr)
+				out[i] = out[i].Add(d.Scale(-dedr / rr))
+			}
+		}
+		return out
+	}
+	fShort := force(6)
+	fLong := force(9.9) // erfc(0.3·9.9) ≈ 2.7e-5: effectively converged
+	var ss float64
+	for i := range fShort {
+		ss += vec.Dist2(fShort[i], fLong[i])
+	}
+	measured := math.Sqrt(ss / float64(len(fShort)))
+	if measured == 0 {
+		t.Skip("degenerate sample")
+	}
+	estimate := DirectRMSForceError(beta, 6, charges, box.Volume())
+	// The formula is a statistical estimate: demand the right order of
+	// magnitude, which is what it is used for (picking β and cutoffs).
+	if ratio := estimate / measured; ratio < 0.1 || ratio > 10 {
+		t.Fatalf("estimate %g vs measured %g (ratio %g)", estimate, measured, ratio)
+	}
+}
+
+func TestSuggestMesh(t *testing.T) {
+	box := space.NewBox(80, 36, 48)
+	k1, k2, k3 := SuggestMesh(box, 1.0)
+	if k1 != 80 || k2 != 36 || k3 != 48 {
+		t.Fatalf("paper box at 1 Å spacing: %d×%d×%d, want 80×36×48", k1, k2, k3)
+	}
+	k1, _, _ = SuggestMesh(box, 1.5)
+	if k1 != 54 {
+		t.Fatalf("80 Å at 1.5 Å spacing: %d, want 54", k1)
+	}
+	// Odd counts round up to even; tiny boxes clamp at 8.
+	tiny := space.NewBox(5, 5, 5)
+	a, b, c := SuggestMesh(tiny, 1.0)
+	if a != 8 || b != 8 || c != 8 {
+		t.Fatalf("tiny box mesh %d %d %d", a, b, c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero spacing accepted")
+		}
+	}()
+	SuggestMesh(box, 0)
+}

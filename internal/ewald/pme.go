@@ -1,0 +1,363 @@
+package ewald
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+	"repro/internal/space"
+	"repro/internal/units"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// PME computes the reciprocal-space part of the Ewald sum on a mesh. It
+// owns its grid and FFT plan; one instance per simulated rank.
+type PME struct {
+	Box   space.Box
+	Beta  float64
+	K1    int
+	K2    int
+	K3    int
+	Order int
+
+	plan *fft.Plan3D
+	grid []complex128
+	conv []complex128
+	bsq1 []float64 // |b(m)|² per dimension
+	bsq2 []float64
+	bsq3 []float64
+
+	w1, w2, w3    []float64 // spline weight scratch
+	dw1, dw2, dw3 []float64
+}
+
+// NewPME builds a PME engine for the given box, splitting parameter β
+// (1/Å), mesh dimensions and interpolation order (≥ 3; the paper-era
+// CHARMM default is 4).
+func NewPME(box space.Box, beta float64, k1, k2, k3, order int) *PME {
+	if beta <= 0 {
+		panic("ewald: non-positive beta")
+	}
+	if order < 3 || order > 8 {
+		panic(fmt.Sprintf("ewald: unsupported order %d", order))
+	}
+	if k1 < 2*order || k2 < 2*order || k3 < 2*order {
+		panic("ewald: mesh too small for interpolation order")
+	}
+	p := &PME{
+		Box: box, Beta: beta, K1: k1, K2: k2, K3: k3, Order: order,
+		plan: fft.NewPlan3D(k1, k2, k3),
+	}
+	p.grid = make([]complex128, k1*k2*k3)
+	p.conv = make([]complex128, k1*k2*k3)
+	p.bsq1 = bsplineModuli(k1, order)
+	p.bsq2 = bsplineModuli(k2, order)
+	p.bsq3 = bsplineModuli(k3, order)
+	p.w1 = make([]float64, order)
+	p.w2 = make([]float64, order)
+	p.w3 = make([]float64, order)
+	p.dw1 = make([]float64, order)
+	p.dw2 = make([]float64, order)
+	p.dw3 = make([]float64, order)
+	return p
+}
+
+// bsplineModuli returns |b(m)|² for m = 0..K−1:
+// b(m) = exp(2πi(n−1)m/K) / Σ_{k=0}^{n−2} M_n(k+1)·exp(2πi mk/K).
+func bsplineModuli(k, order int) []float64 {
+	out := make([]float64, k)
+	for m := 0; m < k; m++ {
+		var denom complex128
+		for j := 0; j <= order-2; j++ {
+			theta := 2 * math.Pi * float64(m) * float64(j) / float64(k)
+			denom += complex(bsplineM(order, float64(j+1)), 0) * cmplx.Exp(complex(0, theta))
+		}
+		d2 := real(denom)*real(denom) + imag(denom)*imag(denom)
+		if d2 < 1e-14 {
+			// Interpolation cannot represent this frequency (can happen at
+			// the Nyquist line for odd orders); drop it from the sum.
+			out[m] = 0
+		} else {
+			out[m] = 1 / d2
+		}
+	}
+	return out
+}
+
+// Ops returns the analytic FFT flop count for one Recip call (two 3-D
+// transforms), for the performance model.
+func (p *PME) Ops() int64 { return 2 * p.plan.Ops() }
+
+// GridLen returns the number of mesh points.
+func (p *PME) GridLen() int { return p.K1 * p.K2 * p.K3 }
+
+// Recip computes the reciprocal-space Ewald energy (kcal/mol) and
+// accumulates forces into frc. The mesh pipeline is: spread charges →
+// forward 3-D FFT → multiply by the influence function → inverse FFT →
+// interpolate forces. Counters, if non-nil, record the work.
+func (p *PME) Recip(pos []vec.V, charges []float64, frc []vec.V, w *work.Counters) float64 {
+	p.spread(pos, charges)
+	copy(p.conv, p.grid)
+	p.plan.Forward(p.conv)
+	energyK := p.influence()
+	p.plan.Inverse(p.conv)
+
+	// E = ½ Σ_k Q(k)·conv(k) must equal the k-space sum; both are computed
+	// and the k-space value is returned (they agree to roundoff — asserted
+	// in tests). Forces interpolate the conv grid.
+	e := p.interpolateForces(pos, charges, frc)
+	_ = e
+	if w != nil {
+		n := int64(len(pos))
+		o3 := int64(p.Order * p.Order * p.Order)
+		w.GridCharges += 2 * n * o3 // spread + interpolate
+		w.FFTOps += p.Ops()
+		w.RecipPoints += int64(p.GridLen())
+	}
+	return energyK
+}
+
+// RecipEnergyGridDot returns ½ ΣQ·conv from the most recent Recip call —
+// exposed for the consistency test.
+func (p *PME) RecipEnergyGridDot() float64 {
+	var e float64
+	for i := range p.grid {
+		e += real(p.grid[i]) * real(p.conv[i])
+	}
+	return 0.5 * e
+}
+
+// spread deposits all charges onto the private mesh.
+func (p *PME) spread(pos []vec.V, charges []float64) {
+	for i := range p.grid {
+		p.grid[i] = 0
+	}
+	p.Spread(pos, charges, 0, len(pos), p.grid)
+}
+
+// Spread deposits the charges of atoms [lo, hi) onto grid (row-major
+// K1×K2×K3, not zeroed here) with B-spline weights. The distributed PME
+// uses it per atom block; grid may be any rank's local accumulation buffer.
+func (p *PME) Spread(pos []vec.V, charges []float64, lo, hi int, grid []complex128) {
+	order := p.Order
+	for i := lo; i < hi; i++ {
+		r := pos[i]
+		q := charges[i]
+		if q == 0 {
+			continue
+		}
+		f := p.Box.Frac(r)
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, p.w1, p.dw1)
+		k02 := splineWeights(order, u2, p.w2, p.dw2)
+		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		for a := 0; a < order; a++ {
+			g1 := mod(k01+a, p.K1)
+			qa := q * p.w1[a]
+			for b := 0; b < order; b++ {
+				g2 := mod(k02+b, p.K2)
+				qab := qa * p.w2[b]
+				base := (g1*p.K2 + g2) * p.K3
+				for c := 0; c < order; c++ {
+					g3 := mod(k03+c, p.K3)
+					grid[base+g3] += complex(qab*p.w3[c], 0)
+				}
+			}
+		}
+	}
+}
+
+// influence multiplies the transformed grid by the PME influence function
+// ψ(m) = (CoulombConst·N/(πV)) · exp(−π²|m̃|²/β²)/|m̃|² · B(m) and returns
+// the reciprocal energy Σ'  (CoulombConst/(2πV))·exp(−π²|m̃|²/β²)/|m̃|²·B(m)·|F(Q)(m)|².
+// The factor N compensates the normalized inverse FFT so that the conv
+// grid carries the real-space convolution used for forces.
+func (p *PME) influence() float64 {
+	var energy float64
+	idx := 0
+	for m1 := 0; m1 < p.K1; m1++ {
+		for m2 := 0; m2 < p.K2; m2++ {
+			for m3 := 0; m3 < p.K3; m3++ {
+				eCoef, cCoef := p.Psi(m1, m2, m3)
+				fq := p.conv[idx]
+				mag2 := real(fq)*real(fq) + imag(fq)*imag(fq)
+				energy += eCoef * mag2
+				p.conv[idx] = fq * complex(cCoef, 0)
+				idx++
+			}
+		}
+	}
+	return energy
+}
+
+// Psi returns the two influence coefficients at mesh frequency
+// (m1, m2, m3): eCoef such that the reciprocal energy is Σ eCoef·|F(Q)|²,
+// and cCoef, the factor applied to the spectrum before the normalized
+// inverse FFT so the resulting conv grid drives force interpolation
+// (cCoef = 2·N·eCoef, zero at the origin). Exposed for the slab-distributed
+// PME, which owns only part of the spectrum.
+func (p *PME) Psi(m1, m2, m3 int) (eCoef, cCoef float64) {
+	if m1 == 0 && m2 == 0 && m3 == 0 {
+		return 0, 0
+	}
+	v := p.Box.Volume()
+	n := float64(p.GridLen())
+	pref := units.CoulombConst / (2 * math.Pi * v)
+	betaFac := math.Pi * math.Pi / (p.Beta * p.Beta)
+	mx := signedFreq(m1, p.K1) / p.Box.L.X
+	my := signedFreq(m2, p.K2) / p.Box.L.Y
+	mz := signedFreq(m3, p.K3) / p.Box.L.Z
+	m2norm := mx*mx + my*my + mz*mz
+	b := p.bsq1[m1] * p.bsq2[m2] * p.bsq3[m3]
+	a := math.Exp(-betaFac*m2norm) / m2norm * b
+	eCoef = pref * a
+	return eCoef, 2 * eCoef * n
+}
+
+// signedFreq maps mesh index m to the signed frequency in [−K/2, K/2).
+func signedFreq(m, k int) float64 {
+	if m <= k/2 {
+		return float64(m)
+	}
+	return float64(m - k)
+}
+
+// interpolateForces interpolates over all atoms from the private conv grid.
+func (p *PME) interpolateForces(pos []vec.V, charges []float64, frc []vec.V) float64 {
+	return p.Interpolate(p.conv, pos, charges, 0, len(pos), frc)
+}
+
+// Interpolate differentiates the B-spline interpolant of the given conv
+// grid at the charge sites of atoms [lo, hi): F = −q·∇θ, with ∂u/∂x = K/L
+// per dimension. Forces accumulate into frc (when non-nil); the return
+// value is the partial ½ΣQ·conv energy over the block, used as a
+// consistency cross-check. The distributed PME calls it per atom block
+// with the allgathered conv grid.
+func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo, hi int, frc []vec.V) float64 {
+	order := p.Order
+	s1 := float64(p.K1) / p.Box.L.X
+	s2 := float64(p.K2) / p.Box.L.Y
+	s3 := float64(p.K3) / p.Box.L.Z
+	var e float64
+	for i := lo; i < hi; i++ {
+		r := pos[i]
+		q := charges[i]
+		if q == 0 {
+			continue
+		}
+		f := p.Box.Frac(r)
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, p.w1, p.dw1)
+		k02 := splineWeights(order, u2, p.w2, p.dw2)
+		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		var gx, gy, gz, pot float64
+		for a := 0; a < order; a++ {
+			g1 := mod(k01+a, p.K1)
+			for b := 0; b < order; b++ {
+				g2 := mod(k02+b, p.K2)
+				base := (g1*p.K2 + g2) * p.K3
+				for c := 0; c < order; c++ {
+					g3 := mod(k03+c, p.K3)
+					t := real(conv[base+g3])
+					pot += p.w1[a] * p.w2[b] * p.w3[c] * t
+					gx += p.dw1[a] * p.w2[b] * p.w3[c] * t
+					gy += p.w1[a] * p.dw2[b] * p.w3[c] * t
+					gz += p.w1[a] * p.w2[b] * p.dw3[c] * t
+				}
+			}
+		}
+		e += 0.5 * q * pot
+		if frc != nil {
+			frc[i] = frc[i].Add(vec.New(-q*gx*s1, -q*gy*s2, -q*gz*s3))
+		}
+	}
+	return e
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// SelfEnergy returns the Ewald self-interaction correction
+// −(β/√π)·Σ q², in kcal/mol.
+func SelfEnergy(charges []float64, beta float64) float64 {
+	var s float64
+	for _, q := range charges {
+		s += q * q
+	}
+	return -units.CoulombConst * beta / math.SqrtPi * s
+}
+
+// BackgroundEnergy returns the neutralizing-background correction
+// −π/(2β²V)·(Σq)², zero for neutral cells.
+func BackgroundEnergy(charges []float64, beta, volume float64) float64 {
+	var s float64
+	for _, q := range charges {
+		s += q
+	}
+	return -units.CoulombConst * math.Pi / (2 * beta * beta * volume) * s * s
+}
+
+// Excluder is the subset of topol.Exclusions the correction needs.
+type Excluder interface {
+	Of(i int) []int32
+}
+
+// ExclusionCorrection removes the reciprocal-space contribution of excluded
+// (1-2, 1-3) pairs: E = −Σ qiqj·erf(βr)/r, with matching forces
+// accumulated into frc. Counters record one pair evaluation per excluded
+// pair.
+func ExclusionCorrection(box space.Box, pos []vec.V, charges []float64, excl Excluder, beta float64, frc []vec.V, w *work.Counters) float64 {
+	return ExclusionCorrectionRange(box, pos, charges, excl, beta, 0, len(pos), frc, w)
+}
+
+// ExclusionCorrectionRange is ExclusionCorrection restricted to exclusion
+// rows i ∈ [lo, hi) (each pair is owned by its lower index, so row
+// partitions cover every pair exactly once). The parallel engine assigns
+// row blocks to ranks.
+func ExclusionCorrectionRange(box space.Box, pos []vec.V, charges []float64, excl Excluder, beta float64, lo, hi int, frc []vec.V, w *work.Counters) float64 {
+	var e float64
+	var pairs int64
+	for i := lo; i < hi; i++ {
+		for _, j32 := range excl.Of(i) {
+			j := int(j32)
+			if j <= i {
+				continue
+			}
+			pairs++
+			qq := charges[i] * charges[j]
+			if qq == 0 {
+				continue
+			}
+			d := box.MinImage(pos[i], pos[j])
+			r := d.Norm()
+			if r == 0 {
+				continue
+			}
+			erf := math.Erf(beta * r)
+			e -= units.CoulombConst * qq * erf / r
+			// E = −C·qq·erf(βr)/r, so
+			// dE/dr = −C·qq·(2β/√π·e^{−β²r²}/r − erf(βr)/r²).
+			de := -units.CoulombConst * qq * (2*beta/math.SqrtPi*math.Exp(-beta*beta*r*r)/r - erf/(r*r))
+			if frc != nil {
+				fv := d.Scale(-de / r)
+				frc[i] = frc[i].Add(fv)
+				frc[j] = frc[j].Sub(fv)
+			}
+		}
+	}
+	if w != nil {
+		w.PairEvals += pairs
+	}
+	return e
+}

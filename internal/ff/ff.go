@@ -1,0 +1,226 @@
+package ff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/space"
+	"repro/internal/topol"
+	"repro/internal/units"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// ElecMode selects the electrostatic truncation scheme.
+type ElecMode int
+
+const (
+	// ElecShift is CHARMM's SHIFT function: E = qq/r · (1 − (r/rc)²)²,
+	// zero at the cutoff — the paper's classic (non-PME) mode.
+	ElecShift ElecMode = iota
+	// ElecEwaldDirect is the PME direct-space term qq·erfc(βr)/r; the
+	// reciprocal part lives in internal/ewald.
+	ElecEwaldDirect
+)
+
+// Options configures nonbonded evaluation.
+type Options struct {
+	CutOn      float64  // LJ switching starts here (Å)
+	CutOff     float64  // interactions end here (Å)
+	ListCutoff float64  // neighbour-list cutoff (≥ CutOff; the margin is the skin)
+	ElecMode   ElecMode //
+	Beta       float64  // Ewald splitting parameter (1/Å), ElecEwaldDirect only
+
+	Scale14LJ   float64 // scale factor for 1-4 Lennard-Jones
+	Scale14Elec float64 // scale factor for 1-4 electrostatics
+}
+
+// DefaultOptions matches the paper's setup: shift truncation at 10 Å with
+// LJ switching from 8 Å, 12 Å list.
+func DefaultOptions() Options {
+	return Options{
+		CutOn: 8, CutOff: 10, ListCutoff: 12,
+		ElecMode: ElecShift, Beta: 0.34,
+		Scale14LJ: 1, Scale14Elec: 1,
+	}
+}
+
+// PMEOptions is DefaultOptions with the electrostatics split for PME.
+func PMEOptions() Options {
+	o := DefaultOptions()
+	o.ElecMode = ElecEwaldDirect
+	return o
+}
+
+// Energies holds the force-field energy decomposition in kcal/mol.
+type Energies struct {
+	Bond, Angle, Dihedral, Improper float64
+	LJ, Elec                        float64 // from the nonbonded list
+	LJ14, Elec14                    float64 // 1-4 terms
+}
+
+// Bonded returns the bonded subtotal.
+func (e Energies) Bonded() float64 { return e.Bond + e.Angle + e.Dihedral + e.Improper }
+
+// Nonbonded returns the nonbonded subtotal (including 1-4).
+func (e Energies) Nonbonded() float64 { return e.LJ + e.Elec + e.LJ14 + e.Elec14 }
+
+// Total returns the full force-field energy (excluding any PME reciprocal
+// contribution, which internal/ewald owns).
+func (e Energies) Total() float64 { return e.Bonded() + e.Nonbonded() }
+
+// Add accumulates o into e.
+func (e *Energies) Add(o Energies) {
+	e.Bond += o.Bond
+	e.Angle += o.Angle
+	e.Dihedral += o.Dihedral
+	e.Improper += o.Improper
+	e.LJ += o.LJ
+	e.Elec += o.Elec
+	e.LJ14 += o.LJ14
+	e.Elec14 += o.Elec14
+}
+
+// ForceField evaluates energies and forces for one topology. Parameters are
+// resolved once at construction. A ForceField is immutable after New and
+// safe for concurrent use with distinct output buffers.
+type ForceField struct {
+	Sys  *topol.System
+	Opts Options
+
+	bonds  []BondParam
+	angles []AngleParam
+	dihs   []DihedralParam
+	imprs  []ImproperParam
+
+	charge   []float64
+	eps      []float64
+	rminHalf []float64
+}
+
+// New resolves all parameters for sys.
+func New(sys *topol.System, opts Options) *ForceField {
+	if opts.CutOff <= 0 || opts.CutOn <= 0 || opts.CutOn >= opts.CutOff {
+		panic(fmt.Sprintf("ff: invalid switch region [%g, %g]", opts.CutOn, opts.CutOff))
+	}
+	if opts.ListCutoff < opts.CutOff {
+		panic("ff: list cutoff below interaction cutoff")
+	}
+	f := &ForceField{Sys: sys, Opts: opts}
+	f.bonds = make([]BondParam, len(sys.Bonds))
+	for i, b := range sys.Bonds {
+		f.bonds[i] = bondParam(sys.Atoms[b[0]].Type, sys.Atoms[b[1]].Type)
+	}
+	f.angles = make([]AngleParam, len(sys.Angles))
+	for i, a := range sys.Angles {
+		f.angles[i] = angleParam(sys.Atoms[a[1]].Type, sys.Atoms[a[0]].Type, sys.Atoms[a[2]].Type)
+	}
+	f.dihs = make([]DihedralParam, len(sys.Dihedrals))
+	for i, d := range sys.Dihedrals {
+		f.dihs[i] = dihedralParam(sys.Atoms[d[1]].Type, sys.Atoms[d[2]].Type)
+	}
+	f.imprs = make([]ImproperParam, len(sys.Impropers))
+	for i := range sys.Impropers {
+		f.imprs[i] = improperParam()
+	}
+	n := sys.N()
+	f.charge = make([]float64, n)
+	f.eps = make([]float64, n)
+	f.rminHalf = make([]float64, n)
+	for i, a := range sys.Atoms {
+		f.charge[i] = a.Charge
+		t := sys.Types[a.Type]
+		f.eps[i] = t.Eps
+		f.rminHalf[i] = t.RminHalf
+	}
+	return f
+}
+
+// Charges returns the per-atom charge array (shared; do not modify).
+func (f *ForceField) Charges() []float64 { return f.charge }
+
+// BondR0 returns the equilibrium length of bond index bi — the SHAKE
+// constraint target.
+func (f *ForceField) BondR0(bi int) float64 { return f.bonds[bi].R0 }
+
+// BuildPairs constructs the nonbonded neighbour list at the list cutoff,
+// with excluded (1-2, 1-3) and 1-4 pairs removed — 1-4 interactions are
+// evaluated separately with their scale factors.
+func (f *ForceField) BuildPairs(pos []vec.V, w *work.Counters) []space.Pair {
+	cl := space.NewCellList(f.Sys.Box, f.Opts.ListCutoff, pos)
+	var distEvals int64
+	raw := cl.Pairs(pos, &distEvals)
+	if w != nil {
+		w.ListDistEvals += distEvals
+	}
+	out := raw[:0]
+	is14 := make(map[[2]int32]bool, len(f.Sys.Pairs14))
+	for _, p := range f.Sys.Pairs14 {
+		is14[p] = true
+	}
+	for _, p := range raw {
+		if f.Sys.Excl.Excluded(p.I, p.J) || is14[[2]int32{p.I, p.J}] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// elecKernel returns energy and dE/dr for a unit charge product at
+// distance r under the configured truncation.
+func (f *ForceField) elecKernel(r float64) (e, dedr float64) {
+	switch f.Opts.ElecMode {
+	case ElecShift:
+		rc := f.Opts.CutOff
+		if r >= rc {
+			return 0, 0
+		}
+		s := 1 - (r/rc)*(r/rc)
+		e = units.CoulombConst * s * s / r
+		// d/dr [ (1/r)(1 - r²/rc²)² ] = -1/r² + 3r²/rc⁴ - 2/rc²
+		dedr = units.CoulombConst * (-1/(r*r) - 2/(rc*rc) + 3*r*r/(rc*rc*rc*rc))
+		return e, dedr
+	case ElecEwaldDirect:
+		b := f.Opts.Beta
+		erfc := math.Erfc(b * r)
+		e = units.CoulombConst * erfc / r
+		dedr = -units.CoulombConst * (erfc/(r*r) + 2*b/math.SqrtPi*math.Exp(-b*b*r*r)/r)
+		return e, dedr
+	}
+	panic("ff: unknown elec mode")
+}
+
+// ljKernel returns the raw (unswitched) LJ energy and dE/dr for the pair
+// (i, j) at distance r.
+func (f *ForceField) ljKernel(i, j int32, r float64) (e, dedr float64) {
+	eps := math.Sqrt(f.eps[i] * f.eps[j])
+	rmin := f.rminHalf[i] + f.rminHalf[j]
+	q := rmin / r
+	q2 := q * q
+	q6 := q2 * q2 * q2
+	q12 := q6 * q6
+	e = eps * (q12 - 2*q6)
+	dedr = -12 * eps / r * (q12 - q6)
+	return e, dedr
+}
+
+// switchFn returns the CHARMM switching function S(r) and dS/dr over
+// [CutOn, CutOff].
+func (f *ForceField) switchFn(r float64) (s, dsdr float64) {
+	ron, roff := f.Opts.CutOn, f.Opts.CutOff
+	if r <= ron {
+		return 1, 0
+	}
+	if r >= roff {
+		return 0, 0
+	}
+	r2 := r * r
+	a := roff*roff - r2
+	b := roff*roff + 2*r2 - 3*ron*ron
+	d := roff*roff - ron*ron
+	d3 := d * d * d
+	s = a * a * b / d3
+	dsdr = 4 * r * a * (a - b) / d3
+	return s, dsdr
+}

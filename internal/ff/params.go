@@ -1,0 +1,136 @@
+// Package ff implements the CHARMM-style force field used by the MD engine:
+// harmonic bonds and angles, periodic dihedrals, harmonic impropers,
+// Lennard-Jones with a switching function, and electrostatics truncated with
+// CHARMM's SHIFT function (classic mode) or split with erfc for the PME
+// direct-space sum.
+package ff
+
+import (
+	"fmt"
+
+	"repro/internal/topol"
+)
+
+// BondParam is a harmonic bond: E = K(r − R0)².
+type BondParam struct {
+	K  float64 // kcal/mol/Å²
+	R0 float64 // Å
+}
+
+// AngleParam is a harmonic angle: E = K(θ − Θ0)², Θ0 in radians.
+type AngleParam struct {
+	K      float64
+	Theta0 float64
+}
+
+// DihedralParam is a periodic torsion: E = K(1 + cos(nφ − δ)).
+type DihedralParam struct {
+	K     float64
+	N     int
+	Delta float64
+}
+
+// ImproperParam is a harmonic improper: E = K(ω − Ω0)².
+type ImproperParam struct {
+	K      float64
+	Omega0 float64
+}
+
+// covRadius gives per-type covalent radii (Å) used to derive default bond
+// lengths for type pairs without a specific table entry.
+var covRadius = [...]float64{
+	topol.TypeC:  0.77,
+	topol.TypeCT: 0.77,
+	topol.TypeCM: 0.72,
+	topol.TypeN:  0.70,
+	topol.TypeO:  0.66,
+	topol.TypeOH: 0.66,
+	topol.TypeOW: 0.66,
+	topol.TypeOS: 0.66,
+	topol.TypeOM: 0.66,
+	topol.TypeH:  0.31,
+	topol.TypeHW: 0.31,
+	topol.TypeHA: 0.31,
+	topol.TypeS:  1.05,
+}
+
+type typePair struct{ a, b int32 }
+
+func orderedPair(a, b int32) typePair {
+	if a > b {
+		a, b = b, a
+	}
+	return typePair{a, b}
+}
+
+// specificBonds lists CHARMM22-like parameters for the bond types that
+// appear in the synthetic systems; anything else falls back to a generic
+// harmonic with the covalent-radius length.
+var specificBonds = map[typePair]BondParam{
+	orderedPair(topol.TypeOW, topol.TypeHW): {450, 0.9572}, // TIP3 O–H
+	orderedPair(topol.TypeC, topol.TypeO):   {620, 1.230},  // carbonyl C=O
+	orderedPair(topol.TypeC, topol.TypeN):   {370, 1.345},  // peptide C–N
+	orderedPair(topol.TypeN, topol.TypeH):   {440, 0.997},  // amide N–H
+	orderedPair(topol.TypeN, topol.TypeCT):  {320, 1.430},  // N–CA
+	orderedPair(topol.TypeC, topol.TypeCT):  {250, 1.490},  // CA–C
+	orderedPair(topol.TypeCT, topol.TypeCT): {222, 1.538},  // aliphatic C–C
+	orderedPair(topol.TypeCT, topol.TypeHA): {309, 1.111},  // aliphatic C–H
+	orderedPair(topol.TypeCT, topol.TypeOH): {428, 1.420},  // C–OH
+	orderedPair(topol.TypeOH, topol.TypeH):  {545, 0.960},  // hydroxyl O–H
+	orderedPair(topol.TypeCM, topol.TypeOM): {1080, 1.128}, // C≡O ligand
+	orderedPair(topol.TypeS, topol.TypeOS):  {540, 1.490},  // sulfate S–O
+}
+
+const (
+	defaultBondK     = 320.0
+	defaultAngleK    = 50.0
+	defaultAngle0Deg = 109.47
+	sp2Angle0Deg     = 120.0
+	waterAngleK      = 55.0
+	waterAngle0Deg   = 104.52
+	defaultDihK      = 0.20
+	defaultDihN      = 3
+	defaultImprK     = 60.0
+	degToRad         = 3.14159265358979323846 / 180
+)
+
+// bondParam resolves the parameters for a bond between type indices ta, tb.
+func bondParam(ta, tb int32) BondParam {
+	if p, ok := specificBonds[orderedPair(ta, tb)]; ok {
+		return p
+	}
+	if int(ta) >= len(covRadius) || int(tb) >= len(covRadius) {
+		panic(fmt.Sprintf("ff: unknown atom types %d, %d", ta, tb))
+	}
+	return BondParam{defaultBondK, covRadius[ta] + covRadius[tb]}
+}
+
+// angleParam resolves parameters by the center type (CHARMM distinguishes
+// full triples; the center type captures the hybridization that matters).
+func angleParam(tc int32, outerA, outerB int32) AngleParam {
+	switch tc {
+	case topol.TypeOW:
+		if outerA == topol.TypeHW && outerB == topol.TypeHW {
+			return AngleParam{waterAngleK, waterAngle0Deg * degToRad}
+		}
+	case topol.TypeC, topol.TypeN: // sp2 centers (carbonyl, amide)
+		return AngleParam{defaultAngleK, sp2Angle0Deg * degToRad}
+	case topol.TypeOH:
+		return AngleParam{defaultAngleK, 106.0 * degToRad}
+	}
+	return AngleParam{defaultAngleK, defaultAngle0Deg * degToRad}
+}
+
+// dihedralParam resolves torsion parameters; the generic 3-fold barrier is
+// CHARMM's aliphatic default, with a 2-fold stiffer term across amide bonds.
+func dihedralParam(tj, tk int32) DihedralParam {
+	p := orderedPair(tj, tk)
+	if p == orderedPair(topol.TypeC, topol.TypeN) {
+		return DihedralParam{1.6, 2, 180 * degToRad} // peptide ω barrier
+	}
+	return DihedralParam{defaultDihK, defaultDihN, 0}
+}
+
+func improperParam() ImproperParam {
+	return ImproperParam{defaultImprK, 0}
+}

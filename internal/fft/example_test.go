@@ -1,0 +1,33 @@
+package fft_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+func ExamplePlan() {
+	// Transform a length-8 impulse: the spectrum of δ[0] is all ones.
+	p := fft.NewPlan(8)
+	x := make([]complex128, 8)
+	x[0] = 1
+	p.Forward(x)
+	fmt.Printf("%.0f %.0f\n", real(x[0]), real(x[7]))
+	p.Inverse(x)
+	fmt.Println(cmplx.Abs(x[0]-1) < 1e-12, cmplx.Abs(x[1]) < 1e-12)
+	// Output:
+	// 1 1
+	// true true
+}
+
+func ExampleNewRealPlan() {
+	// Real transforms return the half spectrum (n/2+1 bins).
+	p := fft.NewRealPlan(8)
+	x := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(x, spec)
+	fmt.Println(len(spec))
+	// Output:
+	// 5
+}

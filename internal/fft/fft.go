@@ -1,0 +1,277 @@
+// Package fft implements complex discrete Fourier transforms of arbitrary
+// length: mixed-radix Cooley–Tukey for smooth sizes and Bluestein's chirp-z
+// algorithm for sizes with large prime factors. It provides 1-D, 2-D and 3-D
+// plans; the 3-D plan is the engine under the particle-mesh-Ewald grid
+// (80×36×48 in the paper's myoglobin system, which factors as 2⁴·5, 2²·3²
+// and 2⁴·3).
+//
+// Plans precompute twiddle tables and scratch space; a Plan is NOT safe for
+// concurrent use (each simulated rank owns its own plans).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// maxRadix is the largest prime handled by the direct mixed-radix combine
+// step; sizes containing a larger prime factor go through Bluestein.
+const maxRadix = 31
+
+// Plan computes forward and inverse DFTs of length N.
+type Plan struct {
+	n       int
+	factors []int        // prime factorization of n, ascending (empty for bluestein path)
+	w       []complex128 // w[j] = exp(-2πi j / n), length n
+	scratch []complex128
+	blu     *bluestein // non-nil when n has a prime factor > maxRadix
+}
+
+// NewPlan returns a plan for transforms of length n ≥ 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n}
+	f := factorize(n)
+	smooth := true
+	for _, q := range f {
+		if q > maxRadix {
+			smooth = false
+			break
+		}
+	}
+	if smooth {
+		p.factors = f
+		p.w = twiddles(n)
+		p.scratch = make([]complex128, n)
+	} else {
+		p.blu = newBluestein(n)
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+func twiddles(n int) []complex128 {
+	w := make([]complex128, n)
+	for j := range w {
+		theta := -2 * math.Pi * float64(j) / float64(n)
+		w[j] = cmplx.Exp(complex(0, theta))
+	}
+	return w
+}
+
+func factorize(n int) []int {
+	var f []int
+	for _, q := range []int{2, 3, 5, 7} {
+		for n%q == 0 {
+			f = append(f, q)
+			n /= q
+		}
+	}
+	for q := 11; q*q <= n; q += 2 {
+		for n%q == 0 {
+			f = append(f, q)
+			n /= q
+		}
+	}
+	if n > 1 {
+		f = append(f, n)
+	}
+	return f
+}
+
+// Forward computes the in-place forward DFT of x (len(x) must equal N):
+// X[k] = Σ_j x[j]·exp(-2πi jk/N).
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization, so that Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length %d does not match plan length %d", len(x), p.n))
+	}
+	if p.n == 1 {
+		return
+	}
+	if inverse {
+		conjAll(x)
+	}
+	if p.blu != nil {
+		p.blu.forward(x)
+	} else {
+		p.rec(x, p.scratch, p.n, 1, 1, p.factors)
+	}
+	if inverse {
+		scale := 1 / float64(p.n)
+		for i := range x {
+			x[i] = complex(real(x[i])*scale, -imag(x[i])*scale)
+		}
+	}
+}
+
+func conjAll(x []complex128) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+}
+
+// rec computes the length-n DFT of the elements x[0], x[stride],
+// x[2·stride], … writing the result densely into x[0..n) — callers at the
+// top level pass stride 1 so input and output coincide. tw is the step into
+// the global twiddle table for this recursion level (n·tw·twStride == p.n).
+//
+// Implementation: decimation in time over the smallest remaining factor.
+func (p *Plan) rec(x, tmp []complex128, n, stride, tw int, factors []int) {
+	if n == 1 {
+		return
+	}
+	r := factors[0] // radix for this level
+	m := n / r
+	if m == 1 {
+		// Base case: direct length-r DFT of x[0], x[stride], ...
+		p.smallDFT(x, tmp, r, stride, tw)
+		return
+	}
+	// Recurse on r interleaved subsequences; each result lands strided in x,
+	// then the combine pass writes the reordered output through tmp.
+	for q := 0; q < r; q++ {
+		p.rec(x[q*stride:], tmp, m, stride*r, tw*r, factors[1:])
+	}
+	// After recursion, subsequence q's DFT occupies x[q*stride + j*stride*r]
+	// for j = 0..m-1. Combine into tmp[0..n) densely, then scatter back.
+	var acc [maxRadix]complex128
+	for k := 0; k < m; k++ {
+		for q := 0; q < r; q++ {
+			acc[q] = x[(q+k*r)*stride]
+		}
+		for out := 0; out < r; out++ {
+			kk := out*m + k
+			sum := acc[0]
+			for q := 1; q < r; q++ {
+				// twiddle exponent q*kk (mod n) scaled by tw into the
+				// global table.
+				idx := (q * kk % n) * tw
+				sum += p.w[idx] * acc[q]
+			}
+			tmp[kk] = sum
+		}
+	}
+	for j := 0; j < n; j++ {
+		x[j*stride] = tmp[j]
+	}
+}
+
+// smallDFT computes a direct DFT of prime length r over strided data.
+func (p *Plan) smallDFT(x, tmp []complex128, r, stride, tw int) {
+	var in [maxRadix]complex128
+	for j := 0; j < r; j++ {
+		in[j] = x[j*stride]
+	}
+	for k := 0; k < r; k++ {
+		sum := in[0]
+		for j := 1; j < r; j++ {
+			idx := (j * k % r) * tw
+			sum += p.w[idx] * in[j]
+		}
+		tmp[k] = sum
+	}
+	for k := 0; k < r; k++ {
+		x[k*stride] = tmp[k]
+	}
+}
+
+// Ops returns the analytic floating-point operation count of one transform,
+// used by the performance model: ~5·n·log2(n) for smooth sizes, and the
+// cost of the three embedded power-of-two transforms for Bluestein.
+func (p *Plan) Ops() int64 {
+	if p.blu != nil {
+		m := float64(p.blu.m)
+		return int64(3*5*m*math.Log2(m) + 8*m)
+	}
+	n := float64(p.n)
+	if n < 2 {
+		return 1
+	}
+	return int64(5 * n * math.Log2(n))
+}
+
+// bluestein implements the chirp-z transform: a length-n DFT via cyclic
+// convolution of size m = next power of two ≥ 2n−1.
+type bluestein struct {
+	n, m int
+	a    []complex128 // chirp: exp(-πi j²/n)
+	bf   []complex128 // FFT of the conjugate chirp, precomputed
+	pm   *Plan        // power-of-two sub-plan of length m
+	buf  []complex128
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m *= 2
+	}
+	b := &bluestein{n: n, m: m}
+	b.a = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j² mod 2n keeps the argument small for large n.
+		e := (int64(j) * int64(j)) % int64(2*n)
+		theta := -math.Pi * float64(e) / float64(n)
+		b.a[j] = cmplx.Exp(complex(0, theta))
+	}
+	bvec := make([]complex128, m)
+	bvec[0] = complex(real(b.a[0]), -imag(b.a[0]))
+	for j := 1; j < n; j++ {
+		c := complex(real(b.a[j]), -imag(b.a[j]))
+		bvec[j] = c
+		bvec[m-j] = c
+	}
+	b.pm = NewPlan(m)
+	b.pm.Forward(bvec)
+	b.bf = bvec
+	b.buf = make([]complex128, m)
+	return b
+}
+
+func (b *bluestein) forward(x []complex128) {
+	buf := b.buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	for j := 0; j < b.n; j++ {
+		buf[j] = x[j] * b.a[j]
+	}
+	b.pm.Forward(buf)
+	for i := range buf {
+		buf[i] *= b.bf[i]
+	}
+	b.pm.Inverse(buf)
+	for k := 0; k < b.n; k++ {
+		x[k] = buf[k] * b.a[k]
+	}
+}
+
+// NaiveDFT computes the forward DFT by the O(n²) definition. It is the
+// ground truth for tests.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			theta := -2 * math.Pi * float64(j*k%n) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = sum
+	}
+	return out
+}

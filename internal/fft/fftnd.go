@@ -1,0 +1,158 @@
+package fft
+
+import "fmt"
+
+// Plan3D computes forward/inverse 3-D DFTs on row-major data indexed
+// [x][y][z], i.e. element (ix, iy, iz) lives at (ix·Ny + iy)·Nz + iz.
+type Plan3D struct {
+	nx, ny, nz int
+	px, py, pz *Plan
+	line       []complex128 // gather buffer for strided lines
+}
+
+// NewPlan3D returns a 3-D plan for an nx×ny×nz grid.
+func NewPlan3D(nx, ny, nz int) *Plan3D {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("fft: invalid 3-D dims %d×%d×%d", nx, ny, nz))
+	}
+	n := nx
+	if ny > n {
+		n = ny
+	}
+	if nz > n {
+		n = nz
+	}
+	return &Plan3D{
+		nx: nx, ny: ny, nz: nz,
+		px: NewPlan(nx), py: NewPlan(ny), pz: NewPlan(nz),
+		line: make([]complex128, n),
+	}
+}
+
+// Dims returns (nx, ny, nz).
+func (p *Plan3D) Dims() (int, int, int) { return p.nx, p.ny, p.nz }
+
+// Len returns the total number of grid points.
+func (p *Plan3D) Len() int { return p.nx * p.ny * p.nz }
+
+// Forward computes the in-place forward 3-D DFT.
+func (p *Plan3D) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse 3-D DFT with 1/(Nx·Ny·Nz)
+// normalization.
+func (p *Plan3D) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan3D) transform(x []complex128, inverse bool) {
+	if len(x) != p.Len() {
+		panic(fmt.Sprintf("fft: data length %d != %d", len(x), p.Len()))
+	}
+	apply := func(pl *Plan, v []complex128) {
+		if inverse {
+			pl.Inverse(v)
+		} else {
+			pl.Forward(v)
+		}
+	}
+	// Along z: contiguous lines.
+	for ix := 0; ix < p.nx; ix++ {
+		for iy := 0; iy < p.ny; iy++ {
+			off := (ix*p.ny + iy) * p.nz
+			apply(p.pz, x[off:off+p.nz])
+		}
+	}
+	// Along y: stride nz.
+	for ix := 0; ix < p.nx; ix++ {
+		for iz := 0; iz < p.nz; iz++ {
+			base := ix*p.ny*p.nz + iz
+			p.strided(x, base, p.nz, p.ny, p.py, inverse)
+		}
+	}
+	// Along x: stride ny·nz.
+	for iy := 0; iy < p.ny; iy++ {
+		for iz := 0; iz < p.nz; iz++ {
+			base := iy*p.nz + iz
+			p.strided(x, base, p.ny*p.nz, p.nx, p.px, inverse)
+		}
+	}
+}
+
+func (p *Plan3D) strided(x []complex128, base, stride, n int, pl *Plan, inverse bool) {
+	line := p.line[:n]
+	for j := 0; j < n; j++ {
+		line[j] = x[base+j*stride]
+	}
+	if inverse {
+		pl.Inverse(line)
+	} else {
+		pl.Forward(line)
+	}
+	for j := 0; j < n; j++ {
+		x[base+j*stride] = line[j]
+	}
+}
+
+// Ops returns the analytic flop count of one full 3-D transform, the
+// quantity charged by the performance model.
+func (p *Plan3D) Ops() int64 {
+	return int64(p.ny*p.nz)*p.px.Ops() +
+		int64(p.nx*p.nz)*p.py.Ops() +
+		int64(p.nx*p.ny)*p.pz.Ops()
+}
+
+// Plan2D computes forward/inverse 2-D DFTs on row-major ny×nz data
+// (element (iy, iz) at iy·Nz + iz). The slab-decomposed parallel FFT uses
+// it for the per-plane transforms.
+type Plan2D struct {
+	ny, nz int
+	py, pz *Plan
+	line   []complex128
+}
+
+// NewPlan2D returns a 2-D plan for an ny×nz grid.
+func NewPlan2D(ny, nz int) *Plan2D {
+	if ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("fft: invalid 2-D dims %d×%d", ny, nz))
+	}
+	n := ny
+	if nz > n {
+		n = nz
+	}
+	return &Plan2D{ny: ny, nz: nz, py: NewPlan(ny), pz: NewPlan(nz), line: make([]complex128, n)}
+}
+
+// Forward computes the in-place forward 2-D DFT.
+func (p *Plan2D) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse 2-D DFT with 1/(Ny·Nz) scaling.
+func (p *Plan2D) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan2D) transform(x []complex128, inverse bool) {
+	if len(x) != p.ny*p.nz {
+		panic(fmt.Sprintf("fft: data length %d != %d", len(x), p.ny*p.nz))
+	}
+	apply := func(pl *Plan, v []complex128) {
+		if inverse {
+			pl.Inverse(v)
+		} else {
+			pl.Forward(v)
+		}
+	}
+	for iy := 0; iy < p.ny; iy++ {
+		apply(p.pz, x[iy*p.nz:(iy+1)*p.nz])
+	}
+	for iz := 0; iz < p.nz; iz++ {
+		line := p.line[:p.ny]
+		for iy := 0; iy < p.ny; iy++ {
+			line[iy] = x[iy*p.nz+iz]
+		}
+		apply(p.py, line)
+		for iy := 0; iy < p.ny; iy++ {
+			x[iy*p.nz+iz] = line[iy]
+		}
+	}
+}
+
+// Ops returns the analytic flop count of one 2-D transform.
+func (p *Plan2D) Ops() int64 {
+	return int64(p.nz)*p.py.Ops() + int64(p.ny)*p.pz.Ops()
+}

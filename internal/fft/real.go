@@ -1,0 +1,92 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RealPlan computes DFTs of real sequences of even length n through one
+// complex transform of length n/2 plus an untangling pass — the transform
+// CHARMM's PME uses on its charge grid (half the work and half the wire
+// volume of a complex transform).
+type RealPlan struct {
+	n    int
+	half *Plan
+	w    []complex128 // w[k] = exp(−2πi k / n), k = 0..n/2
+	buf  []complex128
+}
+
+// NewRealPlan returns a plan for real transforms of even length n ≥ 2.
+func NewRealPlan(n int) *RealPlan {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("fft: real transform length %d must be even and ≥ 2", n))
+	}
+	p := &RealPlan{n: n, half: NewPlan(n / 2)}
+	p.w = make([]complex128, n/2+1)
+	for k := range p.w {
+		p.w[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	p.buf = make([]complex128, n/2)
+	return p
+}
+
+// N returns the transform length.
+func (p *RealPlan) N() int { return p.n }
+
+// SpectrumLen returns the half-spectrum length n/2+1.
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Forward computes the half spectrum X[0..n/2] of the real input x:
+// X[k] = Σ_j x[j]·exp(−2πi jk/n). The remaining bins follow from
+// X[n−k] = conj(X[k]). spec must have length SpectrumLen().
+func (p *RealPlan) Forward(x []float64, spec []complex128) {
+	m := p.n / 2
+	if len(x) != p.n || len(spec) != m+1 {
+		panic(fmt.Sprintf("fft: real forward lengths %d/%d for n=%d", len(x), len(spec), p.n))
+	}
+	z := p.buf
+	for k := 0; k < m; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	p.half.Forward(z)
+	zAt := func(k int) complex128 {
+		if k == m {
+			return z[0]
+		}
+		return z[k]
+	}
+	for k := 0; k <= m; k++ {
+		s := zAt(k)
+		t := cmplx.Conj(zAt(m - k))
+		spec[k] = 0.5*(s+t) - 0.5i*p.w[k]*(s-t)
+	}
+}
+
+// Inverse reconstructs the real sequence from its half spectrum,
+// including the 1/n normalization, so Inverse(Forward(x)) == x. The
+// imaginary parts of spec[0] and spec[n/2] are ignored (they are zero for
+// any spectrum of a real sequence).
+func (p *RealPlan) Inverse(spec []complex128, x []float64) {
+	m := p.n / 2
+	if len(x) != p.n || len(spec) != m+1 {
+		panic(fmt.Sprintf("fft: real inverse lengths %d/%d for n=%d", len(spec), len(x), p.n))
+	}
+	z := p.buf
+	for k := 0; k < m; k++ {
+		a := spec[k]
+		b := cmplx.Conj(spec[m-k])
+		// W^{−k} = conj(w[k]).
+		z[k] = 0.5 * ((a + b) + 1i*cmplx.Conj(p.w[k])*(a-b))
+	}
+	p.half.Inverse(z)
+	for k := 0; k < m; k++ {
+		x[2*k] = real(z[k])
+		x[2*k+1] = imag(z[k])
+	}
+}
+
+// Ops returns the analytic flop count (half transform + untangling).
+func (p *RealPlan) Ops() int64 {
+	return p.half.Ops() + int64(8*(p.n/2+1))
+}

@@ -1,0 +1,121 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// CSVFig3 writes the Fig. 3 data as CSV.
+func CSVFig3(w io.Writer, rows []Fig3Row) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.P), f(r.Classic), f(r.PME), f(r.Total()),
+		})
+	}
+	return report.CSV(w, []string{"procs", "classic_s", "pme_s", "total_s"}, cells)
+}
+
+// CSVFig4 writes the Fig. 4 data as CSV (seconds, not percent, so the
+// percentages are recomputable).
+func CSVFig4(w io.Writer, rows []Fig4Row) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.P),
+			f(r.Classic.Comp), f(r.Classic.Comm), f(r.Classic.Sync),
+			f(r.PME.Comp), f(r.PME.Comm), f(r.PME.Sync),
+		})
+	}
+	return report.CSV(w, []string{"procs",
+		"classic_comp_s", "classic_comm_s", "classic_sync_s",
+		"pme_comp_s", "pme_comm_s", "pme_sync_s"}, cells)
+}
+
+// CSVFig56 writes the network sweep as CSV (serves both Figs. 5 and 6).
+func CSVFig56(w io.Writer, nets []NetworkRows) error {
+	var cells [][]string
+	for _, n := range nets {
+		for _, r := range n.Rows {
+			cells = append(cells, []string{
+				csvName(n.Network), fmt.Sprintf("%d", r.P),
+				f(r.Classic.Comp), f(r.Classic.Comm), f(r.Classic.Sync),
+				f(r.PME.Comp), f(r.PME.Comm), f(r.PME.Sync),
+			})
+		}
+	}
+	return report.CSV(w, []string{"network", "procs",
+		"classic_comp_s", "classic_comm_s", "classic_sync_s",
+		"pme_comp_s", "pme_comm_s", "pme_sync_s"}, cells)
+}
+
+// CSVFig7 writes the communication-speed samples as CSV.
+func CSVFig7(w io.Writer, rows []Fig7Row) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			csvName(r.Network), fmt.Sprintf("%d", r.P),
+			f(r.AvgMBs), f(r.MinMBs), f(r.MaxMBs),
+		})
+	}
+	return report.CSV(w, []string{"network", "procs", "avg_mbs", "min_mbs", "max_mbs"}, cells)
+}
+
+// CSVFig8 writes the middleware comparison as CSV.
+func CSVFig8(w io.Writer, rows []Fig8Row) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Middleware, fmt.Sprintf("%d", r.P),
+			f(r.Classic), f(r.PME),
+			f(r.Total.Comp), f(r.Total.Comm), f(r.Total.Sync),
+		})
+	}
+	return report.CSV(w, []string{"middleware", "procs", "classic_s", "pme_s",
+		"comp_s", "comm_s", "sync_s"}, cells)
+}
+
+// CSVFig9 writes the node-configuration comparison as CSV.
+func CSVFig9(w io.Writer, rows []Fig9Row) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			csvName(r.Network), fmt.Sprintf("%d", r.CPUs), fmt.Sprintf("%d", r.P),
+			f(r.Classic), f(r.PME),
+		})
+	}
+	return report.CSV(w, []string{"network", "cpus_per_node", "procs", "classic_s", "pme_s"}, cells)
+}
+
+// CSVFactorial writes the factorial table as CSV.
+func CSVFactorial(w io.Writer, rows []FactorialRow) error {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			csvName(r.Network), r.Middleware,
+			fmt.Sprintf("%d", r.CPUs), fmt.Sprintf("%d", r.P),
+			f(r.Classic), f(r.PME), f(r.Total),
+		})
+	}
+	return report.CSV(w, []string{"network", "middleware", "cpus_per_node", "procs",
+		"classic_s", "pme_s", "total_s"}, cells)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }
+
+// csvName strips the spaces so CSV fields stay quote-free.
+func csvName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		if r == ',' {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,372 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (Figs. 3–9) plus the full-factorial table of §3.1 from simulated runs of
+// the parallel MD workload. A Suite caches run results so figures sharing
+// the same configuration (3/4, 5/6/7) reuse one run per cell.
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/stats"
+	"repro/internal/topol"
+)
+
+// Breakdown is a comp/comm/sync time split in seconds.
+type Breakdown struct {
+	Comp, Comm, Sync float64
+}
+
+// Total returns the summed time.
+func (b Breakdown) Total() float64 { return b.Comp + b.Comm + b.Sync }
+
+// Percent returns the split in percent of the total (0 for an empty total).
+func (b Breakdown) Percent() (comp, comm, sync float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return 100 * b.Comp / t, 100 * b.Comm / t, 100 * b.Sync / t
+}
+
+func breakdownOf(s pmd.PhaseSample) Breakdown {
+	return Breakdown{Comp: s.Comp, Comm: s.Comm, Sync: s.Sync}
+}
+
+// Config parameterizes the reproduction suite.
+type Config struct {
+	Steps       int               // MD steps per measurement (paper: 10)
+	Procs       []int             // processor counts (paper: 1, 2, 4, 8)
+	SystemSeed  uint64            // synthetic-structure stream
+	ClusterSeed uint64            // network stall stream
+	Cost        cluster.CostModel //
+	MD          md.Config         // PME MD configuration
+}
+
+// Default returns the paper's measurement protocol.
+func Default() Config {
+	mdc := md.PMEDefaultConfig()
+	mdc.Temperature = 300
+	return Config{
+		Steps:       10,
+		Procs:       []int{1, 2, 4, 8},
+		SystemSeed:  1,
+		ClusterSeed: 1,
+		Cost:        cluster.PentiumIII1GHz(),
+		MD:          mdc,
+	}
+}
+
+// Quick returns a reduced protocol for tests: fewer steps and processor
+// counts so the suite runs in seconds.
+func Quick() Config {
+	c := Default()
+	c.Steps = 2
+	c.Procs = []int{1, 2, 4}
+	return c
+}
+
+// Suite runs and caches the experiment cells.
+type Suite struct {
+	Cfg   Config
+	sys   *topol.System
+	cache map[caseKey]*pmd.Result
+}
+
+type caseKey struct {
+	net  string
+	p    int
+	cpus int
+	mw   pmd.MiddlewareKind
+}
+
+// NewSuite builds the molecular system once, relaxes the strained built
+// geometry (so the measured trajectory is stable), and prepares an empty
+// result cache.
+func NewSuite(cfg Config) *Suite {
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: cfg.SystemSeed})
+	md.Relax(sys, 80)
+	return &Suite{
+		Cfg:   cfg,
+		sys:   sys,
+		cache: map[caseKey]*pmd.Result{},
+	}
+}
+
+// System exposes the workload (3552 atoms in the default configuration).
+func (s *Suite) System() *topol.System { return s.sys }
+
+// Run returns the (cached) result of one experiment cell. nodes×cpus ranks
+// run `p = nodes·cpus` processors; callers pass total processors and CPUs
+// per node.
+func (s *Suite) Run(net netmodel.Params, procs, cpusPerNode int, mw pmd.MiddlewareKind) (*pmd.Result, error) {
+	if procs%cpusPerNode != 0 {
+		return nil, fmt.Errorf("figures: %d processors not divisible by %d CPUs/node", procs, cpusPerNode)
+	}
+	key := caseKey{net: net.Name, p: procs, cpus: cpusPerNode, mw: mw}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	res, err := pmd.Run(
+		cluster.Config{
+			Nodes:       procs / cpusPerNode,
+			CPUsPerNode: cpusPerNode,
+			Net:         net,
+			Seed:        s.Cfg.ClusterSeed,
+		},
+		s.Cfg.Cost,
+		pmd.Config{System: s.sys, MD: s.Cfg.MD, Steps: s.Cfg.Steps, Middleware: mw},
+	)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = res
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: wall clock of the total energy calculation, reference case.
+
+// Fig3Row is one processor count of Fig. 3.
+type Fig3Row struct {
+	P       int
+	Classic float64 // seconds over the measured steps
+	PME     float64
+}
+
+// Total returns classic+PME.
+func (r Fig3Row) Total() float64 { return r.Classic + r.PME }
+
+// Fig3 runs the reference case (TCP/IP, MPI, uni-processor).
+func (s *Suite) Fig3() ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, p := range s.Cfg.Procs {
+		res, err := s.Run(netmodel.TCPGigE(), p, 1, pmd.MiddlewareMPI)
+		if err != nil {
+			return nil, err
+		}
+		c, pm := res.PhaseTotals()
+		rows = append(rows, Fig3Row{P: p, Classic: c.Wall, PME: pm.Wall})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: percentage breakdown for the reference case.
+
+// Fig4Row is one processor count of Fig. 4a/4b.
+type Fig4Row struct {
+	P       int
+	Classic Breakdown
+	PME     Breakdown
+}
+
+// Fig4 computes the comp/comm/sync percentages of Fig. 4 (same runs as
+// Fig. 3).
+func (s *Suite) Fig4() ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, p := range s.Cfg.Procs {
+		res, err := s.Run(netmodel.TCPGigE(), p, 1, pmd.MiddlewareMPI)
+		if err != nil {
+			return nil, err
+		}
+		c, pm := res.PhaseTotals()
+		rows = append(rows, Fig4Row{P: p, Classic: breakdownOf(c), PME: breakdownOf(pm)})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 6: the network sweep.
+
+// NetworkRows bundles one network's sweep.
+type NetworkRows struct {
+	Network string
+	Rows    []Fig4Row // wall times recoverable via Breakdown.Total
+}
+
+// Fig56 runs the three networks (TCP/IP, SCore, Myrinet) over the
+// processor counts; Fig. 5 uses the wall times, Fig. 6 the percentages.
+func (s *Suite) Fig56() ([]NetworkRows, error) {
+	var out []NetworkRows
+	for _, net := range netmodel.All() {
+		e := NetworkRows{Network: net.Name}
+		for _, p := range s.Cfg.Procs {
+			res, err := s.Run(net, p, 1, pmd.MiddlewareMPI)
+			if err != nil {
+				return nil, err
+			}
+			c, pm := res.PhaseTotals()
+			e.Rows = append(e.Rows, Fig4Row{P: p, Classic: breakdownOf(c), PME: breakdownOf(pm)})
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: per-node communication speed, average and variability.
+
+// Fig7Row is one (network, processors) cell.
+type Fig7Row struct {
+	Network string
+	P       int
+	AvgMBs  float64
+	MinMBs  float64
+	MaxMBs  float64
+}
+
+// Fig7 samples the per-rank per-step communication speed (bytes sent over
+// time spent in data transfer) for p ≥ 2.
+func (s *Suite) Fig7() ([]Fig7Row, error) {
+	var out []Fig7Row
+	for _, net := range netmodel.All() {
+		for _, p := range s.Cfg.Procs {
+			if p < 2 {
+				continue
+			}
+			res, err := s.Run(net, p, 1, pmd.MiddlewareMPI)
+			if err != nil {
+				return nil, err
+			}
+			var speeds []float64
+			for _, rankSteps := range res.Timings {
+				for _, st := range rankSteps {
+					bytes := float64(st.Classic.Bytes + st.PME.Bytes)
+					tcomm := st.Classic.Comm + st.PME.Comm
+					if tcomm > 0 && bytes > 0 {
+						speeds = append(speeds, bytes/tcomm/1e6)
+					}
+				}
+			}
+			sum := stats.Summarize(speeds)
+			out = append(out, Fig7Row{
+				Network: net.Name, P: p,
+				AvgMBs: sum.Mean, MinMBs: sum.Min, MaxMBs: sum.Max,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: MPI vs CMPI middleware on the reference network.
+
+// Fig8Row is one (middleware, processors) cell: phase wall times plus the
+// total-energy breakdown of Fig. 8b.
+type Fig8Row struct {
+	Middleware string
+	P          int
+	Classic    float64
+	PME        float64
+	Total      Breakdown
+}
+
+// Fig8 compares the middlewares on TCP/IP, uni-processor nodes.
+func (s *Suite) Fig8() ([]Fig8Row, error) {
+	var out []Fig8Row
+	for _, mw := range []pmd.MiddlewareKind{pmd.MiddlewareMPI, pmd.MiddlewareCMPI} {
+		for _, p := range s.Cfg.Procs {
+			res, err := s.Run(netmodel.TCPGigE(), p, 1, mw)
+			if err != nil {
+				return nil, err
+			}
+			c, pm := res.PhaseTotals()
+			total := Breakdown{
+				Comp: c.Comp + pm.Comp,
+				Comm: c.Comm + pm.Comm,
+				Sync: c.Sync + pm.Sync,
+			}
+			out = append(out, Fig8Row{
+				Middleware: mw.String(), P: p,
+				Classic: c.Wall, PME: pm.Wall, Total: total,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: uni- vs dual-processor nodes on TCP/IP and Myrinet.
+
+// Fig9Row is one (network, CPUs-per-node, processors) cell.
+type Fig9Row struct {
+	Network string
+	CPUs    int
+	P       int
+	Classic float64
+	PME     float64
+}
+
+// Fig9 sweeps CPUs per node for TCP/IP (9a) and Myrinet (9b). Dual-node
+// cells need an even processor count; p=1 reuses the uni-processor cell,
+// as on the real machine (one busy CPU on a dual board).
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	var out []Fig9Row
+	for _, net := range []netmodel.Params{netmodel.TCPGigE(), netmodel.MyrinetGM()} {
+		for _, cpus := range []int{1, 2} {
+			for _, p := range s.Cfg.Procs {
+				useCPUs := cpus
+				if p == 1 {
+					useCPUs = 1
+				}
+				if p%useCPUs != 0 {
+					continue
+				}
+				res, err := s.Run(net, p, useCPUs, pmd.MiddlewareMPI)
+				if err != nil {
+					return nil, err
+				}
+				c, pm := res.PhaseTotals()
+				out = append(out, Fig9Row{
+					Network: net.Name, CPUs: cpus, P: p,
+					Classic: c.Wall, PME: pm.Wall,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// The full factorial design of §3.1 (12 cells at a fixed processor count).
+
+// FactorialRow is one cell of the 3×2×2 design.
+type FactorialRow struct {
+	Network    string
+	Middleware string
+	CPUs       int
+	P          int
+	Classic    float64
+	PME        float64
+	Total      float64
+}
+
+// Factorial runs every factor combination at the largest configured
+// processor count.
+func (s *Suite) Factorial() ([]FactorialRow, error) {
+	p := s.Cfg.Procs[len(s.Cfg.Procs)-1]
+	var out []FactorialRow
+	for _, net := range netmodel.All() {
+		for _, mw := range []pmd.MiddlewareKind{pmd.MiddlewareMPI, pmd.MiddlewareCMPI} {
+			for _, cpus := range []int{1, 2} {
+				if p%cpus != 0 {
+					continue
+				}
+				res, err := s.Run(net, p, cpus, mw)
+				if err != nil {
+					return nil, err
+				}
+				c, pm := res.PhaseTotals()
+				out = append(out, FactorialRow{
+					Network: net.Name, Middleware: mw.String(), CPUs: cpus, P: p,
+					Classic: c.Wall, PME: pm.Wall, Total: c.Wall + pm.Wall,
+				})
+			}
+		}
+	}
+	return out, nil
+}

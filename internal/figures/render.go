@@ -1,0 +1,184 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+const barWidth = 30
+
+// RenderFig3 writes the Fig. 3 reproduction as a table plus bars.
+func RenderFig3(w io.Writer, rows []Fig3Row) error {
+	fmt.Fprintln(w, "Figure 3 — wall clock of the total energy calculation")
+	fmt.Fprintln(w, "(reference case: MPI middleware, TCP/IP on Ethernet, uni-processor)")
+	var max float64
+	for _, r := range rows {
+		if t := r.Total(); t > max {
+			max = t
+		}
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.P),
+			report.Seconds(r.Classic),
+			report.Seconds(r.PME),
+			report.Seconds(r.Total()),
+			report.Bar(r.Total(), max, barWidth),
+		})
+	}
+	return report.Table(w, []string{"procs", "classic (s)", "pme (s)", "total (s)", ""}, cells)
+}
+
+// RenderFig4 writes the Fig. 4a/4b percentage breakdowns.
+func RenderFig4(w io.Writer, rows []Fig4Row) error {
+	fmt.Fprintln(w, "Figure 4 — percentage of computation (#), communication (=),")
+	fmt.Fprintln(w, "synchronization (.) in the classic (a) and PME (b) energy calculation")
+	var cells [][]string
+	for _, r := range rows {
+		cc, cm, cs := r.Classic.Percent()
+		pc, pm, ps := r.PME.Percent()
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.P),
+			report.StackedBar(cc, cm, cs, barWidth),
+			fmt.Sprintf("%s/%s/%s", report.Pct(cc), report.Pct(cm), report.Pct(cs)),
+			report.StackedBar(pc, pm, ps, barWidth),
+			fmt.Sprintf("%s/%s/%s", report.Pct(pc), report.Pct(pm), report.Pct(ps)),
+		})
+	}
+	return report.Table(w, []string{"procs", "classic", "c/c/s", "pme", "c/c/s"}, cells)
+}
+
+// RenderFig5 writes the network-sweep wall times.
+func RenderFig5(w io.Writer, nets []NetworkRows) error {
+	fmt.Fprintln(w, "Figure 5 — wall clock of the total energy calculation per network")
+	var max float64
+	for _, n := range nets {
+		for _, r := range n.Rows {
+			if t := r.Classic.Total() + r.PME.Total(); t > max {
+				max = t
+			}
+		}
+	}
+	var cells [][]string
+	for _, n := range nets {
+		for _, r := range n.Rows {
+			total := r.Classic.Total() + r.PME.Total()
+			cells = append(cells, []string{
+				n.Network,
+				fmt.Sprintf("%d", r.P),
+				report.Seconds(r.Classic.Total()),
+				report.Seconds(r.PME.Total()),
+				report.Seconds(total),
+				report.Bar(total, max, barWidth),
+			})
+		}
+	}
+	return report.Table(w, []string{"network", "procs", "classic (s)", "pme (s)", "total (s)", ""}, cells)
+}
+
+// RenderFig6 writes the per-network percentage breakdowns.
+func RenderFig6(w io.Writer, nets []NetworkRows) error {
+	fmt.Fprintln(w, "Figure 6 — percentage breakdown per network: classic (a), PME (b)")
+	var cells [][]string
+	for _, n := range nets {
+		for _, r := range n.Rows {
+			cc, cm, cs := r.Classic.Percent()
+			pc, pm, ps := r.PME.Percent()
+			cells = append(cells, []string{
+				n.Network,
+				fmt.Sprintf("%d", r.P),
+				report.StackedBar(cc, cm, cs, barWidth),
+				report.StackedBar(pc, pm, ps, barWidth),
+				fmt.Sprintf("%s/%s/%s", report.Pct(pc), report.Pct(pm), report.Pct(ps)),
+			})
+		}
+	}
+	return report.Table(w, []string{"network", "procs", "classic", "pme", "pme c/c/s"}, cells)
+}
+
+// RenderFig7 writes the communication-speed table with variability bars.
+func RenderFig7(w io.Writer, rows []Fig7Row) error {
+	fmt.Fprintln(w, "Figure 7 — average and variability of the communication speed per node")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Network,
+			fmt.Sprintf("%d", r.P),
+			fmt.Sprintf("%.1f", r.AvgMBs),
+			fmt.Sprintf("%.1f", r.MinMBs),
+			fmt.Sprintf("%.1f", r.MaxMBs),
+			report.Bar(r.AvgMBs, 140, barWidth),
+		})
+	}
+	return report.Table(w, []string{"network", "procs", "avg MB/s", "min", "max", ""}, cells)
+}
+
+// RenderFig8 writes the middleware comparison.
+func RenderFig8(w io.Writer, rows []Fig8Row) error {
+	fmt.Fprintln(w, "Figure 8 — middleware comparison on TCP/IP (a: wall clock, b: breakdown)")
+	var max float64
+	for _, r := range rows {
+		if t := r.Classic + r.PME; t > max {
+			max = t
+		}
+	}
+	var cells [][]string
+	for _, r := range rows {
+		tc, tm, ts := r.Total.Percent()
+		cells = append(cells, []string{
+			r.Middleware,
+			fmt.Sprintf("%d", r.P),
+			report.Seconds(r.Classic),
+			report.Seconds(r.PME),
+			report.Seconds(r.Classic + r.PME),
+			report.StackedBar(tc, tm, ts, barWidth),
+			fmt.Sprintf("%s/%s/%s", report.Pct(tc), report.Pct(tm), report.Pct(ts)),
+		})
+	}
+	return report.Table(w, []string{"middleware", "procs", "classic (s)", "pme (s)", "total (s)", "breakdown", "c/c/s"}, cells)
+}
+
+// RenderFig9 writes the uni/dual-processor comparison.
+func RenderFig9(w io.Writer, rows []Fig9Row) error {
+	fmt.Fprintln(w, "Figure 9 — uni- vs dual-processor nodes (a: TCP/IP, b: Myrinet)")
+	var max float64
+	for _, r := range rows {
+		if t := r.Classic + r.PME; t > max {
+			max = t
+		}
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Network,
+			fmt.Sprintf("%d", r.CPUs),
+			fmt.Sprintf("%d", r.P),
+			report.Seconds(r.Classic),
+			report.Seconds(r.PME),
+			report.Seconds(r.Classic + r.PME),
+			report.Bar(r.Classic+r.PME, max, barWidth),
+		})
+	}
+	return report.Table(w, []string{"network", "cpus/node", "procs", "classic (s)", "pme (s)", "total (s)", ""}, cells)
+}
+
+// RenderFactorial writes the 12-cell full factorial table.
+func RenderFactorial(w io.Writer, rows []FactorialRow) error {
+	fmt.Fprintln(w, "Full factorial design (§3.1) — all factor combinations")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Network,
+			r.Middleware,
+			fmt.Sprintf("%d", r.CPUs),
+			fmt.Sprintf("%d", r.P),
+			report.Seconds(r.Classic),
+			report.Seconds(r.PME),
+			report.Seconds(r.Total),
+		})
+	}
+	return report.Table(w, []string{"network", "middleware", "cpus/node", "procs", "classic (s)", "pme (s)", "total (s)"}, cells)
+}

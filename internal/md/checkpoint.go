@@ -1,0 +1,60 @@
+package md
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/vec"
+)
+
+// Checkpoint is the serializable dynamic state of an Engine: everything
+// needed to continue a deterministic trajectory (positions, velocities,
+// forces and the step geometry). The topology and configuration are NOT
+// stored — restart requires the same System and Config the checkpoint was
+// taken with, which the caller owns.
+type Checkpoint struct {
+	N          int
+	TimestepFS float64
+	Pos        []vec.V
+	Vel        []vec.V
+	Frc        []vec.V
+}
+
+// WriteCheckpoint serializes the engine's dynamic state with encoding/gob.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	cp := Checkpoint{
+		N:          e.Sys.N(),
+		TimestepFS: e.Cfg.TimestepFS,
+		Pos:        e.Pos,
+		Vel:        e.Vel,
+		Frc:        e.Frc,
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// ReadCheckpoint restores the engine's dynamic state. The checkpoint must
+// come from an engine over a system with the same atom count and the same
+// timestep; anything else is an error, not a silent reinterpretation.
+// The neighbour list is invalidated so the next evaluation rebuilds it.
+func (e *Engine) ReadCheckpoint(r io.Reader) error {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("md: reading checkpoint: %w", err)
+	}
+	if cp.N != e.Sys.N() {
+		return fmt.Errorf("md: checkpoint has %d atoms, engine has %d", cp.N, e.Sys.N())
+	}
+	if cp.TimestepFS != e.Cfg.TimestepFS {
+		return fmt.Errorf("md: checkpoint timestep %g fs, engine %g fs", cp.TimestepFS, e.Cfg.TimestepFS)
+	}
+	if len(cp.Pos) != cp.N || len(cp.Vel) != cp.N || len(cp.Frc) != cp.N {
+		return fmt.Errorf("md: corrupt checkpoint (array lengths %d/%d/%d for N=%d)",
+			len(cp.Pos), len(cp.Vel), len(cp.Frc), cp.N)
+	}
+	copy(e.Pos, cp.Pos)
+	copy(e.Vel, cp.Vel)
+	copy(e.Frc, cp.Frc)
+	e.listOrigin = nil // force a list rebuild at the next evaluation
+	return nil
+}

@@ -1,0 +1,121 @@
+package md
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// constraint is one fixed-length bond (SHAKE).
+type constraint struct {
+	i, j   int32
+	d2     float64 // target length squared
+	invMi  float64
+	invMj  float64
+	redMas float64 // 1/mi + 1/mj
+}
+
+const (
+	shakeTol      = 1e-10 // relative tolerance on r² − d²
+	shakeMaxIters = 500
+)
+
+// buildConstraints collects the bonds to constrain: with ConstrainHBonds,
+// every bond involving a hydrogen (CHARMM's SHAKE BONH), at its force-field
+// equilibrium length.
+func (e *Engine) buildConstraints() {
+	if !e.Cfg.ConstrainHBonds {
+		return
+	}
+	isH := func(i int32) bool { return e.Sys.Mass(int(i)) < 1.5 }
+	for bi, b := range e.Sys.Bonds {
+		if !isH(b[0]) && !isH(b[1]) {
+			continue
+		}
+		r0 := e.FF.BondR0(bi)
+		e.constraints = append(e.constraints, constraint{
+			i: b[0], j: b[1],
+			d2:     r0 * r0,
+			invMi:  e.invMass[b[0]],
+			invMj:  e.invMass[b[1]],
+			redMas: e.invMass[b[0]] + e.invMass[b[1]],
+		})
+	}
+}
+
+// NumConstraints returns the active constraint count.
+func (e *Engine) NumConstraints() int { return len(e.constraints) }
+
+// shake iteratively restores the constrained bond lengths after the drift,
+// correcting velocities consistently (standard SHAKE with the pre-move
+// reference vectors in ref). Panics if the iteration fails to converge,
+// which indicates a broken timestep.
+func (e *Engine) shake(ref []vec.V) {
+	if len(e.constraints) == 0 {
+		return
+	}
+	box := e.Sys.Box
+	invDt := 1 / e.dtAKMA
+	for iter := 0; iter < shakeMaxIters; iter++ {
+		converged := true
+		for _, c := range e.constraints {
+			s := box.MinImage(e.Pos[c.i], e.Pos[c.j])
+			diff := s.Norm2() - c.d2
+			if math.Abs(diff) <= shakeTol*c.d2+1e-12 {
+				continue
+			}
+			converged = false
+			r := box.MinImage(ref[c.i], ref[c.j])
+			denom := 2 * c.redMas * s.Dot(r)
+			if denom == 0 {
+				continue // degenerate geometry; next sweep retries
+			}
+			g := diff / denom
+			corr := r.Scale(g)
+			e.Pos[c.i] = e.Pos[c.i].Sub(corr.Scale(c.invMi))
+			e.Pos[c.j] = e.Pos[c.j].Add(corr.Scale(c.invMj))
+			// Velocities move with the position correction.
+			e.Vel[c.i] = e.Vel[c.i].Sub(corr.Scale(c.invMi * invDt))
+			e.Vel[c.j] = e.Vel[c.j].Add(corr.Scale(c.invMj * invDt))
+		}
+		if converged {
+			return
+		}
+	}
+	panic("md: SHAKE did not converge (timestep too large?)")
+}
+
+// rattleVelocities removes the velocity components along each constrained
+// bond (the RATTLE velocity stage after the final half-kick).
+func (e *Engine) rattleVelocities() {
+	if len(e.constraints) == 0 {
+		return
+	}
+	box := e.Sys.Box
+	for iter := 0; iter < shakeMaxIters; iter++ {
+		converged := true
+		for _, c := range e.constraints {
+			r := box.MinImage(e.Pos[c.i], e.Pos[c.j])
+			vRel := e.Vel[c.i].Sub(e.Vel[c.j])
+			rv := r.Dot(vRel)
+			if math.Abs(rv) <= 1e-10 {
+				continue
+			}
+			converged = false
+			k := rv / (c.redMas * r.Norm2())
+			corr := r.Scale(k)
+			e.Vel[c.i] = e.Vel[c.i].Sub(corr.Scale(c.invMi))
+			e.Vel[c.j] = e.Vel[c.j].Add(corr.Scale(c.invMj))
+		}
+		if converged {
+			return
+		}
+	}
+	panic("md: RATTLE did not converge")
+}
+
+// DegreesOfFreedom returns 3N minus the number of constraints — the count
+// used for temperature.
+func (e *Engine) DegreesOfFreedom() int {
+	return 3*e.Sys.N() - len(e.constraints)
+}

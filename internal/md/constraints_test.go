@@ -1,0 +1,141 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func constrainedEngine(seed uint64) *Engine {
+	sys := waterBox(27, 12, seed)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	cfg.ConstrainHBonds = true
+	cfg.TimestepFS = 2.0 // SHAKE permits the long step
+	return NewEngine(sys, cfg)
+}
+
+func TestConstraintsBuilt(t *testing.T) {
+	e := constrainedEngine(1)
+	// Every water bond involves a hydrogen: 2 constraints per water.
+	if got := e.NumConstraints(); got != 2*27 {
+		t.Fatalf("constraints = %d, want %d", got, 2*27)
+	}
+	if e.DegreesOfFreedom() != 3*81-54 {
+		t.Fatalf("dof = %d", e.DegreesOfFreedom())
+	}
+	// Without the flag: none.
+	sys := waterBox(8, 12, 2)
+	plain := NewEngine(sys, smallCutoffs(DefaultConfig()))
+	if plain.NumConstraints() != 0 {
+		t.Fatal("constraints without the flag")
+	}
+}
+
+func TestShakeMaintainsBondLengths(t *testing.T) {
+	e := constrainedEngine(3)
+	e.Minimize(100, 0.2)
+	e.InitVelocities(250, 5)
+	e.ComputeForces(nil, nil)
+	for s := 0; s < 50; s++ {
+		e.Step(nil, nil)
+	}
+	const want = 0.9572 // TIP3 O–H
+	for _, b := range e.Sys.Bonds {
+		d := e.Sys.Box.Dist(e.Pos[b[0]], e.Pos[b[1]])
+		if math.Abs(d-want) > 1e-4 {
+			t.Fatalf("bond %v drifted to %g Å", b, d)
+		}
+	}
+}
+
+func TestRattleRemovesBondVelocity(t *testing.T) {
+	e := constrainedEngine(4)
+	e.Minimize(100, 0.2)
+	e.InitVelocities(250, 7)
+	e.ComputeForces(nil, nil)
+	e.Step(nil, nil)
+	for _, c := range e.constraints {
+		r := e.Sys.Box.MinImage(e.Pos[c.i], e.Pos[c.j])
+		vRel := e.Vel[c.i].Sub(e.Vel[c.j])
+		if math.Abs(r.Dot(vRel)) > 1e-8 {
+			t.Fatalf("residual bond-direction velocity %g", r.Dot(vRel))
+		}
+	}
+}
+
+func TestConstrainedEnergyConservation(t *testing.T) {
+	// With SHAKE on the O–H bonds a 2 fs step must still conserve energy.
+	e := constrainedEngine(5)
+	e.Minimize(300, 0.2)
+	e.InitVelocities(150, 9)
+	reports := e.Run(200, nil, nil)
+	first := reports[5].Total()
+	var maxDrift float64
+	for _, r := range reports[5:] {
+		if d := math.Abs(r.Total() - first); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	if maxDrift > 2.5 {
+		t.Fatalf("constrained NVE drift %g kcal/mol over 200×2fs steps", maxDrift)
+	}
+}
+
+func TestThermostatHeatsToTarget(t *testing.T) {
+	sys := waterBox(27, 12, 6)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	cfg.Thermostat = &ThermostatConfig{Target: 300, TauFS: 20}
+	e := NewEngine(sys, cfg)
+	e.Minimize(200, 0.2)
+	e.InitVelocities(50, 11)
+	e.ComputeForces(nil, nil)
+	for s := 0; s < 400; s++ {
+		e.Step(nil, nil)
+	}
+	if tK := e.Temperature(); tK < 200 || tK > 400 {
+		t.Fatalf("temperature %g K after heating toward 300 K", tK)
+	}
+}
+
+func TestThermostatCools(t *testing.T) {
+	sys := waterBox(27, 12, 7)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	cfg.Thermostat = &ThermostatConfig{Target: 100, TauFS: 20}
+	e := NewEngine(sys, cfg)
+	e.Minimize(200, 0.2)
+	e.InitVelocities(500, 13)
+	hot := e.Temperature()
+	e.ComputeForces(nil, nil)
+	for s := 0; s < 400; s++ {
+		e.Step(nil, nil)
+	}
+	cold := e.Temperature()
+	if cold >= hot || cold > 250 {
+		t.Fatalf("thermostat did not cool: %g -> %g K", hot, cold)
+	}
+}
+
+func TestLangevinWithShake(t *testing.T) {
+	// Constraints and the stochastic thermostat must compose: bond lengths
+	// stay fixed while the temperature relaxes toward the target.
+	e := constrainedEngine(61)
+	e.Minimize(200, 0.2)
+	e.InitVelocities(50, 63)
+	lang := LangevinConfig{FrictionPS: 20, Target: 250, Seed: 11}
+	e.ComputeForces(nil, nil)
+	for s := 0; s < 300; s++ {
+		e.StepLangevin(lang, nil, nil)
+	}
+	const want = 0.9572
+	for _, c := range e.constraints {
+		d := e.Sys.Box.Dist(e.Pos[c.i], e.Pos[c.j])
+		if math.Abs(d-want) > 1e-4 {
+			t.Fatalf("constrained bond drifted to %g under Langevin", d)
+		}
+	}
+	if tK := e.Temperature(); tK < 120 || tK > 420 {
+		t.Fatalf("Langevin+SHAKE temperature %g K, want near 250", tK)
+	}
+}

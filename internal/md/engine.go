@@ -1,0 +1,332 @@
+// Package md implements the sequential molecular dynamics engine: velocity
+// Verlet integration, neighbour-list management with a Verlet skin,
+// steepest-descent minimization, and the classic/PME energy decomposition
+// that the performance study measures.
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/ewald"
+	"repro/internal/ff"
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/topol"
+	"repro/internal/units"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// PMEConfig selects the particle-mesh-Ewald treatment of long-range
+// electrostatics.
+type PMEConfig struct {
+	Beta       float64 // Ewald splitting parameter (1/Å)
+	K1, K2, K3 int     // mesh dimensions
+	Order      int     // B-spline interpolation order
+}
+
+// PaperPME returns the paper's PME setup: 80×36×48 mesh, order 4.
+func PaperPME() PMEConfig {
+	return PMEConfig{Beta: 0.34, K1: 80, K2: 36, K3: 48, Order: 4}
+}
+
+// Config configures an Engine.
+type Config struct {
+	FF          ff.Options
+	UsePME      bool
+	PME         PMEConfig
+	TimestepFS  float64 // integration step in femtoseconds
+	Temperature float64 // initial velocity temperature (K); 0 = start at rest
+	Seed        uint64  // velocity RNG stream
+
+	// ConstrainHBonds applies SHAKE/RATTLE to every bond involving a
+	// hydrogen (CHARMM's SHAKE BONH), allowing a 2 fs timestep.
+	ConstrainHBonds bool
+
+	// Thermostat couples the system to a heat bath (nil = NVE).
+	Thermostat *ThermostatConfig
+}
+
+// DefaultConfig is the paper's classic setup (shift truncation, no PME).
+func DefaultConfig() Config {
+	return Config{
+		FF:          ff.DefaultOptions(),
+		TimestepFS:  units.DefaultTimestepFS,
+		Temperature: 300,
+		Seed:        1,
+	}
+}
+
+// PMEDefaultConfig is the paper's PME setup.
+func PMEDefaultConfig() Config {
+	c := DefaultConfig()
+	c.FF = ff.PMEOptions()
+	c.UsePME = true
+	c.PME = PaperPME()
+	c.FF.Beta = c.PME.Beta
+	return c
+}
+
+// EnergyReport is the per-evaluation energy decomposition in kcal/mol,
+// split the way the paper splits the calculation (§3.2): the classic part
+// (bonded + cutoff nonbonded) and the PME part (mesh reciprocal sum and
+// its counter-terms).
+type EnergyReport struct {
+	FF         ff.Energies // classic terms
+	Recip      float64     // PME reciprocal energy
+	Self       float64     // Ewald self correction
+	ExclCorr   float64     // excluded-pair erf correction
+	Background float64     // net-charge background correction
+	Kinetic    float64
+}
+
+// Classic returns the classic-part potential energy.
+func (r EnergyReport) Classic() float64 { return r.FF.Total() }
+
+// PME returns the PME-part potential energy.
+func (r EnergyReport) PME() float64 { return r.Recip + r.Self + r.ExclCorr + r.Background }
+
+// Potential returns the total potential energy.
+func (r EnergyReport) Potential() float64 { return r.Classic() + r.PME() }
+
+// Total returns potential + kinetic.
+func (r EnergyReport) Total() float64 { return r.Potential() + r.Kinetic }
+
+// Engine advances one molecular system. It is not safe for concurrent use.
+type Engine struct {
+	Sys *topol.System
+	Cfg Config
+	FF  *ff.ForceField
+
+	Pos []vec.V
+	Vel []vec.V
+	Frc []vec.V
+
+	pme *ewald.PME
+
+	pairs      []space.Pair
+	listOrigin []vec.V // positions at last list build
+	listFresh  bool
+
+	constraints []constraint
+	refPos      []vec.V // pre-drift positions for SHAKE
+
+	langevin *langevinState // lazily initialized by StepLangevin
+
+	invMass []float64
+	dtAKMA  float64
+}
+
+// NewEngine builds an engine over sys with its own copies of the
+// coordinate arrays (the input system is not mutated).
+func NewEngine(sys *topol.System, cfg Config) *Engine {
+	if cfg.TimestepFS <= 0 {
+		panic(fmt.Sprintf("md: invalid timestep %g fs", cfg.TimestepFS))
+	}
+	if cfg.UsePME && cfg.FF.ElecMode != ff.ElecEwaldDirect {
+		panic("md: PME requires ff.ElecEwaldDirect for the direct-space sum")
+	}
+	e := &Engine{
+		Sys: sys,
+		Cfg: cfg,
+		FF:  ff.New(sys, cfg.FF),
+		Pos: append([]vec.V(nil), sys.Pos...),
+		Vel: make([]vec.V, sys.N()),
+		Frc: make([]vec.V, sys.N()),
+
+		invMass: make([]float64, sys.N()),
+		dtAKMA:  units.FSToAKMA(cfg.TimestepFS),
+	}
+	for i := range e.invMass {
+		e.invMass[i] = 1 / sys.Mass(i)
+	}
+	if cfg.UsePME {
+		e.pme = ewald.NewPME(sys.Box, cfg.PME.Beta, cfg.PME.K1, cfg.PME.K2, cfg.PME.K3, cfg.PME.Order)
+	}
+	e.buildConstraints()
+	if len(e.constraints) > 0 {
+		e.refPos = make([]vec.V, sys.N())
+	}
+	if cfg.Temperature > 0 {
+		e.InitVelocities(cfg.Temperature, cfg.Seed)
+	}
+	return e
+}
+
+// InitVelocities draws Maxwell–Boltzmann velocities at temperature T and
+// removes the net momentum.
+func (e *Engine) InitVelocities(tK float64, seed uint64) {
+	r := rng.New(seed ^ 0x76656c6f63) // "veloc"
+	var p vec.V
+	var mass float64
+	for i := range e.Vel {
+		m := e.Sys.Mass(i)
+		sd := units.ThermalVelocity(m, tK)
+		e.Vel[i] = vec.New(r.NormalScaled(0, sd), r.NormalScaled(0, sd), r.NormalScaled(0, sd))
+		p = p.Add(e.Vel[i].Scale(m))
+		mass += m
+	}
+	drift := p.Scale(1 / mass)
+	for i := range e.Vel {
+		e.Vel[i] = e.Vel[i].Sub(drift)
+	}
+}
+
+// skin returns the Verlet-list skin width.
+func (e *Engine) skin() float64 { return e.Cfg.FF.ListCutoff - e.Cfg.FF.CutOff }
+
+// listValid reports whether the current neighbour list still covers all
+// interactions (no atom moved more than half the skin since the build).
+func (e *Engine) listValid() bool {
+	if e.listOrigin == nil {
+		return false
+	}
+	limit := e.skin() / 2
+	limit2 := limit * limit
+	for i := range e.Pos {
+		if vec.Dist2(e.Pos[i], e.listOrigin[i]) > limit2 {
+			return false
+		}
+	}
+	return true
+}
+
+// RefreshList rebuilds the neighbour list unconditionally.
+func (e *Engine) RefreshList(w *work.Counters) {
+	e.pairs = e.FF.BuildPairs(e.Pos, w)
+	if e.listOrigin == nil {
+		e.listOrigin = make([]vec.V, len(e.Pos))
+	}
+	copy(e.listOrigin, e.Pos)
+	e.listFresh = true
+}
+
+// ListWasRebuilt reports whether the last ComputeForces call rebuilt the
+// neighbour list.
+func (e *Engine) ListWasRebuilt() bool { return e.listFresh }
+
+// PairCount returns the current neighbour-list length.
+func (e *Engine) PairCount() int { return len(e.pairs) }
+
+// ComputeForces evaluates all forces and energies at the current
+// positions, managing the neighbour list. Work is recorded into w
+// (classic-phase work) and wPME (PME-phase work) when non-nil.
+func (e *Engine) ComputeForces(w, wPME *work.Counters) EnergyReport {
+	e.listFresh = false
+	if !e.listValid() {
+		e.RefreshList(w)
+	}
+	vec.Fill(e.Frc, vec.Zero)
+	var rep EnergyReport
+	rep.FF = e.FF.Bonded(e.Pos, e.Frc, w)
+	rep.FF.Add(e.FF.Nonbonded(e.Pos, e.pairs, e.Frc, w))
+	rep.FF.Add(e.FF.Pairs14(e.Pos, e.Frc, w))
+	if e.pme != nil {
+		charges := e.FF.Charges()
+		rep.Recip = e.pme.Recip(e.Pos, charges, e.Frc, wPME)
+		rep.Self = ewald.SelfEnergy(charges, e.Cfg.PME.Beta)
+		rep.ExclCorr = ewald.ExclusionCorrection(e.Sys.Box, e.Pos, charges, e.Sys.Excl, e.Cfg.PME.Beta, e.Frc, wPME)
+		rep.Background = ewald.BackgroundEnergy(charges, e.Cfg.PME.Beta, e.Sys.Box.Volume())
+	}
+	rep.Kinetic = e.KineticEnergy()
+	return rep
+}
+
+// KineticEnergy returns ½Σmv² in kcal/mol.
+func (e *Engine) KineticEnergy() float64 {
+	var ke float64
+	for i, v := range e.Vel {
+		ke += 0.5 * e.Sys.Mass(i) * v.Norm2()
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous temperature in K, over the
+// unconstrained degrees of freedom.
+func (e *Engine) Temperature() float64 {
+	return units.KineticTemperature(e.KineticEnergy(), e.DegreesOfFreedom())
+}
+
+// Step advances one velocity-Verlet step and returns the energies at the
+// new positions. Forces must be current on entry (call ComputeForces once
+// before the first Step); on exit they are current for the next Step.
+func (e *Engine) Step(w, wPME *work.Counters) EnergyReport {
+	half := 0.5 * e.dtAKMA
+	if e.refPos != nil {
+		copy(e.refPos, e.Pos)
+	}
+	for i := range e.Pos {
+		e.Vel[i] = e.Vel[i].Add(e.Frc[i].Scale(half * e.invMass[i]))
+		e.Pos[i] = e.Pos[i].Add(e.Vel[i].Scale(e.dtAKMA))
+	}
+	e.shake(e.refPos)
+	rep := e.ComputeForces(w, wPME)
+	for i := range e.Vel {
+		e.Vel[i] = e.Vel[i].Add(e.Frc[i].Scale(half * e.invMass[i]))
+	}
+	e.rattleVelocities()
+	e.applyThermostat()
+	if w != nil {
+		w.Integrate += int64(2 * len(e.Pos))
+	}
+	rep.Kinetic = e.KineticEnergy()
+	return rep
+}
+
+// Run performs n dynamics steps (after ensuring forces are initialized)
+// and returns the per-step reports.
+func (e *Engine) Run(n int, w, wPME *work.Counters) []EnergyReport {
+	e.ComputeForces(w, wPME)
+	reports := make([]EnergyReport, 0, n)
+	for s := 0; s < n; s++ {
+		reports = append(reports, e.Step(w, wPME))
+	}
+	return reports
+}
+
+// Minimize runs steepest descent with an adaptive step: accepted moves grow
+// the step 20%, rejected moves halve it. Returns the final potential
+// energy. Velocities are untouched.
+func (e *Engine) Minimize(maxSteps int, initialStep float64) float64 {
+	step := initialStep
+	rep := e.ComputeForces(nil, nil)
+	prev := rep.Potential()
+	saved := make([]vec.V, len(e.Pos))
+	for s := 0; s < maxSteps && step > 1e-8; s++ {
+		copy(saved, e.Pos)
+		// Normalized steepest-descent move capped at `step` per atom.
+		var fmax float64
+		for _, f := range e.Frc {
+			if n := f.Norm(); n > fmax {
+				fmax = n
+			}
+		}
+		if fmax == 0 {
+			break
+		}
+		scale := step / fmax
+		for i := range e.Pos {
+			e.Pos[i] = e.Pos[i].Add(e.Frc[i].Scale(scale))
+		}
+		rep = e.ComputeForces(nil, nil)
+		if cur := rep.Potential(); cur < prev {
+			prev = cur
+			step *= 1.2
+		} else {
+			copy(e.Pos, saved)
+			step *= 0.5
+			// Forces correspond to rejected positions; restore.
+			rep = e.ComputeForces(nil, nil)
+		}
+	}
+	return prev
+}
+
+// Wrap maps all positions back into the primary cell (positions drift out
+// during dynamics; energies are wrap-invariant, this is cosmetic for
+// output).
+func (e *Engine) Wrap() {
+	for i := range e.Pos {
+		e.Pos[i] = e.Sys.Box.Wrap(e.Pos[i])
+	}
+}

@@ -1,0 +1,67 @@
+package md
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/work"
+)
+
+// LangevinConfig couples the dynamics to a stochastic heat bath (CHARMM's
+// LANG dynamics): friction plus matched random kicks.
+type LangevinConfig struct {
+	// FrictionPS is the friction coefficient γ in 1/ps (CHARMM's FBETA;
+	// 5–50 /ps is typical for implicit-solvent work).
+	FrictionPS float64
+	// Target temperature in Kelvin.
+	Target float64
+	// Seed for the noise stream.
+	Seed uint64
+}
+
+// langevinState holds the precomputed Ornstein–Uhlenbeck coefficients.
+type langevinState struct {
+	c1    float64   // exp(−γ·dt)
+	noise []float64 // per-atom noise amplitude sqrt((1−c1²)·kT/m)
+	rng   *rng.Source
+}
+
+// initLangevin prepares the coefficients; called lazily from StepLangevin
+// so plain Engines pay nothing.
+func (e *Engine) initLangevin(cfg LangevinConfig) {
+	// γ in 1/ps → 1/AKMA: 1 ps = 1000 fs = 1000/48.888 AKMA.
+	gammaAKMA := cfg.FrictionPS / (1000.0 / units.AKMATimeFS)
+	c1 := math.Exp(-gammaAKMA * e.dtAKMA)
+	st := &langevinState{
+		c1:    c1,
+		noise: make([]float64, e.Sys.N()),
+		rng:   rng.New(cfg.Seed ^ 0x6c616e676576),
+	}
+	amp2 := (1 - c1*c1) * units.Boltzmann * cfg.Target
+	for i := range st.noise {
+		st.noise[i] = math.Sqrt(amp2 / e.Sys.Mass(i))
+	}
+	e.langevin = st
+}
+
+// StepLangevin advances one step of Langevin dynamics: a velocity-Verlet
+// step followed by the exact Ornstein–Uhlenbeck velocity update
+// v ← c1·v + σ·ξ (the "BAOAB"-style O-block at the end of the step).
+func (e *Engine) StepLangevin(cfg LangevinConfig, w, wPME *work.Counters) EnergyReport {
+	if e.langevin == nil {
+		e.initLangevin(cfg)
+	}
+	rep := e.Step(w, wPME)
+	st := e.langevin
+	for i := range e.Vel {
+		e.Vel[i] = e.Vel[i].Scale(st.c1)
+		a := st.noise[i]
+		e.Vel[i].X += a * st.rng.Normal()
+		e.Vel[i].Y += a * st.rng.Normal()
+		e.Vel[i].Z += a * st.rng.Normal()
+	}
+	e.rattleVelocities()
+	rep.Kinetic = e.KineticEnergy()
+	return rep
+}

@@ -1,0 +1,97 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLangevinEquilibratesToTarget(t *testing.T) {
+	sys := waterBox(27, 12, 21)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	e := NewEngine(sys, cfg)
+	e.Minimize(200, 0.2)
+	e.InitVelocities(50, 31) // start far below target
+
+	lang := LangevinConfig{FrictionPS: 20, Target: 300, Seed: 7}
+	e.ComputeForces(nil, nil)
+	var avg float64
+	const steps = 800
+	for s := 0; s < steps; s++ {
+		e.StepLangevin(lang, nil, nil)
+		if s >= steps/2 {
+			avg += e.Temperature()
+		}
+	}
+	avg /= steps / 2
+	if avg < 220 || avg > 380 {
+		t.Fatalf("Langevin steady-state temperature %g K, want ≈300", avg)
+	}
+}
+
+func TestLangevinCoolsHotSystem(t *testing.T) {
+	sys := waterBox(27, 12, 22)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	e := NewEngine(sys, cfg)
+	e.Minimize(200, 0.2)
+	e.InitVelocities(900, 33)
+	hot := e.Temperature()
+	lang := LangevinConfig{FrictionPS: 30, Target: 100, Seed: 9}
+	e.ComputeForces(nil, nil)
+	for s := 0; s < 600; s++ {
+		e.StepLangevin(lang, nil, nil)
+	}
+	cold := e.Temperature()
+	if cold >= hot/2 {
+		t.Fatalf("Langevin did not cool: %g -> %g K", hot, cold)
+	}
+}
+
+func TestLangevinDeterministic(t *testing.T) {
+	run := func() float64 {
+		sys := waterBox(8, 12, 23)
+		cfg := smallCutoffs(DefaultConfig())
+		cfg.Temperature = 100
+		e := NewEngine(sys, cfg)
+		lang := LangevinConfig{FrictionPS: 10, Target: 200, Seed: 5}
+		e.ComputeForces(nil, nil)
+		var last float64
+		for s := 0; s < 20; s++ {
+			last = e.StepLangevin(lang, nil, nil).Total()
+		}
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("Langevin not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestMinimizeCGLowersEnergy(t *testing.T) {
+	sys := waterBox(27, 12, 24)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 0
+	e := NewEngine(sys, cfg)
+	before := e.ComputeForces(nil, nil).Potential()
+	after := e.MinimizeCG(150, 0.2)
+	if after >= before {
+		t.Fatalf("CG did not lower energy: %g -> %g", before, after)
+	}
+}
+
+func TestMinimizeCGBeatsSDAtEqualBudget(t *testing.T) {
+	build := func() *Engine {
+		sys := waterBox(27, 12, 25)
+		cfg := smallCutoffs(DefaultConfig())
+		cfg.Temperature = 0
+		return NewEngine(sys, cfg)
+	}
+	const iters = 80
+	sd := build().Minimize(iters, 0.2)
+	cg := build().MinimizeCG(iters, 0.2)
+	// CG should do at least as well; allow a small tolerance for the rare
+	// line-search rejection overhead.
+	if cg > sd+math.Abs(sd)*0.02 {
+		t.Fatalf("CG (%g) notably worse than SD (%g) at equal iterations", cg, sd)
+	}
+}

@@ -1,0 +1,87 @@
+package md
+
+import "repro/internal/vec"
+
+// MinimizeCG runs nonlinear conjugate-gradient minimization
+// (Polak–Ribière with automatic restart, backtracking line search along
+// the search direction) — CHARMM's CONJ method. Returns the final
+// potential energy. Generally converges in far fewer force evaluations
+// than steepest descent on the same system.
+func (e *Engine) MinimizeCG(maxIters int, initialStep float64) float64 {
+	n := len(e.Pos)
+	rep := e.ComputeForces(nil, nil)
+	prev := rep.Potential()
+
+	grad := make([]vec.V, n) // g = −F
+	dir := make([]vec.V, n)
+	saved := make([]vec.V, n)
+	for i := range grad {
+		grad[i] = e.Frc[i].Neg()
+		dir[i] = e.Frc[i]
+	}
+	gg := dot(grad, grad)
+	step := initialStep
+
+	for iter := 0; iter < maxIters && step > 1e-9; iter++ {
+		// Normalize the trial displacement so `step` caps the largest
+		// per-atom move.
+		var dmax float64
+		for _, d := range dir {
+			if m := d.Norm(); m > dmax {
+				dmax = m
+			}
+		}
+		if dmax == 0 {
+			break
+		}
+		scale := step / dmax
+
+		copy(saved, e.Pos)
+		for i := range e.Pos {
+			e.Pos[i] = e.Pos[i].Add(dir[i].Scale(scale))
+		}
+		cur := e.ComputeForces(nil, nil).Potential()
+		if cur >= prev {
+			// Reject: shrink the step and restart along steepest descent.
+			copy(e.Pos, saved)
+			e.ComputeForces(nil, nil)
+			step *= 0.5
+			for i := range grad {
+				grad[i] = e.Frc[i].Neg()
+				dir[i] = e.Frc[i]
+			}
+			gg = dot(grad, grad)
+			continue
+		}
+		prev = cur
+		step *= 1.15
+
+		// Polak–Ribière update from the new gradient.
+		var num float64
+		for i := range grad {
+			gNew := e.Frc[i].Neg()
+			num += gNew.Dot(gNew.Sub(grad[i]))
+			grad[i] = gNew
+		}
+		beta := 0.0
+		if gg > 0 {
+			beta = num / gg
+		}
+		if beta < 0 {
+			beta = 0 // automatic restart
+		}
+		gg = dot(grad, grad)
+		for i := range dir {
+			dir[i] = grad[i].Neg().Add(dir[i].Scale(beta))
+		}
+	}
+	return prev
+}
+
+func dot(a, b []vec.V) float64 {
+	var s float64
+	for i := range a {
+		s += a[i].Dot(b[i])
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package md
+
+import (
+	"math"
+
+	"repro/internal/space"
+	"repro/internal/topol"
+	"repro/internal/vec"
+)
+
+// AtmPerKcalMolA3 converts kcal/(mol·Å³) to atmospheres.
+const AtmPerKcalMolA3 = 68568.4
+
+// Pressure estimates the instantaneous pressure (atm) of the engine's
+// current state through the virial route, with the configurational part
+// −dU/dV evaluated by central-difference isotropic volume scaling:
+//
+//	P = (2·K/3 − V·dU/dV) / V   (K = kinetic energy)
+//
+// Each call costs two full energy evaluations on scaled copies of the
+// system; it is a diagnostic, not a per-step quantity.
+func (e *Engine) Pressure() float64 {
+	const dlnV = 1e-4 // relative volume perturbation
+	v0 := e.Sys.Box.Volume()
+	uPlus := e.scaledEnergy(1 + dlnV/2)
+	uMinus := e.scaledEnergy(1 - dlnV/2)
+	dUdV := (uPlus - uMinus) / (v0 * dlnV)
+	k := e.KineticEnergy()
+	p := (2.0/3.0*k - v0*dUdV) / v0 // kcal/(mol·Å³) ... see below
+	// 2K/3V is the ideal term N·kT/V expressed through the kinetic energy.
+	return p * AtmPerKcalMolA3
+}
+
+// scaledEnergy returns the potential energy of the system under isotropic
+// affine scaling of box and coordinates by factor vScale^(1/3).
+func (e *Engine) scaledEnergy(vScale float64) float64 {
+	lin := math.Cbrt(vScale)
+	scaled := &topol.System{
+		Box:       space.NewBox(e.Sys.Box.L.X*lin, e.Sys.Box.L.Y*lin, e.Sys.Box.L.Z*lin),
+		Types:     e.Sys.Types,
+		Atoms:     e.Sys.Atoms,
+		Residues:  e.Sys.Residues,
+		Bonds:     e.Sys.Bonds,
+		Angles:    e.Sys.Angles,
+		Dihedrals: e.Sys.Dihedrals,
+		Impropers: e.Sys.Impropers,
+		Excl:      e.Sys.Excl,
+		Pairs14:   e.Sys.Pairs14,
+		Pos:       make([]vec.V, len(e.Pos)),
+	}
+	for i, p := range e.Pos {
+		scaled.Pos[i] = p.Scale(lin)
+	}
+	cfg := e.Cfg
+	cfg.Temperature = 0
+	cfg = ClampCutoffs(cfg, scaled.Box)
+	probe := NewEngine(scaled, cfg)
+	return probe.ComputeForces(nil, nil).Potential()
+}

@@ -1,0 +1,59 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPressureFiniteAndRespondsToCompression(t *testing.T) {
+	// A comfortable box and a strongly compressed box of the same waters
+	// (64 waters in 9.5 Å is twice liquid density, deep in the repulsive wall): the compressed one
+	// must show the higher pressure. Boxes stay large enough that the
+	// cutoff covers the LJ minimum — shorter cutoffs turn the virial into
+	// a truncation artifact.
+	loose := waterBox(64, 16, 41)
+	tight := waterBox(64, 9.5, 41)
+	pressureOf := func(sys interface{ N() int }, l float64, seed uint64) float64 {
+		s := waterBox(64, l, seed)
+		cfg := smallCutoffs(DefaultConfig())
+		cfg = ClampCutoffs(cfg, s.Box)
+		cfg.Temperature = 0
+		e := NewEngine(s, cfg)
+		e.Minimize(150, 0.2)
+		e.InitVelocities(300, seed)
+		return e.Pressure()
+	}
+	_ = loose
+	_ = tight
+	pLoose := pressureOf(nil, 16, 41)
+	pTight := pressureOf(nil, 9.5, 41)
+	if math.IsNaN(pLoose) || math.IsNaN(pTight) {
+		t.Fatal("NaN pressure")
+	}
+	if pTight <= pLoose {
+		t.Fatalf("compression did not raise pressure: %g atm vs %g atm", pTight, pLoose)
+	}
+}
+
+func TestPressureIdealGasLimit(t *testing.T) {
+	// Waters far apart at high temperature: the interaction part is tiny
+	// and P·V ≈ (2/3)·K should hold within a factor.
+	sys := waterBox(8, 30, 43)
+	cfg := DefaultConfig()
+	cfg.FF.CutOn, cfg.FF.CutOff, cfg.FF.ListCutoff = 3.0, 4.0, 5.0
+	cfg.Temperature = 0
+	e := NewEngine(sys, cfg)
+	// Relax the intramolecular strain first: affine volume scaling probes
+	// bond-stretch derivatives, which must vanish at equilibrium for the
+	// ideal-gas comparison to make sense.
+	e.Minimize(400, 0.05)
+	e.InitVelocities(400, 5)
+	p := e.Pressure()
+	ideal := 2.0 / 3.0 * e.KineticEnergy() / sys.Box.Volume() * AtmPerKcalMolA3
+	if p <= 0 {
+		t.Fatalf("dilute-gas pressure %g atm not positive", p)
+	}
+	if ratio := p / ideal; ratio < 0.3 || ratio > 3 {
+		t.Fatalf("pressure %g atm vs ideal %g atm (ratio %g)", p, ideal, ratio)
+	}
+}

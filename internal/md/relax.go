@@ -1,0 +1,40 @@
+package md
+
+import (
+	"repro/internal/space"
+	"repro/internal/topol"
+)
+
+// ClampCutoffs shrinks the nonbonded ranges of cfg so they respect the
+// minimum-image limit of the given box (needed for systems smaller than
+// the default 12 Å list range). Configurations that already fit are
+// returned unchanged.
+func ClampCutoffs(cfg Config, box space.Box) Config {
+	max := box.MaxCutoff()
+	if cfg.FF.ListCutoff <= max {
+		return cfg
+	}
+	cfg.FF.ListCutoff = max
+	if cfg.FF.CutOff > max-1 {
+		cfg.FF.CutOff = max - 1
+	}
+	if cfg.FF.CutOn > cfg.FF.CutOff-1.5 {
+		cfg.FF.CutOn = cfg.FF.CutOff - 1.5
+	}
+	return cfg
+}
+
+// Relax minimizes the system's raw built geometry in place (steepest
+// descent under the classic shift force field) and writes the relaxed
+// coordinates back into sys.Pos. The synthetic builder produces strained
+// serpentine turns; benchmark and dynamics runs call Relax once so the
+// measured workload is a physically stable trajectory. Returns the final
+// potential energy.
+func Relax(sys *topol.System, steps int) float64 {
+	cfg := ClampCutoffs(DefaultConfig(), sys.Box)
+	cfg.Temperature = 0
+	e := NewEngine(sys, cfg)
+	final := e.Minimize(steps, 0.1)
+	copy(sys.Pos, e.Pos)
+	return final
+}

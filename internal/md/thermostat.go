@@ -1,0 +1,41 @@
+package md
+
+import "math"
+
+// ThermostatConfig couples the dynamics to a heat bath.
+type ThermostatConfig struct {
+	// Target temperature in Kelvin.
+	Target float64
+	// TauFS is the Berendsen coupling time constant in femtoseconds;
+	// larger values couple more weakly. Must be ≥ the timestep.
+	TauFS float64
+}
+
+// applyThermostat rescales the velocities toward the target temperature
+// with the Berendsen weak-coupling scheme:
+// λ = sqrt(1 + (dt/τ)(T0/T − 1)).
+func (e *Engine) applyThermostat() {
+	th := e.Cfg.Thermostat
+	if th == nil {
+		return
+	}
+	t := e.Temperature()
+	if t <= 0 {
+		return
+	}
+	ratio := e.Cfg.TimestepFS / th.TauFS
+	if ratio > 1 {
+		ratio = 1
+	}
+	lambda := math.Sqrt(1 + ratio*(th.Target/t-1))
+	// Clamp extreme rescales so a cold start cannot overshoot violently.
+	if lambda > 1.25 {
+		lambda = 1.25
+	}
+	if lambda < 0.8 {
+		lambda = 0.8
+	}
+	for i := range e.Vel {
+		e.Vel[i] = e.Vel[i].Scale(lambda)
+	}
+}

@@ -1,0 +1,170 @@
+package mpi
+
+// Collective operations with the algorithms MPICH 1.2 shipped in the
+// paper's era. The data volumes are what matters to the performance model,
+// so collectives carry byte counts, not buffers — the MD layer moves the
+// actual floats itself and uses these calls to advance virtual time.
+// Tags above collTagBase are reserved for collectives.
+
+const (
+	collTagBase = 1 << 20
+	tagBarrier  = collTagBase + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+	tagAlltoall
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm, ⌈log2 p⌉ rounds
+// of empty messages). All time inside is synchronization.
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	prev := r.SyncClass
+	r.SyncClass = true
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (r.ID + dist) % p
+		src := (r.ID - dist + p) % p
+		r.Sendrecv(dst, tagBarrier+dist, 0, src, tagBarrier+dist)
+	}
+	r.SyncClass = prev
+}
+
+// Bcast distributes bytes from root along a binomial tree. Returns the
+// byte count on every rank.
+func (r *Rank) Bcast(root, bytes int) int {
+	p := r.Size()
+	if p == 1 {
+		return bytes
+	}
+	// Standard MPICH binomial tree on rotated ranks: a rank receives from
+	// its parent at its lowest set bit, then forwards to children at the
+	// bits below it, highest first.
+	vrank := (r.ID - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root + p) % p
+			r.Recv(src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			dst := (vrank + mask + root) % p
+			r.Send(dst, tagBcast, bytes)
+		}
+		mask >>= 1
+	}
+	return bytes
+}
+
+// Reduce combines bytes from every rank at root along a binomial tree;
+// each hop moves the full payload and costs reduceOp compute on the parent.
+// reduceOp is the per-merge CPU time (the caller knows its element count).
+func (r *Rank) Reduce(root, bytes int, reduceOp float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (r.ID - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			// Send partial result to parent and stop.
+			parent := ((vrank &^ mask) + root) % p
+			r.Send(parent, tagReduce, bytes)
+			return
+		}
+		// Receive from child (if it exists) and merge.
+		child := vrank | mask
+		if child < p {
+			r.Recv((child+root)%p, tagReduce)
+			if reduceOp > 0 {
+				r.Compute(reduceOp)
+			}
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce is MPICH-1's reduce-to-root plus broadcast — the inefficiency
+// the paper's reference platform actually ran.
+func (r *Rank) Allreduce(bytes int, reduceOp float64) {
+	r.Reduce(0, bytes, reduceOp)
+	r.Bcast(0, bytes)
+}
+
+// Gather collects per-rank blocks at root (linear algorithm: root receives
+// p−1 messages in rank order, as early MPICH did).
+func (r *Rank) Gather(root int, myBytes int, allBytes []int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if r.ID == root {
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			r.Recv(src, tagGather)
+		}
+	} else {
+		r.Send(root, tagGather, myBytes)
+	}
+	_ = allBytes
+}
+
+// Allgatherv gathers variable-size blocks to rank 0 and broadcasts the
+// concatenation (gather+bcast, the MPICH-1 allgather).
+func (r *Rank) Allgatherv(blockBytes []int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(blockBytes) != p {
+		panic("mpi: Allgatherv needs one block size per rank")
+	}
+	total := 0
+	for _, b := range blockBytes {
+		total += b
+	}
+	r.Gather(0, blockBytes[r.ID], blockBytes)
+	r.Bcast(0, total)
+}
+
+// Alltoallv performs personalized all-to-all exchange: rank i sends
+// sizes[i][j] bytes to rank j. Pairwise-exchange schedule (p−1 rounds,
+// partner = rank XOR-free rotation), the classic MPICH implementation.
+func (r *Rank) Alltoallv(sizes [][]int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(sizes) != p {
+		panic("mpi: Alltoallv needs a p×p size matrix")
+	}
+	for shift := 1; shift < p; shift++ {
+		dst := (r.ID + shift) % p
+		src := (r.ID - shift + p) % p
+		r.Sendrecv(dst, tagAlltoall+shift, sizes[r.ID][dst], src, tagAlltoall+shift)
+	}
+}
+
+// AlltoallUniform is Alltoallv with the same block size to every partner.
+func (r *Rank) AlltoallUniform(bytesPerPartner int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	for shift := 1; shift < p; shift++ {
+		dst := (r.ID + shift) % p
+		src := (r.ID - shift + p) % p
+		r.Sendrecv(dst, tagAlltoall+shift, bytesPerPartner, src, tagAlltoall+shift)
+	}
+}

@@ -1,0 +1,70 @@
+package mpi
+
+// Modern collective algorithms (Thakur/Rabenseifner era, post-2004) used by
+// the ablation study: they answer "how much of the paper's scalability
+// problem was the MPICH-1 algorithms rather than the network?".
+
+const tagModern = collTagBase + 4096
+
+// AllreduceRecursiveDoubling performs the full-vector recursive-doubling
+// allreduce: ⌈log2 p⌉ bidirectional exchanges of the whole payload, with a
+// pre/post fold for non-power-of-two sizes.
+func (r *Rank) AllreduceRecursiveDoubling(bytes int, reduceOp float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	rem := p - pow2
+
+	// Fold the remainder: ranks ≥ pow2 send their contribution to their
+	// partner below and drop out of the core exchange.
+	if r.ID >= pow2 {
+		r.Send(r.ID-pow2, tagModern, bytes)
+	} else if r.ID < rem {
+		r.Recv(r.ID+pow2, tagModern)
+		if reduceOp > 0 {
+			r.Compute(reduceOp)
+		}
+	}
+
+	if r.ID < pow2 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			partner := r.ID ^ mask
+			r.Sendrecv(partner, tagModern+mask, bytes, partner, tagModern+mask)
+			if reduceOp > 0 {
+				r.Compute(reduceOp)
+			}
+		}
+	}
+
+	// Unfold: partners return the final vector.
+	if r.ID >= pow2 {
+		r.Recv(r.ID-pow2, tagModern+1<<20)
+	} else if r.ID < rem {
+		r.Send(r.ID+pow2, tagModern+1<<20, bytes)
+	}
+}
+
+// AllgathervRing circulates the blocks around the rank ring (p−1 rounds),
+// the bandwidth-optimal large-message allgather.
+func (r *Rank) AllgathervRing(blockBytes []int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(blockBytes) != p {
+		panic("mpi: AllgathervRing needs one block size per rank")
+	}
+	left := (r.ID - 1 + p) % p
+	right := (r.ID + 1) % p
+	for round := 0; round < p-1; round++ {
+		sendBlock := blockBytes[(r.ID-round+p)%p]
+		sreq := r.Isend(right, tagModern+2048+round, sendBlock)
+		r.Recv(left, tagModern+2048+round)
+		r.Wait(sreq)
+	}
+}

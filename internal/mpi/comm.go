@@ -1,0 +1,184 @@
+// Package mpi implements a simulated MPI subset on top of the
+// discrete-event cluster model: blocking and non-blocking point-to-point
+// messages (eager and rendezvous protocols, NIC occupancy, interrupt-CPU
+// serialization, TCP stall injection) and the MPICH-1-era collective
+// algorithms the paper's CHARMM runs used (binomial broadcast/reduce,
+// reduce+bcast allreduce, linear gather, pairwise all-to-all, dissemination
+// barrier).
+//
+// Every rank accounts its virtual time into the paper's three buckets:
+// computation, communication (data transfer) and synchronization (control
+// transfer / waiting for partners) — the decomposition of §3.2.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/work"
+)
+
+// Accounting is the per-rank time and volume bookkeeping.
+type Accounting struct {
+	Comp float64 // seconds spent computing
+	Comm float64 // seconds in data transfer
+	Sync float64 // seconds waiting for partners / control transfer
+
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Total returns Comp+Comm+Sync.
+func (a Accounting) Total() float64 { return a.Comp + a.Comm + a.Sync }
+
+// Sub returns a − b field-wise (for per-phase deltas).
+func (a Accounting) Sub(b Accounting) Accounting {
+	return Accounting{
+		Comp:      a.Comp - b.Comp,
+		Comm:      a.Comm - b.Comm,
+		Sync:      a.Sync - b.Sync,
+		BytesSent: a.BytesSent - b.BytesSent,
+		BytesRecv: a.BytesRecv - b.BytesRecv,
+	}
+}
+
+// Add accumulates b into a.
+func (a *Accounting) Add(b Accounting) {
+	a.Comp += b.Comp
+	a.Comm += b.Comm
+	a.Sync += b.Sync
+	a.BytesSent += b.BytesSent
+	a.BytesRecv += b.BytesRecv
+}
+
+// World is one simulated MPI job.
+type World struct {
+	M      *cluster.Machine
+	Cost   cluster.CostModel
+	Tracer *trace.Collector // optional event collection
+	ranks  []*Rank
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank is one MPI process.
+type Rank struct {
+	W  *World
+	ID int
+	P  *sim.Proc
+
+	inbox   []*message
+	waiting bool // parked inside a matching loop
+	acct    Accounting
+
+	// SyncClass forces all message time into the Sync bucket while true —
+	// the CMPI middleware turns it on around its synchronization-by-
+	// messages pattern (§4.2 of the paper).
+	SyncClass bool
+}
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.W.Size() }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() float64 { return r.P.Now() }
+
+// Acct returns a snapshot of the rank's accounting.
+func (r *Rank) Acct() Accounting { return r.acct }
+
+// Compute advances virtual time by d seconds of computation.
+func (r *Rank) Compute(d float64) {
+	if d < 0 {
+		panic("mpi: negative compute time")
+	}
+	t0 := r.Now()
+	r.acct.Comp += d
+	r.P.Advance(d)
+	r.traceEvent(trace.KindCompute, "compute", t0)
+}
+
+// traceEvent records [t0, now] on the world tracer when one is attached.
+func (r *Rank) traceEvent(kind trace.Kind, label string, t0 float64) {
+	if r.W.Tracer == nil {
+		return
+	}
+	// Errors cannot occur: now ≥ t0 by construction of virtual time.
+	_ = r.W.Tracer.Add(trace.Event{Rank: r.ID, Kind: kind, Label: label, Start: t0, End: r.Now()})
+}
+
+// TraceSpan records an arbitrary labelled interval (the parallel MD uses
+// it for its phase background lanes).
+func (r *Rank) TraceSpan(kind trace.Kind, label string, start, end float64) {
+	if r.W.Tracer == nil {
+		return
+	}
+	_ = r.W.Tracer.Add(trace.Event{Rank: r.ID, Kind: kind, Label: label, Start: start, End: end})
+}
+
+// ComputeWork charges the CPU time of the counted work through the world's
+// cost model.
+func (r *Rank) ComputeWork(w work.Counters) {
+	r.Compute(r.W.Cost.Seconds(w))
+}
+
+// chargeMsg books d seconds of message time into Comm or Sync depending on
+// the rank's current classification.
+func (r *Rank) chargeMsg(d float64, sync bool) {
+	if r.SyncClass || sync {
+		r.acct.Sync += d
+	} else {
+		r.acct.Comm += d
+	}
+}
+
+// Run spawns one rank process per CPU of the configured machine, runs fn on
+// each, and returns the per-rank accounting. A simulated deadlock (or a
+// panic escaping fn) is returned as an error.
+func Run(cfg cluster.Config, cost cluster.CostModel, fn func(*Rank)) ([]Accounting, error) {
+	return RunTraced(cfg, cost, nil, fn)
+}
+
+// RunTraced is Run with an optional event collector receiving every
+// compute/communication interval of every rank.
+func RunTraced(cfg cluster.Config, cost cluster.CostModel, tracer *trace.Collector, fn func(*Rank)) ([]Accounting, error) {
+	env := sim.NewEnv()
+	m := cluster.New(env, cfg)
+	w := &World{M: m, Cost: cost, Tracer: tracer}
+	var panics []interface{}
+	for i := 0; i < m.Ranks(); i++ {
+		r := &Rank{W: w, ID: i}
+		w.ranks = append(w.ranks, r)
+	}
+	for i := 0; i < m.Ranks(); i++ {
+		r := w.ranks[i]
+		r.P = env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			defer func() {
+				if v := recover(); v != nil {
+					panics = append(panics, v)
+				}
+			}()
+			fn(r)
+		})
+	}
+	err := env.Run()
+	if err == nil && len(panics) > 0 {
+		err = fmt.Errorf("mpi: rank panicked: %v", panics[0])
+	}
+	accts := make([]Accounting, len(w.ranks))
+	for i, r := range w.ranks {
+		accts[i] = r.acct
+	}
+	return accts, err
+}
+
+// RunCollect is Run plus a per-rank result value produced by fn.
+func RunCollect[T any](cfg cluster.Config, cost cluster.CostModel, fn func(*Rank) T) ([]T, []Accounting, error) {
+	out := make([]T, cfg.Nodes*cfg.CPUsPerNode)
+	accts, err := Run(cfg, cost, func(r *Rank) {
+		out[r.ID] = fn(r)
+	})
+	return out, accts, err
+}

@@ -1,0 +1,164 @@
+// Package netmodel defines the communication-performance models of the
+// interconnects the paper compares: MPICH over TCP/IP on Gigabit Ethernet
+// (the reference), SCore on the same Gigabit Ethernet, MPICH-GM on Myrinet,
+// and Fast Ethernet (from the companion technical report). Each model is a
+// LogGP-style parameter set plus two behavioural features the paper
+// identifies as decisive:
+//
+//   - TCP/IP flow-control stalls that appear once several flows are active
+//     (the large throughput variability of Fig. 7), and
+//   - interrupt-driven receive processing that serializes on one CPU per
+//     node (the dual-processor collapse of Fig. 9a) — SCore and Myrinet use
+//     polling/user-level drivers and do not suffer from it.
+package netmodel
+
+// Params is the performance model of one network + driver stack.
+type Params struct {
+	Name string
+
+	Latency float64 // one-way wire+switch latency, seconds
+
+	SendOverhead float64 // host CPU per message on the sender, seconds
+	RecvOverhead float64 // host CPU per message on the receiver, seconds
+
+	PerPacketSend float64 // host CPU per packet sent
+	PerPacketRecv float64 // host/interrupt CPU per packet received
+	PacketSize    int     // bytes per packet (MTU or network packet)
+
+	Bandwidth float64 // effective stream bandwidth, bytes/second
+
+	EagerLimit int // messages ≤ this are sent eagerly; larger use rendezvous
+
+	// InterruptDriven: receive-side packet processing must run on the
+	// node's interrupt CPU (CPU 0), serializing all flows into the node.
+	InterruptDriven bool
+
+	// TCP-style stalls: when more than StallFlowThreshold flows are active
+	// fabric-wide, each message independently stalls with probability
+	// StallProb·(flows − StallFlowThreshold), adding an exponentially
+	// distributed delay of mean StallMean.
+	StallProb          float64
+	StallMean          float64
+	StallFlowThreshold int
+}
+
+// Packets returns the packet count for an m-byte message (minimum 1).
+func (p Params) Packets(m int) int {
+	if m <= 0 {
+		return 1
+	}
+	return (m + p.PacketSize - 1) / p.PacketSize
+}
+
+// TCPGigE models MPICH 1.2 over TCP/IP on Gigabit Ethernet — the paper's
+// reference platform: decent bandwidth, high latency and per-message
+// overhead, interrupt-driven receives, flow-control instability under
+// concurrent flows.
+func TCPGigE() Params {
+	return Params{
+		Name:         "TCP/IP on Ethernet",
+		Latency:      60e-6,
+		SendOverhead: 40e-6,
+		RecvOverhead: 40e-6,
+
+		PerPacketSend: 8.0e-6,
+		PerPacketRecv: 22.0e-6,
+		PacketSize:    1500,
+
+		Bandwidth:  26e6,
+		EagerLimit: 64 * 1024,
+
+		InterruptDriven:    true,
+		StallProb:          0.09,
+		StallMean:          2.5e-3,
+		StallFlowThreshold: 2,
+	}
+}
+
+// SCoreGigE models the SCore (PM) communication system on the same Gigabit
+// Ethernet wire: its own reliable protocol with low latency, small
+// overheads and no TCP flow-control pathology.
+func SCoreGigE() Params {
+	return Params{
+		Name:         "SCore on Ethernet",
+		Latency:      19e-6,
+		SendOverhead: 7e-6,
+		RecvOverhead: 7e-6,
+
+		PerPacketSend: 0.7e-6,
+		PerPacketRecv: 0.9e-6,
+		PacketSize:    1468,
+
+		Bandwidth:  85e6,
+		EagerLimit: 64 * 1024,
+
+		InterruptDriven: false,
+	}
+}
+
+// MyrinetGM models MPICH-GM over Myrinet with its LANai co-processor NIC:
+// lowest latency and overhead, highest bandwidth, at ~50% extra machine
+// cost (paper §4.1).
+func MyrinetGM() Params {
+	return Params{
+		Name:         "Myrinet",
+		Latency:      11e-6,
+		SendOverhead: 2.8e-6,
+		RecvOverhead: 2.8e-6,
+
+		PerPacketSend: 0.25e-6,
+		PerPacketRecv: 0.25e-6,
+		PacketSize:    4096,
+
+		Bandwidth:  125e6,
+		EagerLimit: 32 * 1024,
+
+		InterruptDriven: false,
+	}
+}
+
+// FastEthernet models MPICH over TCP/IP on 100 Mbit/s Ethernet, from the
+// companion technical report [17]: the same protocol pathologies as
+// TCP/GigE with one tenth the bandwidth.
+func FastEthernet() Params {
+	return Params{
+		Name:         "TCP/IP on Fast Ethernet",
+		Latency:      70e-6,
+		SendOverhead: 32e-6,
+		RecvOverhead: 32e-6,
+
+		PerPacketSend: 8.0e-6,
+		PerPacketRecv: 22.0e-6,
+		PacketSize:    1500,
+
+		Bandwidth:  10.5e6,
+		EagerLimit: 64 * 1024,
+
+		InterruptDriven:    true,
+		StallProb:          0.045,
+		StallMean:          2.5e-3,
+		StallFlowThreshold: 2,
+	}
+}
+
+// ByName returns the model with the given short name: "tcp", "score",
+// "myrinet", "fast". It returns ok=false for unknown names.
+func ByName(name string) (Params, bool) {
+	switch name {
+	case "tcp", "tcpip", "ethernet":
+		return TCPGigE(), true
+	case "score":
+		return SCoreGigE(), true
+	case "myrinet", "gm":
+		return MyrinetGM(), true
+	case "fast", "fastethernet":
+		return FastEthernet(), true
+	}
+	return Params{}, false
+}
+
+// All returns the three networks of the paper's factor space, reference
+// first.
+func All() []Params {
+	return []Params{TCPGigE(), SCoreGigE(), MyrinetGM()}
+}

@@ -1,0 +1,83 @@
+package netmodel
+
+import "testing"
+
+func TestPackets(t *testing.T) {
+	p := TCPGigE()
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {1500, 1}, {1501, 2}, {3000, 2}, {3001, 3},
+	}
+	for _, c := range cases {
+		if got := p.Packets(c.bytes); got != c.want {
+			t.Fatalf("Packets(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+	gm := MyrinetGM()
+	if got := gm.Packets(4097); got != 2 {
+		t.Fatalf("GM Packets(4097) = %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"tcp":     "TCP/IP on Ethernet",
+		"tcpip":   "TCP/IP on Ethernet",
+		"score":   "SCore on Ethernet",
+		"myrinet": "Myrinet",
+		"gm":      "Myrinet",
+		"fast":    "TCP/IP on Fast Ethernet",
+	} {
+		p, ok := ByName(name)
+		if !ok || p.Name != want {
+			t.Fatalf("ByName(%q) = %q, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ByName("infiniband"); ok {
+		t.Fatal("unknown network resolved")
+	}
+}
+
+func TestAllReturnsPaperNetworks(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() = %d networks", len(all))
+	}
+	if all[0].Name != "TCP/IP on Ethernet" {
+		t.Fatalf("reference network first, got %q", all[0].Name)
+	}
+}
+
+// TestParameterOrdering pins the qualitative relations the paper's factor
+// analysis depends on; a calibration edit that breaks one of these breaks
+// every figure.
+func TestParameterOrdering(t *testing.T) {
+	tcp, score, myri := TCPGigE(), SCoreGigE(), MyrinetGM()
+	if !(myri.Latency < score.Latency && score.Latency < tcp.Latency) {
+		t.Fatal("latency ordering violated")
+	}
+	if !(myri.Bandwidth > score.Bandwidth && score.Bandwidth > tcp.Bandwidth) {
+		t.Fatal("bandwidth ordering violated")
+	}
+	if !(myri.SendOverhead < score.SendOverhead && score.SendOverhead < tcp.SendOverhead) {
+		t.Fatal("overhead ordering violated")
+	}
+	if !tcp.InterruptDriven || score.InterruptDriven || myri.InterruptDriven {
+		t.Fatal("interrupt-driven flags wrong")
+	}
+	if tcp.StallProb <= 0 || score.StallProb != 0 || myri.StallProb != 0 {
+		t.Fatal("stall model flags wrong")
+	}
+	fast := FastEthernet()
+	if fast.Bandwidth >= tcp.Bandwidth/2 {
+		t.Fatal("Fast Ethernet should be far below GigE bandwidth")
+	}
+}
+
+func TestAllPositiveParams(t *testing.T) {
+	for _, p := range append(All(), FastEthernet()) {
+		if p.Latency <= 0 || p.Bandwidth <= 0 || p.PacketSize <= 0 ||
+			p.SendOverhead <= 0 || p.RecvOverhead <= 0 || p.EagerLimit <= 0 {
+			t.Fatalf("%s has non-positive parameters: %+v", p.Name, p)
+		}
+	}
+}

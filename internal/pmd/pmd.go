@@ -1,0 +1,208 @@
+// Package pmd is the parallel CHARMM-like molecular dynamics engine — the
+// computation whose performance the paper characterizes. It runs the
+// replicated-data atom decomposition CHARMM used on message-passing
+// machines:
+//
+//   - every rank holds a full coordinate replica;
+//   - bonded terms, the nonbonded pair list and the 1-4 list are block-
+//     partitioned; partial forces are combined with a global force
+//     reduction; positions propagate with an all-gather (the paper's
+//     "all-to-all collective" in the classic energy calculation);
+//   - PME runs slab-decomposed: per-rank charge spreading, a personalized
+//     all-to-all grid assembly, distributed 3-D FFTs with all-to-all
+//     transposes (the "all-to-all personalized communication" of Fig. 2),
+//     a gather of the convolved potential and local force interpolation.
+//
+// Every rank executes its real share of the physics (the results are
+// verified against the sequential engine) while virtual time is charged
+// through the cluster cost model and the simulated MPI/CMPI transports.
+package pmd
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/cmpi"
+	"repro/internal/md"
+	"repro/internal/mpi"
+	"repro/internal/topol"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// MiddlewareKind selects the communication middleware factor of the
+// paper's experimental design (§3.1).
+type MiddlewareKind int
+
+const (
+	// MiddlewareMPI uses raw MPI calls: blocking point-to-point plus the
+	// library's tree collectives and MPI barriers.
+	MiddlewareMPI MiddlewareKind = iota
+	// MiddlewareCMPI routes everything through the CHARMM-MPI portability
+	// layer (split non-blocking calls, ring collectives, synchronization
+	// by repeated 1-byte neighbour exchanges).
+	MiddlewareCMPI
+)
+
+func (m MiddlewareKind) String() string {
+	if m == MiddlewareCMPI {
+		return "CMPI"
+	}
+	return "MPI"
+}
+
+// Config configures a parallel run.
+type Config struct {
+	System     *topol.System // shared read-only topology
+	MD         md.Config     // must enable PME (the paper's measured mode)
+	Steps      int
+	Middleware MiddlewareKind
+
+	// ModernCollectives replaces the MPICH-1-era algorithms with the
+	// post-2004 ones (recursive-doubling allreduce, ring allgather) — the
+	// ablation that asks how much of the scalability loss was library
+	// algorithms rather than network hardware. MPI middleware only.
+	ModernCollectives bool
+
+	// Tracer, when non-nil, collects every compute/communication interval
+	// of every rank plus classic/PME phase spans for timeline rendering.
+	Tracer *trace.Collector
+}
+
+// PhaseSample is the measured decomposition of one phase of one step on
+// one rank.
+type PhaseSample struct {
+	Comp  float64
+	Comm  float64
+	Sync  float64
+	Wall  float64 // elapsed virtual time of the phase
+	Bytes int64   // bytes sent during the phase
+}
+
+// Add accumulates o into s.
+func (s *PhaseSample) Add(o PhaseSample) {
+	s.Comp += o.Comp
+	s.Comm += o.Comm
+	s.Sync += o.Sync
+	s.Wall += o.Wall
+	s.Bytes += o.Bytes
+}
+
+// StepTiming is the per-step classic/PME split of §3.2.
+type StepTiming struct {
+	Classic PhaseSample
+	PME     PhaseSample
+}
+
+// Result is the outcome of one parallel run.
+type Result struct {
+	P        int               // ranks
+	Timings  [][]StepTiming    // [rank][step]
+	Energies []md.EnergyReport // per step (identical on all ranks; rank 0's copy)
+	FinalPos []vec.V           // rank 0 replica after the run
+	Wall     float64           // virtual wall clock of the whole run
+}
+
+// PhaseTotals sums a phase over steps and returns the per-rank maxima the
+// paper plots: the wall time of the slowest rank and its breakdown.
+func (r *Result) PhaseTotals() (classic, pme PhaseSample) {
+	for rank := range r.Timings {
+		var c, p PhaseSample
+		for _, st := range r.Timings[rank] {
+			c.Add(st.Classic)
+			p.Add(st.PME)
+		}
+		if c.Wall > classic.Wall {
+			classic = c
+		}
+		if p.Wall > pme.Wall {
+			pme = p
+		}
+	}
+	return classic, pme
+}
+
+// blockPartition splits n items into p nearly equal contiguous blocks and
+// returns the start offsets (length p+1).
+func blockPartition(n, p int) []int {
+	if p < 1 {
+		panic("pmd: non-positive partition")
+	}
+	off := make([]int, p+1)
+	base, rem := n/p, n%p
+	for i := 0; i < p; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		off[i+1] = off[i] + w
+	}
+	return off
+}
+
+// comms is the middleware abstraction the engine drives; both the raw MPI
+// collectives and the CMPI layer satisfy it.
+type comms interface {
+	Allreduce(bytes int, reduceOp float64)
+	Allgatherv(blocks []int)
+	Alltoallv(sizes [][]int)
+	Barrier()
+}
+
+type mpiComms struct{ r *mpi.Rank }
+
+func (c mpiComms) Allreduce(bytes int, reduceOp float64) { c.r.Allreduce(bytes, reduceOp) }
+func (c mpiComms) Allgatherv(blocks []int)               { c.r.Allgatherv(blocks) }
+func (c mpiComms) Alltoallv(sizes [][]int)               { c.r.Alltoallv(sizes) }
+func (c mpiComms) Barrier()                              { c.r.Barrier() }
+
+// mpiModernComms swaps in the post-2004 collective algorithms.
+type mpiModernComms struct{ r *mpi.Rank }
+
+func (c mpiModernComms) Allreduce(bytes int, reduceOp float64) {
+	c.r.AllreduceRecursiveDoubling(bytes, reduceOp)
+}
+func (c mpiModernComms) Allgatherv(blocks []int) { c.r.AllgathervRing(blocks) }
+func (c mpiModernComms) Alltoallv(sizes [][]int) { c.r.Alltoallv(sizes) }
+func (c mpiModernComms) Barrier()                { c.r.Barrier() }
+
+type cmpiComms struct{ m *cmpi.Middleware }
+
+func (c cmpiComms) Allreduce(bytes int, reduceOp float64) { c.m.GlobalSum(bytes, reduceOp) }
+func (c cmpiComms) Allgatherv(blocks []int)               { c.m.Allgatherv(blocks) }
+func (c cmpiComms) Alltoallv(sizes [][]int)               { c.m.Alltoallv(sizes) }
+func (c cmpiComms) Barrier()                              { c.m.Barrier() }
+
+// Run executes the parallel MD under the given cluster configuration.
+func Run(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (*Result, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("pmd: nil system")
+	}
+	if !cfg.MD.UsePME {
+		return nil, fmt.Errorf("pmd: the measured workload requires PME (cfg.MD.UsePME)")
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("pmd: need at least one step")
+	}
+	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
+
+	// The initial state comes from the sequential engine so trajectories
+	// are directly comparable; every rank starts from an identical copy.
+	seed := md.NewEngine(cfg.System, cfg.MD)
+
+	sh := newShared(p, cfg)
+	res := &Result{
+		P:        p,
+		Timings:  make([][]StepTiming, p),
+		Energies: make([]md.EnergyReport, 0, cfg.Steps),
+	}
+
+	_, err := mpi.RunTraced(clusterCfg, cost, cfg.Tracer, func(r *mpi.Rank) {
+		w := newWorker(r, cfg, sh, seed)
+		w.run(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package pmd
+
+import (
+	"fmt"
+
+	"repro/internal/cmpi"
+	"repro/internal/ewald"
+	"repro/internal/ff"
+	"repro/internal/fft"
+	"repro/internal/md"
+	"repro/internal/mpi"
+	"repro/internal/space"
+	"repro/internal/trace"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+const (
+	bytesPerPoint     = 16 // complex spectrum values moved by the FFT transposes
+	bytesPerRealPoint = 8  // real-valued charge / potential grids (CHARMM ships real grids)
+	bytesPerCoord     = 24 // one vec.V
+)
+
+// energyPart is one rank's contribution to the step energies.
+type energyPart struct {
+	FF       ff.Energies
+	Recip    float64
+	ExclCorr float64
+	Kinetic  float64
+}
+
+// shared is the data blackboard the ranks exchange real values through.
+// The simulated collectives provide the ordering guarantees: a slot is
+// always written before the collective that logically transports it and
+// read only afterwards.
+type shared struct {
+	posBlocks  [][]vec.V
+	classicFrc [][]vec.V
+	pmeFrc     [][]vec.V
+	energy     []energyPart
+
+	grids     [][]complex128   // full-size per-rank spread accumulations
+	tblocksF  [][][]complex128 // forward transpose blocks [src][dst]
+	tblocksB  [][][]complex128 // backward transpose blocks [src][dst]
+	convSlabs [][]complex128   // final x-slabs of the convolved potential
+}
+
+func newShared(p int, cfg Config) *shared {
+	sh := &shared{
+		posBlocks:  make([][]vec.V, p),
+		classicFrc: make([][]vec.V, p),
+		pmeFrc:     make([][]vec.V, p),
+		energy:     make([]energyPart, p),
+		grids:      make([][]complex128, p),
+		tblocksF:   make([][][]complex128, p),
+		tblocksB:   make([][][]complex128, p),
+		convSlabs:  make([][]complex128, p),
+	}
+	for i := 0; i < p; i++ {
+		sh.tblocksF[i] = make([][]complex128, p)
+		sh.tblocksB[i] = make([][]complex128, p)
+	}
+	return sh
+}
+
+// worker is the per-rank engine state.
+type worker struct {
+	r   *mpi.Rank
+	c   comms
+	cfg Config
+	sh  *shared
+
+	ff  *ff.ForceField
+	pme *ewald.PME
+
+	pos, vel []vec.V
+	frcTotal []vec.V // combined forces of the previous evaluation
+	partial  []vec.V // scratch partial force array
+
+	pairs      []space.Pair
+	listOrigin []vec.V
+
+	// Partitions.
+	p                       int
+	atomOff                 []int // atoms
+	bondOff, angOff         []int
+	dihOff, imprOff, p14Off []int
+	xOff, yOff              []int // PME slab partitions
+	pairOff                 []int // nonbonded pair list (rebuilt with the list)
+
+	// PME working buffers.
+	localGrid []complex128 // full grid, own-atom spreading
+	slab      []complex128 // owned x-slab [myX][K2][K3]
+	xlines    []complex128 // transposed layout [K1][myY][K3]
+	convFull  []complex128 // assembled potential grid
+	plan2d    *fft.Plan2D
+	plan1d    *fft.Plan
+	line      []complex128
+
+	invMass []float64
+	dtAKMA  float64
+}
+
+func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine) *worker {
+	sys := cfg.System
+	n := sys.N()
+	p := r.Size()
+	w := &worker{
+		r: r, cfg: cfg, sh: sh, p: p,
+		ff:       seedEngine.FF,
+		pos:      append([]vec.V(nil), seedEngine.Pos...),
+		vel:      append([]vec.V(nil), seedEngine.Vel...),
+		frcTotal: make([]vec.V, n),
+		partial:  make([]vec.V, n),
+		invMass:  make([]float64, n),
+	}
+	switch {
+	case cfg.Middleware == MiddlewareCMPI:
+		w.c = cmpiComms{m: cmpi.New(r)}
+	case cfg.ModernCollectives:
+		w.c = mpiModernComms{r: r}
+	default:
+		w.c = mpiComms{r: r}
+	}
+	for i := range w.invMass {
+		w.invMass[i] = 1 / sys.Mass(i)
+	}
+	w.dtAKMA = dtAKMA(cfg.MD)
+	pmeCfg := cfg.MD.PME
+	w.pme = ewald.NewPME(sys.Box, pmeCfg.Beta, pmeCfg.K1, pmeCfg.K2, pmeCfg.K3, pmeCfg.Order)
+
+	w.atomOff = blockPartition(n, p)
+	w.bondOff = blockPartition(len(sys.Bonds), p)
+	w.angOff = blockPartition(len(sys.Angles), p)
+	w.dihOff = blockPartition(len(sys.Dihedrals), p)
+	w.imprOff = blockPartition(len(sys.Impropers), p)
+	w.p14Off = blockPartition(len(sys.Pairs14), p)
+	w.xOff = blockPartition(pmeCfg.K1, p)
+	w.yOff = blockPartition(pmeCfg.K2, p)
+
+	g := pmeCfg.K1 * pmeCfg.K2 * pmeCfg.K3
+	w.localGrid = make([]complex128, g)
+	w.slab = make([]complex128, w.myXW()*pmeCfg.K2*pmeCfg.K3)
+	w.xlines = make([]complex128, pmeCfg.K1*w.myYW()*pmeCfg.K3)
+	w.convFull = make([]complex128, g)
+	w.plan2d = fft.NewPlan2D(pmeCfg.K2, pmeCfg.K3)
+	w.plan1d = fft.NewPlan(pmeCfg.K1)
+	w.line = make([]complex128, pmeCfg.K1)
+	return w
+}
+
+func dtAKMA(cfg md.Config) float64 {
+	const akmaFS = 48.88821
+	return cfg.TimestepFS / akmaFS
+}
+
+func (w *worker) me() int             { return w.r.ID }
+func (w *worker) myAtoms() (int, int) { return w.atomOff[w.me()], w.atomOff[w.me()+1] }
+func (w *worker) myXW() int           { return w.xOff[w.me()+1] - w.xOff[w.me()] }
+func (w *worker) myYW() int           { return w.yOff[w.me()+1] - w.yOff[w.me()] }
+
+// phaseTracker captures comp/comm/sync deltas for one phase.
+type phaseTracker struct {
+	r     *mpi.Rank
+	t0    float64
+	acct0 mpi.Accounting
+}
+
+func (w *worker) beginPhase() phaseTracker {
+	return phaseTracker{r: w.r, t0: w.r.Now(), acct0: w.r.Acct()}
+}
+
+func (t phaseTracker) sample() PhaseSample {
+	d := t.r.Acct().Sub(t.acct0)
+	return PhaseSample{
+		Comp: d.Comp, Comm: d.Comm, Sync: d.Sync,
+		Wall:  t.r.Now() - t.t0,
+		Bytes: d.BytesSent,
+	}
+}
+
+// run executes the configured number of steps.
+func (w *worker) run(res *Result) {
+	sys := w.cfg.System
+	timings := make([]StepTiming, 0, w.cfg.Steps)
+
+	// Initial force evaluation (step 0 of velocity Verlet), not measured —
+	// the paper times the MD steps after the testing environment settled.
+	w.computeForces(nil, phaseTracker{})
+
+	for step := 0; step < w.cfg.Steps; step++ {
+		var st StepTiming
+
+		// ---- Classic phase ---------------------------------------------
+		tr := w.beginPhase()
+		var wc work.Counters
+
+		// Half-kick + drift for the owned atom block.
+		aLo, aHi := w.myAtoms()
+		half := 0.5 * w.dtAKMA
+		for i := aLo; i < aHi; i++ {
+			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+			w.pos[i] = w.pos[i].Add(w.vel[i].Scale(w.dtAKMA))
+		}
+		wc.Integrate += int64(aHi - aLo)
+		w.r.ComputeWork(wc)
+
+		// Publish the block, all-gather positions, refresh the replica.
+		w.sh.posBlocks[w.me()] = w.pos[aLo:aHi]
+		blocks := make([]int, w.p)
+		for i := 0; i < w.p; i++ {
+			blocks[i] = bytesPerCoord * (w.atomOff[i+1] - w.atomOff[i])
+		}
+		w.c.Allgatherv(blocks)
+		for rk := 0; rk < w.p; rk++ {
+			if rk == w.me() {
+				continue
+			}
+			copy(w.pos[w.atomOff[rk]:w.atomOff[rk+1]], w.sh.posBlocks[rk])
+		}
+
+		// Forces: closes the classic sample, fills the PME sample.
+		rep := w.computeForces(&st, tr)
+
+		// ---- Second half-kick + step bookkeeping (PME phase tail) -------
+		tp := w.beginPhase()
+		for i := aLo; i < aHi; i++ {
+			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+		}
+		var kin float64
+		for i := aLo; i < aHi; i++ {
+			kin += 0.5 * sys.Mass(i) * w.vel[i].Norm2()
+		}
+		w.sh.energy[w.me()].Kinetic = kin
+		var wk work.Counters
+		wk.Integrate += int64(aHi - aLo)
+		w.r.ComputeWork(wk)
+		w.c.Barrier()
+		var kinTotal float64
+		for rk := 0; rk < w.p; rk++ {
+			kinTotal += w.sh.energy[rk].Kinetic
+		}
+		rep.Kinetic = kinTotal
+		st.PME.Add(tp.sample())
+
+		// Phase background lanes for the timeline.
+		stepEnd := w.r.Now()
+		w.r.TraceSpan(trace.KindPhase, fmt.Sprintf("classic %d", step), tr.t0, tr.t0+st.Classic.Wall)
+		w.r.TraceSpan(trace.KindPhase, fmt.Sprintf("pme %d", step), stepEnd-st.PME.Wall, stepEnd)
+
+		timings = append(timings, st)
+		if w.me() == 0 {
+			res.Energies = append(res.Energies, rep)
+		}
+	}
+
+	res.Timings[w.me()] = timings
+	if w.me() == 0 {
+		res.FinalPos = append([]vec.V(nil), w.pos...)
+		res.Wall = w.r.Now()
+	}
+}

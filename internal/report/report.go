@@ -1,0 +1,107 @@
+// Package report renders the reproduction results as aligned text tables,
+// ASCII stacked bars (for the paper's percentage charts) and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table with a header row and a rule.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes a simple comma-separated file (fields are numeric or plain
+// identifiers; no quoting needed by construction).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StackedBar renders a three-segment percentage bar of the given width:
+// '#' computation, '=' communication, '.' synchronization.
+func StackedBar(compPct, commPct, syncPct float64, width int) string {
+	if width < 3 {
+		width = 3
+	}
+	nc := int(compPct/100*float64(width) + 0.5)
+	nm := int(commPct/100*float64(width) + 0.5)
+	if nc > width {
+		nc = width
+	}
+	if nc+nm > width {
+		nm = width - nc
+	}
+	ns := width - nc - nm
+	return strings.Repeat("#", nc) + strings.Repeat("=", nm) + strings.Repeat(".", ns)
+}
+
+// Bar renders a proportional horizontal bar for value within [0, max].
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}
+
+// Seconds formats a duration in seconds with stable precision.
+func Seconds(s float64) string { return fmt.Sprintf("%.3f", s) }
+
+// Pct formats a percentage.
+func Pct(p float64) string { return fmt.Sprintf("%.1f%%", p) }

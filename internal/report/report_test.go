@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// The value column starts at the same offset in every row.
+	off := strings.Index(lines[2], "1")
+	if idx := strings.Index(lines[3], "22"); idx != off {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", off, idx, b.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	bar := StackedBar(50, 30, 20, 20)
+	if len(bar) != 20 {
+		t.Fatalf("bar length %d: %q", len(bar), bar)
+	}
+	if strings.Count(bar, "#") != 10 {
+		t.Fatalf("comp segment: %q", bar)
+	}
+	if strings.Count(bar, "=") != 6 {
+		t.Fatalf("comm segment: %q", bar)
+	}
+	// Over-100% inputs must not overflow the width.
+	if got := StackedBar(90, 90, 0, 10); len(got) != 10 {
+		t.Fatalf("overflow bar %q", got)
+	}
+	if got := StackedBar(100, 0, 0, 2); len(got) != 3 {
+		t.Fatalf("minimum width bar %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); len([]rune(got)) != 5 {
+		t.Fatalf("bar %q", got)
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Fatal("zero max should render empty")
+	}
+	if got := Bar(20, 10, 10); len([]rune(got)) != 10 {
+		t.Fatalf("clamped bar %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Seconds(1.23456) != "1.235" {
+		t.Fatalf("Seconds = %q", Seconds(1.23456))
+	}
+	if Pct(12.34) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.34))
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "fmt"
+
+// Resource is an FCFS server pool with fixed capacity. Processes acquire a
+// unit, hold it across virtual time, and release it; waiters are served in
+// request order (deterministic).
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity (≥ 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Acquire takes one unit, parking the caller until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.Park()
+	// The releaser transferred the unit to us before unparking.
+}
+
+// Release returns one unit and hands it to the oldest waiter, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Unit stays in use; ownership moves to the waiter.
+		r.env.Unpark(next)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, advances d seconds, and releases it.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Advance(d)
+	r.Release()
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of parked waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }

@@ -1,0 +1,203 @@
+// Package sim is a process-oriented discrete-event simulation engine in the
+// style of SimPy: simulated processes are goroutines that run strictly one
+// at a time under a virtual clock, yielding to the scheduler when they
+// advance time, park on an event, or finish. Determinism is guaranteed by a
+// total order on wakeups (time, then sequence number).
+//
+// The cluster performance model runs every simulated MPI rank as one
+// process; between yields a process executes real Go code (the actual MD
+// computation), so simulated timing and real physics stay coupled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Proc is one simulated process. Its methods must only be called from
+// inside the process's own function, except where noted.
+type Proc struct {
+	env      *Env
+	id       int
+	name     string
+	wake     chan struct{}
+	state    procState
+	wakeAt   float64
+	seq      int64 // tie-break for deterministic ordering
+	finished bool
+}
+
+type procState int
+
+const (
+	stateRunning procState = iota
+	stateTimed             // waiting until wakeAt
+	stateParked            // waiting for Unpark
+	stateDone
+)
+
+// Env is the simulation environment: virtual clock plus scheduler.
+type Env struct {
+	now     float64
+	procs   []*Proc
+	queue   wakeQueue
+	yield   chan struct{}
+	seq     int64
+	running bool
+	current *Proc
+}
+
+// NewEnv returns an empty environment at time 0.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Spawn registers a new process. The function body starts running at the
+// current virtual time once Run is in control. Spawn may be called before
+// Run or from inside a running process.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		env:  e,
+		id:   len(e.procs),
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	p.state = stateTimed
+	p.wakeAt = e.now
+	p.seq = e.nextSeq()
+	heap.Push(&e.queue, p)
+	go func() {
+		<-p.wake // wait for first schedule
+		fn(p)
+		p.state = stateDone
+		p.finished = true
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+func (e *Env) nextSeq() int64 {
+	e.seq++
+	return e.seq
+}
+
+// Run executes the simulation until every process has finished. It returns
+// an error describing the parked processes if the simulation deadlocks.
+func (e *Env) Run() error {
+	if e.running {
+		panic("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		// All done?
+		alive := false
+		for _, p := range e.procs {
+			if !p.finished {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil
+		}
+		if e.queue.Len() == 0 {
+			return e.deadlockError()
+		}
+		p := heap.Pop(&e.queue).(*Proc)
+		if p.wakeAt < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %g -> %g", e.now, p.wakeAt))
+		}
+		e.now = p.wakeAt
+		p.state = stateRunning
+		e.current = p
+		p.wake <- struct{}{}
+		<-e.yield
+		e.current = nil
+	}
+}
+
+func (e *Env) deadlockError() error {
+	var parked []string
+	for _, p := range e.procs {
+		if !p.finished && p.state == stateParked {
+			parked = append(parked, p.name)
+		}
+	}
+	sort.Strings(parked)
+	return fmt.Errorf("sim: deadlock at t=%.9f, parked processes: %v", e.now, parked)
+}
+
+// yieldToScheduler hands control back and blocks until rescheduled.
+func (p *Proc) yieldToScheduler() {
+	p.env.yield <- struct{}{}
+	<-p.wake
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process index within its environment.
+func (p *Proc) ID() int { return p.id }
+
+// Advance blocks the process for d seconds of virtual time. d must be
+// non-negative.
+func (p *Proc) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %g", d))
+	}
+	p.state = stateTimed
+	p.wakeAt = p.env.now + d
+	p.seq = p.env.nextSeq()
+	heap.Push(&p.env.queue, p)
+	p.yieldToScheduler()
+}
+
+// Park blocks the process until another process calls Unpark on it.
+func (p *Proc) Park() {
+	p.state = stateParked
+	p.yieldToScheduler()
+}
+
+// Unpark makes a parked process runnable at the current virtual time.
+// It must be called from the currently running process (or before Run).
+// Unparking a process that is not parked panics — that is always a logic
+// error in the calling protocol.
+func (e *Env) Unpark(p *Proc) {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", p.name))
+	}
+	p.state = stateTimed
+	p.wakeAt = e.now
+	p.seq = e.nextSeq()
+	heap.Push(&e.queue, p)
+}
+
+// wakeQueue is a min-heap on (wakeAt, seq).
+type wakeQueue []*Proc
+
+func (q wakeQueue) Len() int { return len(q) }
+func (q wakeQueue) Less(i, j int) bool {
+	if q[i].wakeAt != q[j].wakeAt {
+		return q[i].wakeAt < q[j].wakeAt
+	}
+	return q[i].seq < q[j].seq
+}
+func (q wakeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *wakeQueue) Push(x interface{}) { *q = append(*q, x.(*Proc)) }
+func (q *wakeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return p
+}

@@ -1,0 +1,73 @@
+// Package space provides periodic-boundary geometry and spatial search
+// structures (cell lists) for the MD engine.
+//
+// The simulation cell is orthorhombic, matching the paper's myoglobin setup
+// whose PME charge mesh is 80×36×48 (≈1 Å grid spacing).
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Box is an orthorhombic periodic cell with edge lengths L.X, L.Y, L.Z
+// centred so that fractional coordinates lie in [0, L).
+type Box struct {
+	L vec.V
+}
+
+// NewBox returns an orthorhombic box with the given edge lengths. All edges
+// must be positive.
+func NewBox(lx, ly, lz float64) Box {
+	if lx <= 0 || ly <= 0 || lz <= 0 {
+		panic(fmt.Sprintf("space: non-positive box edges (%g, %g, %g)", lx, ly, lz))
+	}
+	return Box{L: vec.New(lx, ly, lz)}
+}
+
+// Volume returns the box volume in Å³.
+func (b Box) Volume() float64 { return b.L.X * b.L.Y * b.L.Z }
+
+// Wrap maps p into the primary cell [0, L)³.
+func (b Box) Wrap(p vec.V) vec.V {
+	return vec.New(wrap1(p.X, b.L.X), wrap1(p.Y, b.L.Y), wrap1(p.Z, b.L.Z))
+}
+
+func wrap1(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement a − b: the shortest
+// vector from b to a under periodic boundary conditions.
+func (b Box) MinImage(a, p vec.V) vec.V {
+	d := a.Sub(p)
+	return vec.New(mi1(d.X, b.L.X), mi1(d.Y, b.L.Y), mi1(d.Z, b.L.Z))
+}
+
+func mi1(d, l float64) float64 {
+	return d - l*math.Round(d/l)
+}
+
+// Dist returns the minimum-image distance between a and b.
+func (b Box) Dist(a, p vec.V) float64 { return b.MinImage(a, p).Norm() }
+
+// Dist2 returns the squared minimum-image distance between a and b.
+func (b Box) Dist2(a, p vec.V) float64 { return b.MinImage(a, p).Norm2() }
+
+// MaxCutoff returns the largest interaction cutoff for which the minimum
+// image convention is valid in this box (half the shortest edge).
+func (b Box) MaxCutoff() float64 {
+	return 0.5 * math.Min(b.L.X, math.Min(b.L.Y, b.L.Z))
+}
+
+// Frac returns the fractional coordinates of p in [0, 1)³.
+func (b Box) Frac(p vec.V) vec.V {
+	w := b.Wrap(p)
+	return vec.New(w.X/b.L.X, w.Y/b.L.Y, w.Z/b.L.Z)
+}

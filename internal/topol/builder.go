@@ -1,0 +1,338 @@
+package topol
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/vec"
+)
+
+// Paper system dimensions (§2.2): the PME charge mesh is 80×36×48 at ≈1 Å
+// spacing, so the periodic cell is 80×36×48 Å; the system totals 3552 atoms.
+const (
+	BoxX = 80.0
+	BoxY = 36.0
+	BoxZ = 48.0
+
+	NumResidues   = 153
+	NumWaters     = 337
+	TotalAtoms    = 3552
+	numRes17      = 86 // residues with a 11-atom (polar-tipped) sidechain
+	atomsPerWater = 3
+)
+
+// MyoglobinConfig controls the synthetic system builder.
+type MyoglobinConfig struct {
+	Seed uint64 // RNG stream for water placement and orientations
+}
+
+// NewMyoglobinSystem builds the paper's molecular workload: a 153-residue
+// α-class synthetic protein (2534 atoms), one carbon monoxide (2), 337
+// waters (1011) and a sulfate ion (5) — 3552 atoms in the 80×36×48 Å box.
+// The protein carries net charge +2 and the sulfate −2, so the cell is
+// neutral as PME prefers.
+//
+// The geometry is a collision-avoiding serpentine fold (ten strands) meant
+// to be relaxed by a short minimization before dynamics; the *workload*
+// (atom counts, density, bonded-graph size, charge distribution) matches
+// the paper's system, which is all the performance study depends on.
+func NewMyoglobinSystem(cfg MyoglobinConfig) *System {
+	s := &System{
+		Box:   space.NewBox(BoxX, BoxY, BoxZ),
+		Types: StandardTypes(),
+	}
+	r := rng.New(cfg.Seed ^ 0x6d796f676c6f62) // "myoglob"
+
+	buildProtein(s)
+	buildCO(s, vec.New(14, 18, 40))
+	buildSulfate(s, vec.New(66, 18, 40))
+	buildWaters(s, r)
+
+	if n := s.N(); n != TotalAtoms {
+		panic(fmt.Sprintf("topol: built %d atoms, want %d", n, TotalAtoms))
+	}
+	s.DeriveConnectivity()
+	addProteinImpropers(s)
+	if err := s.Validate(); err != nil {
+		panic("topol: invalid myoglobin system: " + err.Error())
+	}
+	return s
+}
+
+// addAtom appends an atom and returns its index.
+func (s *System) addAtom(name string, typ int32, charge float64, pos vec.V, res int32) int32 {
+	i := int32(len(s.Atoms))
+	s.Atoms = append(s.Atoms, Atom{Name: name, Type: typ, Charge: charge, Residue: res})
+	s.Pos = append(s.Pos, s.Box.Wrap(pos))
+	return i
+}
+
+func (s *System) addBond(i, j int32) {
+	s.Bonds = append(s.Bonds, [2]int32{i, j})
+}
+
+// startResidue opens a new residue and returns its index.
+func (s *System) startResidue(name string) int32 {
+	i := int32(len(s.Residues))
+	s.Residues = append(s.Residues, Residue{Name: name, First: int32(len(s.Atoms))})
+	return i
+}
+
+func (s *System) endResidue(res int32) {
+	s.Residues[res].Last = int32(len(s.Atoms))
+}
+
+// buildProtein lays the 153-residue chain as a serpentine of ten strands
+// (16 residues each, the last with 9) inside the box, sidechains extending
+// along ±z away from the neighbouring strand plane.
+func buildProtein(s *System) {
+	const (
+		resPerRow = 16
+		caSpacing = 3.8
+		x0        = 9.0
+		y0        = 8.0
+		z0        = 17.0
+		rowDY     = 5.0
+		layerDZ   = 6.0
+	)
+	var prevC int32 = -1
+	var lastC, lastO int32 = -1, -1
+	for i := 0; i < NumResidues; i++ {
+		row := i / resPerRow
+		col := i % resPerRow
+		dir := 1.0
+		if row%2 == 1 {
+			dir = -1.0 // serpentine: odd rows run backwards
+			col = resPerRow - 1 - col
+		}
+		// Rows walk a serpentine in (y, z) as well, so consecutive rows are
+		// always spatially adjacent and every turn bond stays short: five
+		// rows per z-layer, odd layers traversing y in reverse.
+		layer := row / 5
+		yIdx := row % 5
+		if layer%2 == 1 {
+			yIdx = 4 - yIdx
+		}
+		ca := vec.New(x0+float64(col)*caSpacing, y0+float64(yIdx)*rowDY, z0+float64(layer)*layerDZ)
+		scDir := 1.0
+		if layer == 0 {
+			scDir = -1.0 // lower layer grows sidechains toward −z
+		}
+
+		is17 := i < numRes17
+		name := "R16"
+		if is17 {
+			name = "R17"
+		}
+		res := s.startResidue(name)
+
+		n := s.addAtom("N", TypeN, -0.47, ca.Add(vec.New(-1.2*dir, 0.5, 0)), res)
+		hn := s.addAtom("HN", TypeH, 0.31, ca.Add(vec.New(-1.4*dir, 1.45, 0)), res)
+		caI := s.addAtom("CA", TypeCT, 0.07, ca, res)
+		ha := s.addAtom("HA", TypeHA, 0.09, ca.Add(vec.New(0, -0.7, -0.7*scDir)), res)
+		c := s.addAtom("C", TypeC, 0.51, ca.Add(vec.New(1.3*dir, 0.5, 0)), res)
+		o := s.addAtom("O", TypeO, -0.51, ca.Add(vec.New(1.4*dir, 1.7, 0)), res)
+		s.addBond(n, hn)
+		s.addBond(n, caI)
+		s.addBond(caI, ha)
+		s.addBond(caI, c)
+		s.addBond(c, o)
+		if prevC >= 0 {
+			s.addBond(prevC, n)
+		}
+		prevC = c
+		lastC, lastO = c, o
+
+		buildSidechain(s, res, caI, ca, scDir, is17)
+		s.endResidue(res)
+	}
+	// Charged termini: +1 on the N-terminal amine, +1 on the C-terminus,
+	// giving the protein the paper-consistent net charge of +2 that the
+	// sulfate compensates.
+	s.Atoms[0].Charge += 0.5 // N of residue 0
+	s.Atoms[1].Charge += 0.5 // HN of residue 0
+	s.Atoms[lastC].Charge += 0.5
+	s.Atoms[lastO].Charge += 0.5
+}
+
+// buildSidechain grows the synthetic sidechain below/above the CA.
+// 10 atoms for R16 (…CD methyl), 11 for R17 (…CD, OE, HE hydroxyl tip).
+func buildSidechain(s *System, res, caI int32, ca vec.V, scDir float64, is17 bool) {
+	zig := func(k int) float64 {
+		if k%2 == 0 {
+			return 0.9
+		}
+		return -0.9
+	}
+	cb := s.addAtom("CB", TypeCT, -0.18, ca.Add(vec.New(zig(0), 0, 1.35*scDir)), res)
+	s.addBond(caI, cb)
+	hb1 := s.addAtom("HB1", TypeHA, 0.09, ca.Add(vec.New(zig(0)+0.9, 0.7, 1.35*scDir)), res)
+	hb2 := s.addAtom("HB2", TypeHA, 0.09, ca.Add(vec.New(zig(0)+0.9, -0.7, 1.35*scDir)), res)
+	s.addBond(cb, hb1)
+	s.addBond(cb, hb2)
+
+	cg := s.addAtom("CG", TypeCT, -0.18, ca.Add(vec.New(zig(1), 0, 2.70*scDir)), res)
+	s.addBond(cb, cg)
+	hg1 := s.addAtom("HG1", TypeHA, 0.09, ca.Add(vec.New(zig(1)-0.9, 0.7, 2.70*scDir)), res)
+	hg2 := s.addAtom("HG2", TypeHA, 0.09, ca.Add(vec.New(zig(1)-0.9, -0.7, 2.70*scDir)), res)
+	s.addBond(cg, hg1)
+	s.addBond(cg, hg2)
+
+	if is17 {
+		cd := s.addAtom("CD", TypeCT, 0.11, ca.Add(vec.New(zig(2), 0, 4.05*scDir)), res)
+		s.addBond(cg, cd)
+		hd1 := s.addAtom("HD1", TypeHA, 0.09, ca.Add(vec.New(zig(2)+0.9, 0.7, 4.05*scDir)), res)
+		hd2 := s.addAtom("HD2", TypeHA, 0.09, ca.Add(vec.New(zig(2)+0.9, -0.7, 4.05*scDir)), res)
+		s.addBond(cd, hd1)
+		s.addBond(cd, hd2)
+		oe := s.addAtom("OE", TypeOH, -0.72, ca.Add(vec.New(zig(3), 0, 5.35*scDir)), res)
+		s.addBond(cd, oe)
+		he := s.addAtom("HE", TypeH, 0.43, ca.Add(vec.New(zig(3), 0.95, 5.35*scDir)), res)
+		s.addBond(oe, he)
+	} else {
+		cd := s.addAtom("CD", TypeCT, -0.27, ca.Add(vec.New(zig(2), 0, 4.05*scDir)), res)
+		s.addBond(cg, cd)
+		hd1 := s.addAtom("HD1", TypeHA, 0.09, ca.Add(vec.New(zig(2)+0.9, 0.7, 4.05*scDir)), res)
+		hd2 := s.addAtom("HD2", TypeHA, 0.09, ca.Add(vec.New(zig(2)+0.9, -0.7, 4.05*scDir)), res)
+		hd3 := s.addAtom("HD3", TypeHA, 0.09, ca.Add(vec.New(zig(2), 0, 5.1*scDir)), res)
+		s.addBond(cd, hd1)
+		s.addBond(cd, hd2)
+		s.addBond(cd, hd3)
+	}
+}
+
+// buildCO places the carbon monoxide ligand.
+func buildCO(s *System, at vec.V) {
+	res := s.startResidue("CO")
+	c := s.addAtom("C", TypeCM, 0.021, at, res)
+	o := s.addAtom("O", TypeOM, -0.021, at.Add(vec.New(1.128, 0, 0)), res)
+	s.addBond(c, o)
+	s.endResidue(res)
+}
+
+// buildSulfate places the SO4²⁻ counter-ion (tetrahedral, S–O 1.49 Å).
+func buildSulfate(s *System, at vec.V) {
+	res := s.startResidue("SO4")
+	sa := s.addAtom("S", TypeS, 2.0, at, res)
+	const d = 1.49 / 1.7320508 // component of the S–O bond along each axis
+	dirs := []vec.V{
+		vec.New(d, d, d), vec.New(d, -d, -d), vec.New(-d, d, -d), vec.New(-d, -d, d),
+	}
+	for k, dir := range dirs {
+		o := s.addAtom(fmt.Sprintf("O%d", k+1), TypeOS, -1.0, at.Add(dir), res)
+		s.addBond(sa, o)
+	}
+	s.endResidue(res)
+}
+
+// buildWaters scatters NumWaters TIP3-like waters into free space with a
+// minimum-distance rejection against everything placed so far.
+func buildWaters(s *System, r *rng.Source) {
+	const (
+		minDistSolute = 2.7
+		minDistWater  = 2.6
+		maxAttempts   = 400000
+	)
+	soluteEnd := len(s.Pos)
+	var waterO []vec.V
+	placed := 0
+	attempts := 0
+	for placed < NumWaters {
+		attempts++
+		if attempts > maxAttempts {
+			panic("topol: could not place waters (box too crowded)")
+		}
+		p := vec.New(r.Range(2, BoxX-2), r.Range(2, BoxY-2), r.Range(2, BoxZ-2))
+		ok := true
+		for i := 0; i < soluteEnd; i++ {
+			if s.Box.Dist2(p, s.Pos[i]) < minDistSolute*minDistSolute {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, w := range waterO {
+				if s.Box.Dist2(p, w) < minDistWater*minDistWater {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		waterO = append(waterO, p)
+		addWater(s, r, p)
+		placed++
+	}
+}
+
+// addWater appends one water with random orientation at o.
+func addWater(s *System, r *rng.Source, o vec.V) {
+	res := s.startResidue("TIP3")
+	ow := s.addAtom("OW", TypeOW, -0.834, o, res)
+	// Two O–H vectors at the TIP3 geometry (0.9572 Å, 104.52°) in a random
+	// orientation: pick a random unit vector and a random perpendicular.
+	u := randomUnit(r)
+	v := perpUnit(r, u)
+	const rOH = 0.9572
+	const half = 104.52 / 2 * math.Pi / 180
+	h1 := o.Add(u.Scale(rOH * math.Cos(half)).Add(v.Scale(rOH * math.Sin(half))))
+	h2 := o.Add(u.Scale(rOH * math.Cos(half)).Add(v.Scale(-rOH * math.Sin(half))))
+	hw1 := s.addAtom("HW1", TypeHW, 0.417, h1, res)
+	hw2 := s.addAtom("HW2", TypeHW, 0.417, h2, res)
+	s.addBond(ow, hw1)
+	s.addBond(ow, hw2)
+	s.endResidue(res)
+}
+
+func randomUnit(r *rng.Source) vec.V {
+	for {
+		v := vec.New(r.Range(-1, 1), r.Range(-1, 1), r.Range(-1, 1))
+		if n2 := v.Norm2(); n2 > 0.01 && n2 < 1 {
+			return v.Unit()
+		}
+	}
+}
+
+func perpUnit(r *rng.Source, u vec.V) vec.V {
+	for {
+		w := randomUnit(r)
+		p := w.Sub(u.Scale(w.Dot(u)))
+		if p.Norm2() > 0.01 {
+			return p.Unit()
+		}
+	}
+}
+
+// addProteinImpropers adds planarity impropers at each peptide carbonyl
+// carbon: (C; CA, O, N-next). Centers are identified by name over the
+// protein residues.
+func addProteinImpropers(s *System) {
+	for ri := 0; ri < NumResidues-1; ri++ {
+		res := s.Residues[ri]
+		next := s.Residues[ri+1]
+		var c, caI, o, nNext int32 = -1, -1, -1, -1
+		for i := res.First; i < res.Last; i++ {
+			switch s.Atoms[i].Name {
+			case "C":
+				c = i
+			case "CA":
+				caI = i
+			case "O":
+				o = i
+			}
+		}
+		for i := next.First; i < next.Last; i++ {
+			if s.Atoms[i].Name == "N" {
+				nNext = i
+				break
+			}
+		}
+		if c >= 0 && caI >= 0 && o >= 0 && nNext >= 0 {
+			s.Impropers = append(s.Impropers, [4]int32{c, caI, o, nNext})
+		}
+	}
+}

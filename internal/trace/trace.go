@@ -1,0 +1,189 @@
+// Package trace collects timestamped events from simulated runs and
+// renders them as per-rank text timelines or Chrome trace-event JSON
+// (load chrome://tracing or Perfetto to inspect a run). The paper's
+// methodology is exactly this kind of instrumentation — decomposing wall
+// time into labelled intervals per processor.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an interval.
+type Kind string
+
+// The interval kinds emitted by the simulated MPI layer and the parallel
+// MD engine.
+const (
+	KindCompute Kind = "compute"
+	KindSend    Kind = "send"
+	KindRecv    Kind = "recv"
+	KindSync    Kind = "sync"
+	KindPhase   Kind = "phase"
+)
+
+// Event is one labelled interval on one rank's timeline.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Label string
+	Start float64 // seconds, virtual time
+	End   float64
+}
+
+// Duration returns End − Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Collector accumulates events. The zero value is ready to use. It is not
+// safe for concurrent use (the discrete-event simulation is sequential).
+type Collector struct {
+	events []Event
+}
+
+// Add records one event. Intervals with End < Start are rejected.
+func (c *Collector) Add(e Event) error {
+	if e.End < e.Start {
+		return fmt.Errorf("trace: negative interval %+v", e)
+	}
+	c.events = append(c.events, e)
+	return nil
+}
+
+// Events returns the recorded events sorted by (start, rank).
+func (c *Collector) Events() []Event {
+	out := append([]Event(nil), c.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Span returns the overall [min start, max end] of the trace.
+func (c *Collector) Span() (start, end float64) {
+	if len(c.events) == 0 {
+		return 0, 0
+	}
+	start, end = c.events[0].Start, c.events[0].End
+	for _, e := range c.events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// Busy sums, per rank, the time covered by events of the given kind.
+func (c *Collector) Busy(kind Kind) map[int]float64 {
+	out := map[int]float64{}
+	for _, e := range c.events {
+		if e.Kind == kind {
+			out[e.Rank] += e.Duration()
+		}
+	}
+	return out
+}
+
+// glyphs for the text timeline, one per kind.
+var glyph = map[Kind]rune{
+	KindCompute: '#',
+	KindSend:    '>',
+	KindRecv:    '<',
+	KindSync:    '.',
+	KindPhase:   '-',
+}
+
+// RenderTimeline writes a per-rank ASCII gantt of the trace, `width`
+// characters across the full span. Later events overwrite earlier ones in
+// a cell; compute wins ties so the picture shows where CPUs are busy.
+func (c *Collector) RenderTimeline(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	start, end := c.Span()
+	if end <= start {
+		_, err := fmt.Fprintln(w, "trace: empty")
+		return err
+	}
+	ranks := map[int]bool{}
+	for _, e := range c.events {
+		ranks[e.Rank] = true
+	}
+	ids := make([]int, 0, len(ranks))
+	for r := range ranks {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+
+	scale := float64(width) / (end - start)
+	lanes := map[int][]rune{}
+	for _, r := range ids {
+		lanes[r] = []rune(strings.Repeat(" ", width))
+	}
+	// Order: phases first (background), then comm, then compute on top.
+	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute}
+	for _, kind := range order {
+		for _, e := range c.events {
+			if e.Kind != kind {
+				continue
+			}
+			lo := int((e.Start - start) * scale)
+			hi := int((e.End - start) * scale)
+			if hi == lo {
+				hi = lo + 1
+			}
+			lane := lanes[e.Rank]
+			for i := lo; i < hi && i < width; i++ {
+				lane[i] = glyph[kind]
+			}
+		}
+	}
+	fmt.Fprintf(w, "timeline %.6f .. %.6f s  (# compute, > send, < recv, . sync)\n", start, end)
+	for _, r := range ids {
+		if _, err := fmt.Fprintf(w, "rank %2d |%s|\n", r, string(lanes[r])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Chrome trace-event "complete" record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeJSON emits the trace in the Chrome trace-event array format.
+func (c *Collector) WriteChromeJSON(w io.Writer) error {
+	out := make([]chromeEvent, 0, len(c.events))
+	for _, e := range c.Events() {
+		out = append(out, chromeEvent{
+			Name: e.Label,
+			Cat:  string(e.Kind),
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  e.Duration() * 1e6,
+			Pid:  0,
+			Tid:  e.Rank,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,41 @@
+package work
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := Counters{BondTerms: 1, PairEvals: 10, FFTOps: 100}
+	b := Counters{BondTerms: 2, GridCharges: 5}
+	c := a
+	c.Add(b)
+	if c.BondTerms != 3 || c.PairEvals != 10 || c.GridCharges != 5 || c.FFTOps != 100 {
+		t.Fatalf("Add = %+v", c)
+	}
+	if got := c.Sub(b); got != a {
+		t.Fatalf("Sub = %+v, want %+v", got, a)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Counters{}).IsZero() {
+		t.Fatal("zero counters not zero")
+	}
+	if (Counters{Other: 1}).IsZero() {
+		t.Fatal("nonzero counters reported zero")
+	}
+}
+
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		a := Counters{PairEvals: a1, FFTOps: a2}
+		b := Counters{PairEvals: b1, FFTOps: b2}
+		c := a
+		c.Add(b)
+		return c.Sub(b) == a && c.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
