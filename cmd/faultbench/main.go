@@ -1,0 +1,185 @@
+// faultbench quantifies the slowdown of the parallel MD under injected
+// platform faults: for each severity level it runs the fault scenario
+// (scaled to that severity) against a healthy baseline and reports wall
+// time, slowdown, the comp/comm/sync/lost breakdown and any
+// checkpoint-restart recoveries. Comparing -mw mpi against -mw cmpi
+// exposes how CMPI's nearest-neighbour synchronization amplifies
+// single-node damage.
+//
+// Usage:
+//
+//	faultbench -spec 'straggler@0,node=1,slow=4' -severity 0.5,1,2
+//	faultbench -scenario faults.json -mw both -p 8 -net tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/md"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/report"
+	"repro/internal/topol"
+)
+
+func main() {
+	scenarioFile := flag.String("scenario", "", "JSON fault scenario file")
+	spec := flag.String("spec", "", "fault scenario DSL (see internal/fault.ParseSpec)")
+	sevList := flag.String("severity", "1", "comma-separated severity multipliers")
+	netName := flag.String("net", "tcp", "network: tcp, score, myrinet, fast")
+	procs := flag.Int("p", 4, "processors")
+	cpus := flag.Int("cpus", 1, "CPUs per node (1 or 2)")
+	steps := flag.Int("steps", 4, "MD steps")
+	mwName := flag.String("mw", "both", "middleware: mpi, cmpi or both")
+	atoms := flag.Int("atoms", 600, "solvated-box size in atoms")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	wdTimeout := flag.Float64("timeout", 30, "watchdog timeout (virtual s); 0 disables")
+	wdRetries := flag.Int("retries", 2, "watchdog retry budget")
+	wdBackoff := flag.Float64("backoff", 2, "watchdog backoff multiplier")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every k steps")
+	restartCost := flag.Float64("restart-cost", 10, "virtual seconds charged per recovery")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	fail := func(formatStr string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "faultbench: "+formatStr+"\n", args...)
+		os.Exit(2)
+	}
+	net, ok := netmodel.ByName(*netName)
+	if !ok {
+		fail("unknown network %q", *netName)
+	}
+	if *cpus != 1 && *cpus != 2 {
+		fail("-cpus must be 1 or 2 (got %d)", *cpus)
+	}
+	if *procs < 1 || *procs%*cpus != 0 {
+		fail("-p (%d) must be a positive multiple of -cpus (%d)", *procs, *cpus)
+	}
+	if *steps < 1 {
+		fail("-steps must be >= 1 (got %d)", *steps)
+	}
+	if *format != "text" && *format != "csv" {
+		fail("-format must be text or csv (got %q)", *format)
+	}
+	if *scenarioFile != "" && *spec != "" {
+		fail("-scenario and -spec are mutually exclusive")
+	}
+	var sc *fault.Scenario
+	var err error
+	switch {
+	case *scenarioFile != "":
+		sc, err = fault.LoadFile(*scenarioFile)
+	case *spec != "":
+		sc, err = fault.ParseSpec(*spec)
+	default:
+		fail("need -scenario or -spec")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	if sc.Seed == 0 {
+		sc.Seed = *seed
+	}
+	var sevs []float64
+	for _, s := range strings.Split(*sevList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 {
+			fail("bad severity %q", s)
+		}
+		sevs = append(sevs, v)
+	}
+	var mws []pmd.MiddlewareKind
+	switch *mwName {
+	case "mpi":
+		mws = []pmd.MiddlewareKind{pmd.MiddlewareMPI}
+	case "cmpi":
+		mws = []pmd.MiddlewareKind{pmd.MiddlewareCMPI}
+	case "both":
+		mws = []pmd.MiddlewareKind{pmd.MiddlewareMPI, pmd.MiddlewareCMPI}
+	default:
+		fail("-mw must be mpi, cmpi or both (got %q)", *mwName)
+	}
+
+	sys, k := topol.NewSolvatedBox(*atoms, *seed)
+	md.Relax(sys, 60)
+	mdCfg := md.ClampCutoffs(md.PMEDefaultConfig(), sys.Box)
+	mdCfg.PME = md.PMEConfig{Beta: 0.34, K1: k, K2: k, K3: k, Order: 4}
+	mdCfg.FF.Beta = mdCfg.PME.Beta
+	mdCfg.Temperature = 300
+	mdCfg.Seed = *seed
+
+	clCfg := cluster.Config{Nodes: *procs / *cpus, CPUsPerNode: *cpus, Net: net, Seed: *seed}
+	wd := mpi.Watchdog{Timeout: *wdTimeout, Retries: *wdRetries, Backoff: *wdBackoff}
+	cost := cluster.PentiumIII1GHz()
+
+	run := func(mw pmd.MiddlewareKind, scenario *fault.Scenario) *pmd.ResilientResult {
+		res, err := pmd.RunResilient(clCfg, cost, pmd.ResilientConfig{
+			Config: pmd.Config{
+				System:     sys,
+				MD:         mdCfg,
+				Steps:      *steps,
+				Middleware: mw,
+				Watchdog:   wd,
+			},
+			Scenario:        scenario,
+			CheckpointEvery: *ckptEvery,
+			RestartCost:     *restartCost,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	headers := []string{"mw", "severity", "wall(s)", "slowdown", "excess(s)", "comp", "comm", "sync", "lost", "recoveries", "profile"}
+	var rows [][]string
+	for _, mw := range mws {
+		healthy := run(mw, nil)
+		for _, sev := range sevs {
+			res := run(mw, sc.Scale(sev))
+			var tot mpi.Accounting
+			for _, a := range res.Acct {
+				tot.Add(a)
+			}
+			sum := tot.Total()
+			compPct := 100 * tot.Comp / sum
+			commPct := 100 * tot.Comm / sum
+			syncPct := 100 * tot.Sync / sum
+			lostPct := 100 * tot.Lost / sum
+			rows = append(rows, []string{
+				mw.String(),
+				fmt.Sprintf("%.2g", sev),
+				report.Seconds(res.Wall),
+				fmt.Sprintf("%.2fx", res.Wall/healthy.Wall),
+				report.Seconds(res.Wall-healthy.Wall),
+				report.Pct(compPct),
+				report.Pct(commPct),
+				report.Pct(syncPct),
+				report.Pct(lostPct),
+				strconv.Itoa(len(res.Recoveries)),
+				report.StackedBarLost(compPct, commPct, syncPct, lostPct, 24),
+			})
+		}
+	}
+
+	fmt.Printf("scenario %q on %s, p=%d (%d CPU/node), %d atoms, %d steps\n",
+		sc.Name, net.Name, *procs, *cpus, sys.N(), *steps)
+	var werr error
+	if *format == "csv" {
+		werr = report.CSV(os.Stdout, headers, rows)
+	} else {
+		werr = report.Table(os.Stdout, headers, rows)
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "faultbench:", werr)
+		os.Exit(1)
+	}
+}

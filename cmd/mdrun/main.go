@@ -27,6 +27,22 @@ func main() {
 	every := flag.Int("every", 1, "trajectory output interval (steps)")
 	flag.Parse()
 
+	if *steps < 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -steps must be >= 0 (got %d)\n", *steps)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *every < 1 {
+		fmt.Fprintf(os.Stderr, "mdrun: -every must be >= 1 (got %d)\n", *every)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dt <= 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -dt must be > 0 (got %g)\n", *dt)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: *seed})
 	var cfg md.Config
 	if *usePME {
@@ -78,7 +94,4 @@ func main() {
 	}
 	fmt.Printf("work: %d pair evals, %d list dist evals, %d FFT flops\n",
 		wc.PairEvals, wc.ListDistEvals, wp.FFTOps)
-	if *steps < 1 {
-		os.Exit(0)
-	}
 }

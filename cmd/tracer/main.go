@@ -1,10 +1,13 @@
 // tracer runs one parallel MD configuration under full event tracing and
 // renders the per-rank timeline; optionally it writes a Chrome trace-event
-// JSON file for chrome://tracing / Perfetto.
+// JSON file for chrome://tracing / Perfetto. With -faults, a fault
+// scenario is injected and its windows appear as 'X' lanes on the
+// timeline.
 //
 // Usage:
 //
 //	tracer -net tcp -p 4 -steps 2 -width 140 -o trace.json
+//	tracer -net tcp -p 4 -steps 4 -faults 'straggler@0.1:0.4,node=1,slow=4'
 package main
 
 import (
@@ -13,7 +16,9 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/md"
+	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/pmd"
 	"repro/internal/topol"
@@ -28,16 +33,49 @@ func main() {
 	useCMPI := flag.Bool("cmpi", false, "use the CMPI middleware")
 	width := flag.Int("width", 120, "timeline width in characters")
 	out := flag.String("o", "", "write Chrome trace JSON to this file")
+	faultSpec := flag.String("faults", "", "fault scenario DSL (see internal/fault.ParseSpec) or @file.json")
 	flag.Parse()
 
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "tracer: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	net, ok := netmodel.ByName(*netName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracer: unknown network %q\n", *netName)
-		os.Exit(2)
+		fail("unknown network %q", *netName)
+	}
+	if *cpus != 1 && *cpus != 2 {
+		fail("-cpus must be 1 or 2 (got %d)", *cpus)
+	}
+	if *procs < 1 {
+		fail("-p must be >= 1 (got %d)", *procs)
+	}
+	if *procs%*cpus != 0 {
+		fail("-p (%d) must be a multiple of -cpus (%d)", *procs, *cpus)
+	}
+	if *steps < 1 {
+		fail("-steps must be >= 1 (got %d)", *steps)
 	}
 	mw := pmd.MiddlewareMPI
 	if *useCMPI {
 		mw = pmd.MiddlewareCMPI
+	}
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		var sc *fault.Scenario
+		var err error
+		if (*faultSpec)[0] == '@' {
+			sc, err = fault.LoadFile((*faultSpec)[1:])
+		} else {
+			sc, err = fault.ParseSpec(*faultSpec)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		if inj, err = fault.NewInjector(sc, fault.Options{}); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
@@ -46,14 +84,29 @@ func main() {
 	cfg.Temperature = 300
 
 	col := &trace.Collector{}
+	pcfg := pmd.Config{System: sys, MD: cfg, Steps: *steps, Middleware: mw, Tracer: col}
+	if inj != nil {
+		pcfg.Faults = inj
+		pcfg.Watchdog = mpi.DefaultWatchdog()
+	}
+	nodes := *procs / *cpus
 	res, err := pmd.Run(
-		cluster.Config{Nodes: *procs / *cpus, CPUsPerNode: *cpus, Net: net, Seed: 1},
+		cluster.Config{Nodes: nodes, CPUsPerNode: *cpus, Net: net, Seed: 1},
 		cluster.PentiumIII1GHz(),
-		pmd.Config{System: sys, MD: cfg, Steps: *steps, Middleware: mw, Tracer: col},
+		pcfg,
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracer:", err)
 		os.Exit(1)
+	}
+
+	if inj != nil {
+		for _, e := range inj.Events(nodes, *cpus, res.Wall) {
+			if err := col.Add(e); err != nil {
+				fmt.Fprintln(os.Stderr, "tracer:", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	c, pm := res.PhaseTotals()

@@ -1,0 +1,111 @@
+// Faults: the resilience counterpart of the paper's §4 sensitivity
+// question — what does a *degraded* platform cost, and does the answer
+// depend on the middleware? Part 1 sweeps a single straggler CPU:
+// because replicated-data MD synchronizes globally every step, neither
+// MPI's trees nor CMPI's nearest-neighbour shifts can route around it,
+// and both pay the same absolute price. Part 2 degrades one node's
+// *link* instead: now the damage is middleware-shaped — CMPI's ring
+// pushes every block through the bad node's NIC in each of its p-1
+// stages and its 1-byte sync rounds eat the boosted stall probability,
+// so it absorbs several times MPI's absolute excess. Part 3 crashes a
+// rank mid-run and finishes on the survivors via checkpoint rewind.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/report"
+	"repro/internal/topol"
+)
+
+func main() {
+	const procs = 8
+	const steps = 3
+
+	net, _ := netmodel.ByName("tcp")
+	cost := cluster.PentiumIII1GHz()
+
+	sys, k := topol.NewSolvatedBox(1000, 1)
+	md.Relax(sys, 60)
+	cfg := md.ClampCutoffs(md.PMEDefaultConfig(), sys.Box)
+	cfg.PME = md.PMEConfig{Beta: 0.34, K1: k, K2: k, K3: k, Order: 4}
+	cfg.FF.Beta = cfg.PME.Beta
+	cfg.Temperature = 300
+
+	clCfg := cluster.Config{Nodes: procs, CPUsPerNode: 1, Net: net, Seed: 1}
+
+	run := func(mw pmd.MiddlewareKind, sc *fault.Scenario) *pmd.ResilientResult {
+		res, err := pmd.RunResilient(clCfg, cost, pmd.ResilientConfig{
+			Config:      pmd.Config{System: sys, MD: cfg, Steps: steps, Middleware: mw},
+			Scenario:    sc,
+			RestartCost: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	sweep := func(title, spec string, label func(sev float64) string) {
+		sc, err := fault.ParseSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", title)
+		var rows [][]string
+		for _, mw := range []pmd.MiddlewareKind{pmd.MiddlewareMPI, pmd.MiddlewareCMPI} {
+			healthy := run(mw, nil)
+			for _, sev := range []float64{0, 0.5, 1} {
+				res := run(mw, sc.Scale(sev))
+				rows = append(rows, []string{
+					mw.String(),
+					label(sev),
+					report.Seconds(res.Wall),
+					fmt.Sprintf("%.2fx", res.Wall/healthy.Wall),
+					report.Seconds(res.Wall - healthy.Wall),
+				})
+			}
+		}
+		if err := report.Table(os.Stdout, []string{"mw", "fault", "wall(s)", "slowdown", "excess(s)"}, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("fault sweeps on one node among %d, %d atoms, %d steps, %s\n\n",
+		procs, sys.N(), steps, net.Name)
+
+	sweep("single straggler CPU (node 1)", "straggler@0,node=1,slow=8",
+		func(sev float64) string { return fmt.Sprintf("cpu x%.2g", 1+7*sev) })
+	fmt.Println("Every step ends in a global exchange, so one slow CPU stalls all p")
+	fmt.Println("ranks under either middleware: the absolute excess is the same.")
+	fmt.Println()
+
+	sweep("single degraded link (node 1)", "link@0,node=1,bw=8,lat=4,stall=3",
+		func(sev float64) string { return fmt.Sprintf("bw /%.2g", 1+7*sev) })
+	fmt.Println("A sick NIC is middleware-shaped damage: CMPI's p-1 ring stages all")
+	fmt.Println("cross the bad link and its 1-byte sync rounds eat the boosted stall")
+	fmt.Println("probability, so CMPI absorbs several times MPI's absolute excess.")
+
+	// Part 3: kill a rank mid-run and finish on the survivors.
+	fmt.Println("\n--- crash and recover ---")
+	crash, err := fault.ParseSpec("crash@0.08,rank=3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := run(pmd.MiddlewareMPI, crash)
+	for _, rec := range res.Recoveries {
+		fmt.Printf("rank %d crashed at t=%.3f s; rewound to step %d on %d survivors, %.3f s of work lost\n",
+			rec.CrashedRank, rec.DetectedAt, rec.RewindStep, res.Ranks, rec.Lost)
+	}
+	last := res.Energies[len(res.Energies)-1]
+	fmt.Printf("completed all %d steps through the crash: final energy %.3f kcal/mol, wall %.3f s (%.3f s lost)\n",
+		steps, last.Total(), res.Wall, res.LostTotal())
+}

@@ -23,6 +23,40 @@ type Config struct {
 	Seed        uint64 // stream for network stall draws
 }
 
+// Validate checks the configuration. New panics on exactly the conditions
+// Validate reports, so callers holding user input (the cmd/ binaries)
+// validate first and print a one-line error instead of a panic trace.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node (got %d)", c.Nodes)
+	}
+	if c.CPUsPerNode != 1 && c.CPUsPerNode != 2 {
+		return fmt.Errorf("cluster: unsupported CPUs per node %d (want 1 or 2)", c.CPUsPerNode)
+	}
+	return nil
+}
+
+// FaultModel is the hook the fault-injection layer implements. The machine
+// and the MPI transport consult it for time-varying degradation and crash
+// schedules; a nil model means a healthy platform. Implementations must be
+// deterministic functions of (time, node/rank) — the simulation may query
+// them in any order.
+type FaultModel interface {
+	// ComputeScale returns the compute-time multiplier (> 1 for a
+	// straggler) in effect for node at virtual time now.
+	ComputeScale(now float64, node int) float64
+	// LinkScale returns the bandwidth divisor and latency multiplier in
+	// effect for traffic entering or leaving node at now.
+	LinkScale(now float64, node int) (bandwidthDiv, latencyMul float64)
+	// StallBoost multiplies the TCP stall probability fabric-wide at now.
+	StallBoost(now float64) float64
+	// CrashTime returns the virtual time at which rank crashes, if ever.
+	CrashTime(rank int) (float64, bool)
+	// Install attaches machinery that needs the machine itself, e.g.
+	// processes that hold NIC resources busy during flap windows.
+	Install(m *Machine)
+}
+
 // Node holds the shared per-node resources.
 type Node struct {
 	ID    int
@@ -41,16 +75,17 @@ type Machine struct {
 	// model keys off it.
 	ActiveFlows int
 
+	// Faults, when non-nil, degrades the platform (stragglers, link
+	// degradation, stall boosts, crash schedules).
+	Faults FaultModel
+
 	Rng *rng.Source
 }
 
 // New builds a machine inside env.
 func New(env *sim.Env, cfg Config) *Machine {
-	if cfg.Nodes < 1 {
-		panic("cluster: need at least one node")
-	}
-	if cfg.CPUsPerNode != 1 && cfg.CPUsPerNode != 2 {
-		panic(fmt.Sprintf("cluster: unsupported CPUs per node %d", cfg.CPUsPerNode))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	m := &Machine{Env: env, Cfg: cfg, Rng: rng.New(cfg.Seed ^ 0x636c7573746572)}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -89,6 +124,9 @@ func (m *Machine) StallDelay() float64 {
 		return 0
 	}
 	prob := p.StallProb * float64(m.ActiveFlows-p.StallFlowThreshold)
+	if m.Faults != nil {
+		prob *= m.Faults.StallBoost(m.Env.Now())
+	}
 	if prob > 0.9 {
 		prob = 0.9
 	}
@@ -96,6 +134,40 @@ func (m *Machine) StallDelay() float64 {
 		return 0
 	}
 	return m.Rng.Exponential(p.StallMean)
+}
+
+// ComputeScaleAt returns the straggler compute-time multiplier in effect
+// for node at virtual time now (1 on a healthy machine). Non-positive
+// model outputs are treated as 1 — a fault never makes a node infinitely
+// fast.
+func (m *Machine) ComputeScaleAt(now float64, node int) float64 {
+	if m.Faults == nil {
+		return 1
+	}
+	s := m.Faults.ComputeScale(now, node)
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// LinkScaleAt returns the bandwidth divisor and latency multiplier for a
+// transfer between nodes a and b at now: the worse of the two endpoints'
+// degradations governs the link.
+func (m *Machine) LinkScaleAt(now float64, a, b int) (bandwidthDiv, latencyMul float64) {
+	if m.Faults == nil {
+		return 1, 1
+	}
+	bwA, latA := m.Faults.LinkScale(now, a)
+	bwB, latB := m.Faults.LinkScale(now, b)
+	bw, lat := max(bwA, bwB), max(latA, latB)
+	if bw < 1 {
+		bw = 1
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	return bw, lat
 }
 
 // CostModel converts work counters into CPU seconds on the modelled

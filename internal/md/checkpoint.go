@@ -21,27 +21,28 @@ type Checkpoint struct {
 	Frc        []vec.V
 }
 
-// WriteCheckpoint serializes the engine's dynamic state with encoding/gob.
-func (e *Engine) WriteCheckpoint(w io.Writer) error {
-	cp := Checkpoint{
+// Snapshot captures the engine's dynamic state as an in-memory checkpoint
+// with its own backing arrays (safe to hold across further integration).
+func (e *Engine) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
 		N:          e.Sys.N(),
 		TimestepFS: e.Cfg.TimestepFS,
-		Pos:        e.Pos,
-		Vel:        e.Vel,
-		Frc:        e.Frc,
+		Pos:        make([]vec.V, len(e.Pos)),
+		Vel:        make([]vec.V, len(e.Vel)),
+		Frc:        make([]vec.V, len(e.Frc)),
 	}
-	return gob.NewEncoder(w).Encode(&cp)
+	copy(cp.Pos, e.Pos)
+	copy(cp.Vel, e.Vel)
+	copy(cp.Frc, e.Frc)
+	return cp
 }
 
-// ReadCheckpoint restores the engine's dynamic state. The checkpoint must
-// come from an engine over a system with the same atom count and the same
-// timestep; anything else is an error, not a silent reinterpretation.
-// The neighbour list is invalidated so the next evaluation rebuilds it.
-func (e *Engine) ReadCheckpoint(r io.Reader) error {
-	var cp Checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return fmt.Errorf("md: reading checkpoint: %w", err)
-	}
+// Restore rewinds the engine to an in-memory checkpoint. The checkpoint
+// must come from an engine over a system with the same atom count and the
+// same timestep; anything else is an error, not a silent
+// reinterpretation. The neighbour list is invalidated so the next
+// evaluation rebuilds it.
+func (e *Engine) Restore(cp *Checkpoint) error {
 	if cp.N != e.Sys.N() {
 		return fmt.Errorf("md: checkpoint has %d atoms, engine has %d", cp.N, e.Sys.N())
 	}
@@ -57,4 +58,20 @@ func (e *Engine) ReadCheckpoint(r io.Reader) error {
 	copy(e.Frc, cp.Frc)
 	e.listOrigin = nil // force a list rebuild at the next evaluation
 	return nil
+}
+
+// WriteCheckpoint serializes the engine's dynamic state with encoding/gob.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	cp := e.Snapshot()
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// ReadCheckpoint restores the engine's dynamic state from a gob stream
+// written by WriteCheckpoint, with the same validation as Restore.
+func (e *Engine) ReadCheckpoint(r io.Reader) error {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("md: reading checkpoint: %w", err)
+	}
+	return e.Restore(&cp)
 }

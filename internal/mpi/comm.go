@@ -25,13 +25,14 @@ type Accounting struct {
 	Comp float64 // seconds spent computing
 	Comm float64 // seconds in data transfer
 	Sync float64 // seconds waiting for partners / control transfer
+	Lost float64 // seconds of work discarded by a crash and recomputed
 
 	BytesSent int64
 	BytesRecv int64
 }
 
-// Total returns Comp+Comm+Sync.
-func (a Accounting) Total() float64 { return a.Comp + a.Comm + a.Sync }
+// Total returns Comp+Comm+Sync+Lost.
+func (a Accounting) Total() float64 { return a.Comp + a.Comm + a.Sync + a.Lost }
 
 // Sub returns a − b field-wise (for per-phase deltas).
 func (a Accounting) Sub(b Accounting) Accounting {
@@ -39,6 +40,7 @@ func (a Accounting) Sub(b Accounting) Accounting {
 		Comp:      a.Comp - b.Comp,
 		Comm:      a.Comm - b.Comm,
 		Sync:      a.Sync - b.Sync,
+		Lost:      a.Lost - b.Lost,
 		BytesSent: a.BytesSent - b.BytesSent,
 		BytesRecv: a.BytesRecv - b.BytesRecv,
 	}
@@ -49,6 +51,7 @@ func (a *Accounting) Add(b Accounting) {
 	a.Comp += b.Comp
 	a.Comm += b.Comm
 	a.Sync += b.Sync
+	a.Lost += b.Lost
 	a.BytesSent += b.BytesSent
 	a.BytesRecv += b.BytesRecv
 }
@@ -58,6 +61,7 @@ type World struct {
 	M      *cluster.Machine
 	Cost   cluster.CostModel
 	Tracer *trace.Collector // optional event collection
+	Wd     Watchdog         // zero value: blocking waits are unbounded
 	ranks  []*Rank
 }
 
@@ -72,6 +76,7 @@ type Rank struct {
 
 	inbox   []*message
 	waiting bool // parked inside a matching loop
+	crashed bool // set by an injected crash; next yield aborts the rank
 	acct    Accounting
 
 	// SyncClass forces all message time into the Sync bucket while true —
@@ -89,14 +94,19 @@ func (r *Rank) Now() float64 { return r.P.Now() }
 // Acct returns a snapshot of the rank's accounting.
 func (r *Rank) Acct() Accounting { return r.acct }
 
-// Compute advances virtual time by d seconds of computation.
+// Compute advances virtual time by d seconds of computation. A straggler
+// fault in effect on the rank's node at the start of the interval scales
+// the whole interval.
 func (r *Rank) Compute(d float64) {
 	if d < 0 {
 		panic("mpi: negative compute time")
 	}
+	r.checkCrash()
 	t0 := r.Now()
+	d *= r.W.M.ComputeScaleAt(t0, r.W.M.NodeOf(r.ID).ID)
 	r.acct.Comp += d
 	r.P.Advance(d)
+	r.checkCrash()
 	r.traceEvent(trace.KindCompute, "compute", t0)
 }
 
@@ -134,19 +144,39 @@ func (r *Rank) chargeMsg(d float64, sync bool) {
 	}
 }
 
+// Options configures one simulated job beyond the machine and cost model.
+type Options struct {
+	Tracer   *trace.Collector   // optional event collection
+	Faults   cluster.FaultModel // optional platform degradation
+	Watchdog Watchdog           // zero value: unbounded blocking waits
+}
+
 // Run spawns one rank process per CPU of the configured machine, runs fn on
 // each, and returns the per-rank accounting. A simulated deadlock (or a
 // panic escaping fn) is returned as an error.
 func Run(cfg cluster.Config, cost cluster.CostModel, fn func(*Rank)) ([]Accounting, error) {
-	return RunTraced(cfg, cost, nil, fn)
+	return RunOpts(cfg, cost, Options{}, fn)
 }
 
 // RunTraced is Run with an optional event collector receiving every
 // compute/communication interval of every rank.
 func RunTraced(cfg cluster.Config, cost cluster.CostModel, tracer *trace.Collector, fn func(*Rank)) ([]Accounting, error) {
+	return RunOpts(cfg, cost, Options{Tracer: tracer}, fn)
+}
+
+// RunOpts is the full-control entry point: tracing, fault injection and
+// watchdogs. Configuration problems come back as errors (not panics), and
+// injected crashes / watchdog expiries surface as typed errors matching
+// ErrCrashed / ErrTimeout. Partial accounting is returned alongside any
+// error so overhead bookkeeping survives aborted jobs.
+func RunOpts(cfg cluster.Config, cost cluster.CostModel, opts Options, fn func(*Rank)) ([]Accounting, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	env := sim.NewEnv()
 	m := cluster.New(env, cfg)
-	w := &World{M: m, Cost: cost, Tracer: tracer}
+	m.Faults = opts.Faults
+	w := &World{M: m, Cost: cost, Tracer: opts.Tracer, Wd: opts.Watchdog}
 	var panics []interface{}
 	for i := 0; i < m.Ranks(); i++ {
 		r := &Rank{W: w, ID: i}
@@ -163,15 +193,86 @@ func RunTraced(cfg cluster.Config, cost cluster.CostModel, tracer *trace.Collect
 			fn(r)
 		})
 	}
-	err := env.Run()
-	if err == nil && len(panics) > 0 {
-		err = fmt.Errorf("mpi: rank panicked: %v", panics[0])
+	if opts.Faults != nil {
+		opts.Faults.Install(m)
+		spawnKillers(env, w, opts.Faults)
 	}
+	runErr := env.Run()
+	err := selectError(runErr, panics)
 	accts := make([]Accounting, len(w.ranks))
 	for i, r := range w.ranks {
 		accts[i] = r.acct
 	}
 	return accts, err
+}
+
+// spawnKillers schedules one killer process per crash in the fault model:
+// at the scheduled virtual time it marks the rank crashed and, if the rank
+// is parked in a matching loop, wakes it so the abort is prompt.
+func spawnKillers(env *sim.Env, w *World, faults cluster.FaultModel) {
+	for _, r := range w.ranks {
+		t, ok := faults.CrashTime(r.ID)
+		if !ok {
+			continue
+		}
+		if t < 0 {
+			t = 0
+		}
+		rk := r
+		env.Spawn(fmt.Sprintf("kill rank%d", rk.ID), func(p *sim.Proc) {
+			p.Advance(t)
+			if rk.P.Done() {
+				return
+			}
+			rk.crashed = true
+			if rk.waiting {
+				rk.waiting = false
+				env.Unpark(rk.P)
+			}
+		})
+	}
+}
+
+// selectError merges the simulation outcome with recovered rank panics,
+// preferring the most specific diagnosis: an injected crash, then a
+// watchdog timeout, then any other panic, then the raw simulation error
+// (e.g. deadlock). When a crash caused a residual deadlock among the
+// survivors, both facts are reported and errors.Is still matches
+// ErrCrashed.
+func selectError(runErr error, panics []interface{}) error {
+	var crash *CrashError
+	var timeout *TimeoutError
+	var other interface{}
+	for _, v := range panics {
+		switch e := v.(type) {
+		case *CrashError:
+			if crash == nil {
+				crash = e
+			}
+		case *TimeoutError:
+			if timeout == nil {
+				timeout = e
+			}
+		default:
+			if other == nil {
+				other = v
+			}
+		}
+	}
+	switch {
+	case crash != nil && runErr != nil:
+		return fmt.Errorf("%w; %v", crash, runErr)
+	case crash != nil:
+		return crash
+	case timeout != nil && runErr != nil:
+		return fmt.Errorf("%w; %v", timeout, runErr)
+	case timeout != nil:
+		return timeout
+	case other != nil:
+		return fmt.Errorf("mpi: rank panicked: %v", other)
+	default:
+		return runErr
+	}
 }
 
 // RunCollect is Run plus a per-rank result value produced by fn.

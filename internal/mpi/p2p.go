@@ -27,6 +27,7 @@ type message struct {
 
 	senderRank *Rank // parked rendezvous sender awaiting clear-to-send
 	senderPark bool
+	cleared    bool // clear-to-send granted by the receiver
 }
 
 // Send transmits bytes to dst with the given tag, blocking per the
@@ -39,6 +40,7 @@ func (r *Rank) Send(dst, tag, bytes int) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	r.checkCrash()
 	t0 := r.Now()
 	net := r.W.M.Cfg.Net
 	dstRank := r.W.ranks[dst]
@@ -53,9 +55,17 @@ func (r *Rank) Send(dst, tag, bytes int) {
 		msg.rendezvous = true
 		msg.senderRank = r
 		r.deposit(dstRank, msg)
-		msg.senderPark = true
-		r.P.Park()
-		msg.senderPark = false
+		var wds wdState
+		for !msg.cleared {
+			r.checkCrash()
+			msg.senderPark = true
+			ok := r.guardedPark(&wds)
+			msg.senderPark = false
+			if !ok {
+				panic(wds.timeout(r, "send-rendezvous", dst))
+			}
+		}
+		r.checkCrash()
 	} else {
 		r.deposit(dstRank, msg)
 	}
@@ -71,12 +81,16 @@ func (r *Rank) Send(dst, tag, bytes int) {
 }
 
 // deposit appends the message to the destination inbox and wakes the
-// receiver if it is parked in a matching loop.
+// receiver if it is parked in a matching loop. A receiver whose watchdog
+// already woke it (flag still set, process queued) just has the flag
+// cleared: it will rescan its inbox when it resumes.
 func (r *Rank) deposit(dst *Rank, msg *message) {
 	dst.inbox = append(dst.inbox, msg)
 	if dst.waiting {
 		dst.waiting = false
-		r.W.M.Env.Unpark(dst.P)
+		if dst.P.Parked() {
+			r.W.M.Env.Unpark(dst.P)
+		}
 	}
 }
 
@@ -96,19 +110,22 @@ func (r *Rank) transferPayload(msg *message) {
 	// receive engine for the serialized transfer time (cut-through
 	// pipelining: one bandwidth term, not two). Same-node ranks do not
 	// traverse the NIC (shared memory / loopback), but an interrupt-driven
-	// stack still burns receive CPU below.
+	// stack still burns receive CPU below. Link-degradation faults scale
+	// the wire terms; the degradation in effect when the transfer starts
+	// governs the whole message.
 	transfer := float64(msg.bytes) / net.Bandwidth
+	bwDiv, latMul := m.LinkScaleAt(r.P.Now(), srcNode.ID, dstNode.ID)
 	var stall, latency float64
 	switch {
 	case !sameNode:
 		m.ActiveFlows++
 		srcNode.NicTx.Acquire(r.P)
 		dstNode.NicRx.Acquire(r.P)
-		r.P.Advance(transfer)
+		r.P.Advance(transfer * bwDiv)
 		srcNode.NicTx.Release()
 		dstNode.NicRx.Release()
 		stall = m.StallDelay()
-		latency = net.Latency
+		latency = net.Latency * latMul
 	case net.InterruptDriven:
 		// TCP loopback between two CPUs of one node runs the whole
 		// protocol stack (§4.3): full transfer cost, full latency, and the
@@ -134,10 +151,13 @@ func (r *Rank) transferPayload(msg *message) {
 			// runs the idle second CPU absorbed the interrupt load, while
 			// with both CPUs computing the stack steals compute cycles and
 			// contends with two processes (§4.3 and [18]). Model the loss
-			// as a contention multiplier on the interrupt service time.
+			// as a contention multiplier on the interrupt service time. A
+			// straggler fault slows the interrupt CPU like any other core
+			// of the node.
 			if m.Cfg.CPUsPerNode > 1 {
 				cost *= dualInterruptPenalty
 			}
+			cost *= m.ComputeScaleAt(p.Now(), dstNode.ID)
 			dstNode.Intr.Use(p, cost)
 		} else {
 			p.Advance(cost)
@@ -149,7 +169,9 @@ func (r *Rank) transferPayload(msg *message) {
 		dst := r.W.ranks[msg.dst]
 		if dst.waiting {
 			dst.waiting = false
-			env.Unpark(dst.P)
+			if dst.P.Parked() {
+				env.Unpark(dst.P)
+			}
 		}
 	})
 }
@@ -182,17 +204,24 @@ func (r *Rank) Recv(src, tag int) int {
 	if src == r.ID {
 		panic("mpi: recv from self")
 	}
+	r.checkCrash()
 	net := r.W.M.Cfg.Net
 	t0 := r.Now()
 
 	// Phase 1 (sync): wait until the envelope exists.
 	var msg *message
+	var wds wdState
 	for {
+		r.checkCrash()
 		if msg = r.match(src, tag); msg != nil {
 			break
 		}
 		r.waiting = true
-		r.P.Park()
+		ok := r.guardedPark(&wds)
+		r.waiting = false
+		if !ok {
+			panic(wds.timeout(r, "recv-match", src))
+		}
 	}
 	tMatch := r.Now()
 	msg.recvPosted = true
@@ -201,14 +230,25 @@ func (r *Rank) Recv(src, tag int) int {
 	if msg.rendezvous && msg.senderRank != nil {
 		// Clear-to-send control round trip, then the sender pushes.
 		r.P.Advance(2 * net.Latency)
+		msg.cleared = true
 		if msg.senderPark {
-			r.W.M.Env.Unpark(msg.senderRank.P)
+			msg.senderPark = false
+			if msg.senderRank.P.Parked() {
+				r.W.M.Env.Unpark(msg.senderRank.P)
+			}
 		}
 	}
+	wds = wdState{}
 	for !msg.arrived {
+		r.checkCrash()
 		r.waiting = true
-		r.P.Park()
+		ok := r.guardedPark(&wds)
+		r.waiting = false
+		if !ok {
+			panic(wds.timeout(r, "recv-data", src))
+		}
 	}
+	r.checkCrash()
 	r.P.Advance(net.RecvOverhead)
 	r.remove(msg)
 
@@ -228,13 +268,15 @@ func (r *Rank) Recv(src, tag int) int {
 
 // Request is a non-blocking operation handle.
 type Request struct {
-	rank   *Rank
-	isSend bool
-	done   bool
-	src    int
-	tag    int
-	bytes  int
-	waiter bool
+	rank      *Rank
+	isSend    bool
+	done      bool
+	abandoned bool // helper gave up (watchdog) without transferring
+	src       int
+	dst       int
+	tag       int
+	bytes     int
+	waiter    bool
 }
 
 // Isend starts a non-blocking send. The per-message host overhead is
@@ -244,7 +286,8 @@ func (r *Rank) Isend(dst, tag, bytes int) *Request {
 	if dst == r.ID {
 		panic("mpi: isend to self")
 	}
-	req := &Request{rank: r, isSend: true, bytes: bytes}
+	r.checkCrash()
+	req := &Request{rank: r, isSend: true, dst: dst, bytes: bytes}
 	t0 := r.Now()
 	net := r.W.M.Cfg.Net
 	r.P.Advance(net.SendOverhead)
@@ -259,17 +302,31 @@ func (r *Rank) Isend(dst, tag, bytes int) *Request {
 			msg.rendezvous = true
 			msg.senderRank = helper
 			helper.deposit(dstRank, msg)
-			msg.senderPark = true
-			p.Park()
-			msg.senderPark = false
+			// A panic here would kill the whole process (no recover wraps
+			// helper goroutines), so an exhausted watchdog abandons the
+			// transfer quietly; the receiver's own watchdog reports it.
+			var wds wdState
+			for !msg.cleared {
+				msg.senderPark = true
+				ok := helper.guardedPark(&wds)
+				msg.senderPark = false
+				if !ok {
+					req.abandoned = true
+					break
+				}
+			}
 		} else {
 			helper.deposit(dstRank, msg)
 		}
-		helper.transferPayload(msg)
+		if !req.abandoned {
+			helper.transferPayload(msg)
+		}
 		req.done = true
 		if req.waiter {
 			req.waiter = false
-			env.Unpark(r.P)
+			if r.P.Parked() {
+				env.Unpark(r.P)
+			}
 		}
 	})
 	r.acct.BytesSent += int64(bytes)
@@ -288,10 +345,21 @@ func (r *Rank) Wait(req *Request) int {
 		panic("mpi: waiting on another rank's request")
 	}
 	if req.isSend {
+		r.checkCrash()
 		t0 := r.Now()
+		var wds wdState
 		for !req.done {
+			r.checkCrash()
 			req.waiter = true
-			r.P.Park()
+			ok := r.guardedPark(&wds)
+			req.waiter = false
+			if !ok {
+				panic(wds.timeout(r, "wait-send", req.dst))
+			}
+		}
+		r.checkCrash()
+		if req.abandoned {
+			panic(&TimeoutError{Rank: r.ID, Partner: req.dst, Op: "send-rendezvous", At: r.Now(), Since: t0})
 		}
 		r.chargeMsg(r.Now()-t0, false)
 		return req.bytes

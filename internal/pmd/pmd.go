@@ -67,6 +67,22 @@ type Config struct {
 	// Tracer, when non-nil, collects every compute/communication interval
 	// of every rank plus classic/PME phase spans for timeline rendering.
 	Tracer *trace.Collector
+
+	// Init, when non-nil, starts the run from a checkpoint instead of the
+	// system's build-time state (same atom count and timestep required).
+	Init *md.Checkpoint
+
+	// Faults, when non-nil, degrades the simulated platform.
+	Faults cluster.FaultModel
+
+	// Watchdog bounds blocking waits in the transport; the zero value
+	// leaves waits unbounded (a lost partner becomes a sim deadlock).
+	Watchdog mpi.Watchdog
+
+	// onStep, when non-nil, runs on every rank at the end of every
+	// completed step (after the step barrier, before the next step). The
+	// resilient driver hooks its checkpoint recorder here.
+	onStep func(w *worker, step int)
 }
 
 // PhaseSample is the measured decomposition of one phase of one step on
@@ -101,6 +117,7 @@ type Result struct {
 	Energies []md.EnergyReport // per step (identical on all ranks; rank 0's copy)
 	FinalPos []vec.V           // rank 0 replica after the run
 	Wall     float64           // virtual wall clock of the whole run
+	Acct     []mpi.Accounting  // per-rank transport accounting
 }
 
 // PhaseTotals sums a phase over steps and returns the per-rank maxima the
@@ -175,20 +192,40 @@ func (c cmpiComms) Barrier()                              { c.m.Barrier() }
 
 // Run executes the parallel MD under the given cluster configuration.
 func Run(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (*Result, error) {
+	res, _, err := runAttempt(clusterCfg, cost, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runAttempt executes one simulation attempt and returns the (possibly
+// partial) result and per-rank accounting even when the attempt aborts
+// with a crash or timeout — the resilient driver needs both to account
+// for the lost work.
+func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (*Result, []mpi.Accounting, error) {
 	if cfg.System == nil {
-		return nil, fmt.Errorf("pmd: nil system")
+		return nil, nil, fmt.Errorf("pmd: nil system")
 	}
 	if !cfg.MD.UsePME {
-		return nil, fmt.Errorf("pmd: the measured workload requires PME (cfg.MD.UsePME)")
+		return nil, nil, fmt.Errorf("pmd: the measured workload requires PME (cfg.MD.UsePME)")
 	}
 	if cfg.Steps < 1 {
-		return nil, fmt.Errorf("pmd: need at least one step")
+		return nil, nil, fmt.Errorf("pmd: need at least one step")
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		return nil, nil, err
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
 
 	// The initial state comes from the sequential engine so trajectories
 	// are directly comparable; every rank starts from an identical copy.
 	seed := md.NewEngine(cfg.System, cfg.MD)
+	if cfg.Init != nil {
+		if err := seed.Restore(cfg.Init); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	sh := newShared(p, cfg)
 	res := &Result{
@@ -197,12 +234,11 @@ func Run(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (*Result
 		Energies: make([]md.EnergyReport, 0, cfg.Steps),
 	}
 
-	_, err := mpi.RunTraced(clusterCfg, cost, cfg.Tracer, func(r *mpi.Rank) {
+	opts := mpi.Options{Tracer: cfg.Tracer, Faults: cfg.Faults, Watchdog: cfg.Watchdog}
+	accts, err := mpi.RunOpts(clusterCfg, cost, opts, func(r *mpi.Rank) {
 		w := newWorker(r, cfg, sh, seed)
 		w.run(res)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	res.Acct = accts
+	return res, accts, err
 }

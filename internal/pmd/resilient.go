@@ -1,0 +1,292 @@
+package pmd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/md"
+	"repro/internal/mpi"
+	"repro/internal/vec"
+)
+
+// ResilientConfig configures a fault-tolerant parallel run: a base Config
+// plus a fault scenario and the checkpoint-restart policy.
+type ResilientConfig struct {
+	Config
+
+	// Scenario is the fault script; nil runs healthy (RunResilient then
+	// degenerates to Run plus accounting plumbing).
+	Scenario *fault.Scenario
+
+	// CheckpointEvery takes an in-memory snapshot every k completed steps
+	// (default 1). Larger values lose more work per crash.
+	CheckpointEvery int
+
+	// RestartCost is the virtual time charged per recovery (failure
+	// detection, job relaunch, checkpoint distribution).
+	RestartCost float64
+
+	// MaxRestarts bounds recovery attempts; 0 means one per crash spec in
+	// the scenario.
+	MaxRestarts int
+}
+
+// RecoveryEvent records one crash-and-rewind cycle.
+type RecoveryEvent struct {
+	CrashedRank int     // rank id (pre-restart numbering) that crashed
+	DetectedAt  float64 // virtual time into the failed attempt when it died
+	RewindStep  int     // global step index execution resumed from
+	Lost        float64 // virtual seconds of work discarded across ranks
+	Checkpoint  *md.Checkpoint
+}
+
+// ResilientResult is the outcome of a fault-tolerant run.
+type ResilientResult struct {
+	Final      *Result           // the completing attempt
+	Energies   []md.EnergyReport // merged across attempts, one per MD step
+	Wall       float64           // total virtual time including failed attempts and restarts
+	Ranks      int               // surviving rank count
+	Acct       []mpi.Accounting  // per surviving rank, merged across attempts
+	Recoveries []RecoveryEvent
+}
+
+// LostTotal sums the Lost bucket over ranks.
+func (r *ResilientResult) LostTotal() float64 {
+	var s float64
+	for _, a := range r.Acct {
+		s += a.Lost
+	}
+	return s
+}
+
+// ckptEntry is one rank's recorded state at a checkpoint step.
+type ckptEntry struct {
+	step int
+	acct mpi.Accounting
+	vel  []vec.V // owned atom block
+	pos  []vec.V // rank 0 only: full replica
+	frc  []vec.V // rank 0 only: combined forces
+}
+
+// recorder collects per-rank checkpoint entries during an attempt. The
+// sim engine runs rank processes strictly one at a time, so plain slice
+// writes are safe. Full history is kept because ranks can be one
+// checkpoint apart when a crash interrupts a collective: the rewind uses
+// the newest step every rank (including the crashed one) has recorded.
+type recorder struct {
+	every int
+	hist  [][]ckptEntry
+}
+
+func (rec *recorder) onStep(w *worker, step int) {
+	if (step+1)%rec.every != 0 {
+		return
+	}
+	lo, hi := w.myAtoms()
+	e := ckptEntry{
+		step: step,
+		acct: w.r.Acct(),
+		vel:  append([]vec.V(nil), w.vel[lo:hi]...),
+	}
+	if w.me() == 0 {
+		e.pos = append([]vec.V(nil), w.pos...)
+		e.frc = append([]vec.V(nil), w.frcTotal...)
+	}
+	rec.hist[w.me()] = append(rec.hist[w.me()], e)
+}
+
+// rewindIndex returns the index into each rank's history of the newest
+// checkpoint all ranks share, or -1 when some rank has none.
+func (rec *recorder) rewindIndex() int {
+	idx := -1
+	for i, h := range rec.hist {
+		n := len(h) - 1
+		if i == 0 || n < idx {
+			idx = n
+		}
+	}
+	return idx
+}
+
+// assemble builds the global checkpoint at history index idx: positions
+// and forces from rank 0's replica (consistent after the step's gather and
+// reduction), velocities from the per-rank owned blocks (velocities are
+// never gathered during a run, so no single replica holds them all).
+func (rec *recorder) assemble(idx int, atomOff []int, timestepFS float64) *md.Checkpoint {
+	root := rec.hist[0][idx]
+	n := len(root.pos)
+	cp := &md.Checkpoint{
+		N:          n,
+		TimestepFS: timestepFS,
+		Pos:        append([]vec.V(nil), root.pos...),
+		Vel:        make([]vec.V, n),
+		Frc:        append([]vec.V(nil), root.frc...),
+	}
+	for rk := range rec.hist {
+		copy(cp.Vel[atomOff[rk]:atomOff[rk+1]], rec.hist[rk][idx].vel)
+	}
+	return cp
+}
+
+// RunResilient executes the parallel MD under fault injection with
+// checkpoint-restart recovery. On an injected rank crash it drops the
+// crashed rank's whole node, rewinds to the newest globally consistent
+// in-memory checkpoint and re-runs the remaining steps on the survivors;
+// the discarded virtual time lands in the Lost accounting bucket. Other
+// errors (including watchdog timeouts with no crash behind them) are
+// returned as-is.
+func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg ResilientConfig) (*ResilientResult, error) {
+	if err := clusterCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rcfg.CheckpointEvery < 1 {
+		rcfg.CheckpointEvery = 1
+	}
+	var crashSpecs int
+	if rcfg.Scenario != nil {
+		crashSpecs = len(rcfg.Scenario.CrashSpecs())
+	}
+	maxRestarts := rcfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = crashSpecs
+	}
+	wd := rcfg.Watchdog
+	if !wd.Enabled() && crashSpecs > 0 {
+		// Crash detection relies on bounded waits: without a watchdog the
+		// survivors would park forever and the run would end in a sim
+		// deadlock instead of a recoverable typed error.
+		wd = mpi.DefaultWatchdog()
+	}
+
+	out := &ResilientResult{}
+	curCfg := clusterCfg
+	totalSteps := rcfg.Steps
+	stepsDone := 0
+	offset := 0.0
+	init := rcfg.Init
+	var consumed []int
+	var carried []mpi.Accounting
+	restarts := 0
+
+	for {
+		var inj *fault.Injector
+		if rcfg.Scenario != nil {
+			var err error
+			inj, err = fault.NewInjector(rcfg.Scenario, fault.Options{Offset: offset, ConsumedCrashes: consumed})
+			if err != nil {
+				return nil, err
+			}
+		}
+		p := curCfg.Nodes * curCfg.CPUsPerNode
+		rec := &recorder{every: rcfg.CheckpointEvery, hist: make([][]ckptEntry, p)}
+
+		attempt := rcfg.Config
+		attempt.Steps = totalSteps - stepsDone
+		attempt.Init = init
+		attempt.Watchdog = wd
+		attempt.onStep = rec.onStep
+		if inj != nil {
+			attempt.Faults = inj
+		}
+
+		res, accts, err := runAttempt(curCfg, cost, attempt)
+		if err == nil {
+			if carried == nil {
+				out.Acct = accts
+			} else {
+				out.Acct = carried
+				for i := range accts {
+					out.Acct[i].Add(accts[i])
+				}
+			}
+			out.Final = res
+			out.Ranks = p
+			out.Energies = append(out.Energies, res.Energies...)
+			out.Wall += res.Wall
+			return out, nil
+		}
+
+		var ce *mpi.CrashError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		restarts++
+		if restarts > maxRestarts {
+			return nil, fmt.Errorf("pmd: restart budget (%d) exhausted: %w", maxRestarts, ce)
+		}
+		crashedNode := ce.Rank / curCfg.CPUsPerNode
+		if curCfg.Nodes < 2 {
+			return nil, fmt.Errorf("pmd: no surviving nodes after %w", ce)
+		}
+
+		// The failed attempt ran until the last rank stopped accruing
+		// time; the crash instant is a lower bound when survivors died
+		// waiting without fully accounted watchdog rounds.
+		detected := ce.At
+		for _, a := range accts {
+			if t := a.Total(); t > detected {
+				detected = t
+			}
+		}
+
+		// Rewind point: the newest checkpoint every rank recorded.
+		idx := rec.rewindIndex()
+		var cp *md.Checkpoint
+		keep := 0
+		if idx >= 0 {
+			n := rcfg.System.N()
+			cp = rec.assemble(idx, blockPartition(n, p), rcfg.MD.TimestepFS)
+			keep = rec.hist[0][idx].step + 1
+		}
+
+		// Merge kept state and book lost time, dropping the crashed node's
+		// ranks and renumbering the survivors.
+		if carried == nil {
+			carried = make([]mpi.Accounting, p)
+		}
+		survivors := make([]mpi.Accounting, 0, p-curCfg.CPUsPerNode)
+		var lost float64
+		for i := 0; i < p; i++ {
+			var keptAcct mpi.Accounting
+			if idx >= 0 {
+				keptAcct = rec.hist[i][idx].acct
+			}
+			li := accts[i].Total() - keptAcct.Total()
+			lost += li
+			if i/curCfg.CPUsPerNode == crashedNode {
+				continue
+			}
+			a := carried[i]
+			a.Add(keptAcct)
+			a.Lost += li
+			survivors = append(survivors, a)
+		}
+		carried = survivors
+
+		if keep > 0 {
+			out.Energies = append(out.Energies, res.Energies[:keep]...)
+		}
+		out.Recoveries = append(out.Recoveries, RecoveryEvent{
+			CrashedRank: ce.Rank,
+			DetectedAt:  detected,
+			RewindStep:  stepsDone + keep,
+			Lost:        lost,
+			Checkpoint:  cp,
+		})
+		if inj != nil {
+			if spec, ok := inj.CrashSpecAt(ce.Rank); ok {
+				consumed = append(consumed, spec)
+			}
+		}
+
+		stepsDone += keep
+		if cp != nil {
+			init = cp
+		}
+		out.Wall += detected + rcfg.RestartCost
+		offset += detected + rcfg.RestartCost
+		curCfg.Nodes--
+	}
+}

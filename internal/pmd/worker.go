@@ -252,6 +252,9 @@ func (w *worker) run(res *Result) {
 		if w.me() == 0 {
 			res.Energies = append(res.Energies, rep)
 		}
+		if w.cfg.onStep != nil {
+			w.cfg.onStep(w, step)
+		}
 	}
 
 	res.Timings[w.me()] = timings

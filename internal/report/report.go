@@ -88,6 +88,32 @@ func StackedBar(compPct, commPct, syncPct float64, width int) string {
 	return strings.Repeat("#", nc) + strings.Repeat("=", nm) + strings.Repeat(".", ns)
 }
 
+// StackedBarLost renders a four-segment bar: '#' compute, '=' comm,
+// '.' sync and 'x' for virtual time lost to crashes and recomputation.
+func StackedBarLost(compPct, commPct, syncPct, lostPct float64, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	nc := int(compPct/100*float64(width) + 0.5)
+	nm := int(commPct/100*float64(width) + 0.5)
+	nl := int(lostPct/100*float64(width) + 0.5)
+	if lostPct > 0 && nl == 0 {
+		nl = 1 // lost time is the point of this bar; never round it away
+	}
+	if nc > width {
+		nc = width
+	}
+	if nc+nm > width {
+		nm = width - nc
+	}
+	if nc+nm+nl > width {
+		nl = width - nc - nm
+	}
+	ns := width - nc - nm - nl
+	return strings.Repeat("#", nc) + strings.Repeat("=", nm) +
+		strings.Repeat(".", ns) + strings.Repeat("x", nl)
+}
+
 // Bar renders a proportional horizontal bar for value within [0, max].
 func Bar(value, max float64, width int) string {
 	if max <= 0 || value < 0 {

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeadlockListsParkedProcsSorted(t *testing.T) {
+	env := NewEnv()
+	// Spawn in non-alphabetical order; the error must sort the names.
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		env.Spawn(name, func(p *Proc) { p.Park() })
+	}
+	err := env.Run()
+	if err == nil {
+		t.Fatal("three parked procs did not deadlock")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "sim: deadlock") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	i1 := strings.Index(msg, "alpha")
+	i2 := strings.Index(msg, "mid")
+	i3 := strings.Index(msg, "zeta")
+	if i1 < 0 || i2 < 0 || i3 < 0 {
+		t.Fatalf("error does not list all parked procs: %v", err)
+	}
+	if !(i1 < i2 && i2 < i3) {
+		t.Fatalf("parked procs not sorted: %v", err)
+	}
+}
+
+func TestDeadlockOmitsFinishedProcs(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("done", func(p *Proc) { p.Advance(1) })
+	env.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := env.Run()
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	if strings.Contains(err.Error(), "done") {
+		t.Fatalf("finished proc listed as parked: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("parked proc missing: %v", err)
+	}
+}
+
+func TestRunReentrancyPanics(t *testing.T) {
+	env := NewEnv()
+	var recovered interface{}
+	env.Spawn("reenter", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		env.Run() // must panic: the scheduler is already running
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := recovered.(string)
+	if !ok || !strings.Contains(s, "Run reentered") {
+		t.Fatalf("reentrant Run recovered %v, want 'Run reentered' panic", recovered)
+	}
+}
+
+func TestParkTimeoutExpires(t *testing.T) {
+	env := NewEnv()
+	var woken bool
+	var at float64
+	env.Spawn("waiter", func(p *Proc) {
+		woken = p.ParkTimeout(2.5)
+		at = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Fatal("timed-out park reported an unpark")
+	}
+	if at != 2.5 {
+		t.Fatalf("woke at t=%g, want 2.5", at)
+	}
+}
+
+func TestParkTimeoutUnparkedEarly(t *testing.T) {
+	env := NewEnv()
+	var woken bool
+	var at float64
+	waiter := env.Spawn("waiter", func(p *Proc) {
+		woken = p.ParkTimeout(10)
+		at = p.Now()
+	})
+	env.Spawn("waker", func(p *Proc) {
+		p.Advance(1)
+		env.Unpark(waiter)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("early unpark reported as timeout")
+	}
+	if at != 1 {
+		t.Fatalf("woke at t=%g, want 1", at)
+	}
+}
+
+func TestParkTimeoutStaleTimerHarmless(t *testing.T) {
+	// After an early unpark the stale timer fires into a LATER park of the
+	// same proc; the generation counter must keep it from waking that one.
+	env := NewEnv()
+	var secondWoken bool
+	var at float64
+	waiter := env.Spawn("waiter", func(p *Proc) {
+		if !p.ParkTimeout(10) {
+			t.Error("first park timed out unexpectedly")
+		}
+		secondWoken = p.ParkTimeout(50)
+		at = p.Now()
+	})
+	env.Spawn("waker", func(p *Proc) {
+		p.Advance(1)
+		env.Unpark(waiter) // ends park 1 at t=1; its timer still fires at t=10
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondWoken {
+		t.Fatal("second park woken by something other than its own timeout")
+	}
+	if at != 51 {
+		t.Fatalf("second park ended at t=%g, want 51", at)
+	}
+}
+
+func TestParkTimeoutNonPositivePanics(t *testing.T) {
+	env := NewEnv()
+	var recovered interface{}
+	env.Spawn("bad", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		p.ParkTimeout(0)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recovered == nil {
+		t.Fatal("non-positive timeout accepted")
+	}
+}

@@ -26,6 +26,9 @@ type Proc struct {
 	wakeAt   float64
 	seq      int64 // tie-break for deterministic ordering
 	finished bool
+
+	parkGen  int64 // distinguishes park episodes for ParkTimeout timers
+	timedOut bool  // set by a firing timer before the timeout unpark
 }
 
 type procState int
@@ -148,6 +151,15 @@ func (p *Proc) Name() string { return p.name }
 // ID returns the process index within its environment.
 func (p *Proc) ID() int { return p.id }
 
+// Done reports whether the process function has returned. Unlike the other
+// Proc methods it is safe to call from any process.
+func (p *Proc) Done() bool { return p.finished }
+
+// Parked reports whether the process is currently blocked in Park. Safe to
+// call from any process; protocols that signal wakeups through shared flags
+// use it to avoid unparking a process that already woke by timeout.
+func (p *Proc) Parked() bool { return p.state == stateParked }
+
 // Advance blocks the process for d seconds of virtual time. d must be
 // non-negative.
 func (p *Proc) Advance(d float64) {
@@ -163,8 +175,35 @@ func (p *Proc) Advance(d float64) {
 
 // Park blocks the process until another process calls Unpark on it.
 func (p *Proc) Park() {
+	p.parkGen++
+	p.timedOut = false
 	p.state = stateParked
 	p.yieldToScheduler()
+}
+
+// ParkTimeout parks the process until another process calls Unpark on it
+// or until d seconds of virtual time elapse, whichever comes first. It
+// reports whether the process was woken by Unpark (true) or by the
+// timeout (false). d must be positive.
+//
+// The timeout is implemented as a helper process; if the park ends early
+// the stale timer recognizes the finished episode (via a generation
+// counter) and does nothing.
+func (p *Proc) ParkTimeout(d float64) bool {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive park timeout %g", d))
+	}
+	gen := p.parkGen + 1 // the generation Park assigns below
+	env := p.env
+	env.Spawn("timeout:"+p.name, func(t *Proc) {
+		t.Advance(d)
+		if p.state == stateParked && p.parkGen == gen {
+			p.timedOut = true
+			env.Unpark(p)
+		}
+	})
+	p.Park()
+	return !p.timedOut
 }
 
 // Unpark makes a parked process runnable at the current virtual time.

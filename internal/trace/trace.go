@@ -24,6 +24,7 @@ const (
 	KindRecv    Kind = "recv"
 	KindSync    Kind = "sync"
 	KindPhase   Kind = "phase"
+	KindFault   Kind = "fault" // injected fault window (topmost overlay)
 )
 
 // Event is one labelled interval on one rank's timeline.
@@ -103,6 +104,7 @@ var glyph = map[Kind]rune{
 	KindRecv:    '<',
 	KindSync:    '.',
 	KindPhase:   '-',
+	KindFault:   'X',
 }
 
 // RenderTimeline writes a per-rank ASCII gantt of the trace, `width`
@@ -132,8 +134,9 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 	for _, r := range ids {
 		lanes[r] = []rune(strings.Repeat(" ", width))
 	}
-	// Order: phases first (background), then comm, then compute on top.
-	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute}
+	// Order: phases first (background), then comm, then compute; fault
+	// windows are an overlay and render topmost so they stay visible.
+	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute, KindFault}
 	for _, kind := range order {
 		for _, e := range c.events {
 			if e.Kind != kind {
@@ -150,7 +153,7 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 			}
 		}
 	}
-	fmt.Fprintf(w, "timeline %.6f .. %.6f s  (# compute, > send, < recv, . sync)\n", start, end)
+	fmt.Fprintf(w, "timeline %.6f .. %.6f s  (# compute, > send, < recv, . sync, X fault)\n", start, end)
 	for _, r := range ids {
 		if _, err := fmt.Fprintf(w, "rank %2d |%s|\n", r, string(lanes[r])); err != nil {
 			return err
