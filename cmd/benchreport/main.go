@@ -1,0 +1,199 @@
+// benchreport measures the repository's host-performance contract and
+// emits it as machine-readable JSON (BENCH_host.json): ns/op, B/op and
+// allocs/op of the named go benchmarks plus the wall-clock of a full
+// `charmmbench -figure all` regeneration.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport -out BENCH_host.json
+//	go run ./cmd/benchreport -baseline-bench bench/baseline_prepr.txt \
+//	    -baseline-wall 65.9 -out BENCH_host.json
+//
+// The baseline flags attach previously measured numbers (for example from
+// the commit before an optimization) so the report carries before/after
+// evidence; they never re-run anything.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Measurement is one benchmark's per-op cost.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchEntry pairs a current measurement with an optional baseline.
+type BenchEntry struct {
+	Name     string       `json:"name"`
+	Current  Measurement  `json:"current"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+}
+
+// Report is the BENCH_host.json schema.
+type Report struct {
+	GeneratedAt     string       `json:"generated_at"`
+	GoVersion       string       `json:"go_version"`
+	GOOS            string       `json:"goos"`
+	GOARCH          string       `json:"goarch"`
+	NumCPU          int          `json:"num_cpu"`
+	FigureAllWallS  float64      `json:"figure_all_wall_s"`
+	BaselineWallS   float64      `json:"baseline_figure_all_wall_s,omitempty"`
+	FigureAllRuns   int          `json:"figure_all_unique_runs"`
+	FigureAllHits   int          `json:"figure_all_cache_hits"`
+	FigureAllTapes  int          `json:"figure_all_tape_records"`
+	FigureAllReplay int          `json:"figure_all_tape_replays"`
+	Benchmarks      []BenchEntry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: bad ns/op in %q", sc.Text())
+		}
+		var bytesOp, allocsOp int64
+		if m[3] != "" {
+			bytesOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			allocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		out[m[1]] = Measurement{NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
+	}
+	return out, sc.Err()
+}
+
+func runBench(pattern, benchtime string) (map[string]Measurement, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, ".")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchreport: go test -bench %s: %v", pattern, err)
+	}
+	return parseBenchOutput(&buf)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_host.json", "output path")
+	baseBench := flag.String("baseline-bench", "", "previously saved `go test -bench` output to attach as the baseline")
+	baseWall := flag.Float64("baseline-wall", 0, "previously measured -figure all wall seconds to attach as the baseline")
+	skipFigures := flag.Bool("skip-figures", false, "skip the -figure all wall measurement")
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	// Step benchmarks at a fixed iteration count high enough to amortize
+	// cold caches and reach neighbour-list rebuilds; the whole-study
+	// benchmark once (it is tens of seconds of work on its own).
+	steps, err := runBench("BenchmarkSequentialMDStep|BenchmarkParallelStepSimulated", "20x")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	study, err := runBench("BenchmarkStudyAllFigures", "1x")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	current := map[string]Measurement{}
+	for k, v := range steps {
+		current[k] = v
+	}
+	for k, v := range study {
+		current[k] = v
+	}
+
+	baseline := map[string]Measurement{}
+	if *baseBench != "" {
+		f, err := os.Open(*baseBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		baseline, err = parseBenchOutput(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range []string{
+		"BenchmarkSequentialMDStep",
+		"BenchmarkParallelStepSimulated",
+		"BenchmarkStudyAllFigures",
+	} {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchreport: benchmark %s missing from output\n", name)
+			os.Exit(1)
+		}
+		e := BenchEntry{Name: name, Current: cur}
+		if b, ok := baseline[name]; ok {
+			bc := b
+			e.Baseline = &bc
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	if !*skipFigures {
+		start := time.Now()
+		study := core.NewStudy(core.Options{})
+		if err := study.All(io.Discard); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.FigureAllWallS = time.Since(start).Seconds()
+		st := study.Stats()
+		rep.FigureAllRuns = st.Misses
+		rep.FigureAllHits = st.Hits
+		rep.FigureAllTapes = st.TapeRecords
+		rep.FigureAllReplay = st.TapeReplays
+	}
+	rep.BaselineWallS = *baseWall
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchreport: wrote", *out)
+}

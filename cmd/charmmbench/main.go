@@ -6,6 +6,7 @@
 //	charmmbench -figure all            # every figure, text tables
 //	charmmbench -figure 5 -format csv  # one figure as CSV
 //	charmmbench -figure 3 -steps 10 -procs 1,2,4,8
+//	charmmbench -figure all -v -workers 4 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -13,8 +14,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -27,9 +32,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced protocol (2 steps, p ≤ 4) for smoke runs")
 	seed := flag.Uint64("seed", 0, "override the deterministic seeds")
 	outdir := flag.String("outdir", "", "also write every figure as CSV into this directory")
+	workers := flag.Int("workers", 0, "host worker goroutines for compute segments (0 = one per CPU, 1 = serial; output is identical)")
+	verbose := flag.Bool("v", false, "print run-cache and physics-tape statistics to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	tracefile := flag.String("trace", "", "write a Go execution trace to this file")
 	flag.Parse()
 
-	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed}
+	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed, Workers: *workers}
 	if *procs != "" {
 		for _, tok := range strings.Split(*procs, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -51,6 +61,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		tf, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(tf); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+
+	start := time.Now()
 	study := core.NewStudy(opts)
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -91,5 +127,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charmmbench:", err)
 		os.Exit(1)
+	}
+
+	if *verbose {
+		st := study.Stats()
+		fmt.Fprintf(os.Stderr,
+			"charmmbench: %s wall, %d unique runs simulated, %d cache hits, %d tapes recorded, %d tape replays\n",
+			time.Since(start).Round(time.Millisecond), st.Misses, st.Hits, st.TapeRecords, st.TapeReplays)
+	}
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		if err := mf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -23,6 +23,14 @@ type Config struct {
 	Seed        uint64 // stream for network stall draws
 }
 
+// Key returns a canonical content fingerprint of the platform
+// configuration — every field of the topology and the full network
+// parameter set — for use as a run-memoization cache key: two configs with
+// equal keys simulate identically (given equal workload and cost model).
+func (c Config) Key() string {
+	return fmt.Sprintf("nodes=%d cpus=%d seed=%d net=%+v", c.Nodes, c.CPUsPerNode, c.Seed, c.Net)
+}
+
 // Validate checks the configuration. New panics on exactly the conditions
 // Validate reports, so callers holding user input (the cmd/ binaries)
 // validate first and print a one-line error instead of a panic trace.

@@ -44,6 +44,9 @@ type Options struct {
 	// SystemSeed/ClusterSeed select the deterministic random streams.
 	SystemSeed  uint64
 	ClusterSeed uint64
+	// Workers sizes the host worker pool (0 = one per host CPU, 1 =
+	// serial). Figure output is identical across settings.
+	Workers int
 }
 
 // Study owns a cached experiment suite.
@@ -69,11 +72,15 @@ func NewStudy(o Options) *Study {
 	if o.ClusterSeed != 0 {
 		cfg.ClusterSeed = o.ClusterSeed
 	}
+	cfg.Workers = o.Workers
 	return &Study{Suite: figures.NewSuite(cfg)}
 }
 
 // System returns the molecular workload.
 func (s *Study) System() *topol.System { return s.Suite.System() }
+
+// Stats returns the suite's run-cache and physics-tape counters.
+func (s *Study) Stats() figures.RunStats { return s.Suite.Stats() }
 
 // FigureIDs lists the reproducible experiment identifiers.
 func FigureIDs() []string {

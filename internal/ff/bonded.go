@@ -3,6 +3,7 @@ package ff
 import (
 	"math"
 
+	"repro/internal/space"
 	"repro/internal/vec"
 	"repro/internal/work"
 )
@@ -90,9 +91,7 @@ func (ff *ForceField) AnglesRange(pos, frc []vec.V, w *work.Counters, lo, hi int
 // torsionGrad computes the dihedral angle φ for atoms (i,j,k,l) and the
 // gradients dφ/dr for each atom, using minimum-image displacements.
 // Returns ok=false for degenerate (collinear) geometries.
-func torsionGrad(box interface {
-	MinImage(a, b vec.V) vec.V
-}, ri, rj, rk, rl vec.V) (phi float64, gi, gj, gk, gl vec.V, ok bool) {
+func torsionGrad(box space.Box, ri, rj, rk, rl vec.V) (phi float64, gi, gj, gk, gl vec.V, ok bool) {
 	b1 := box.MinImage(rj, ri)
 	b2 := box.MinImage(rk, rj)
 	b3 := box.MinImage(rl, rk)

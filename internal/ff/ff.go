@@ -96,6 +96,7 @@ type ForceField struct {
 	charge   []float64
 	eps      []float64
 	rminHalf []float64
+	is14     map[[2]int32]bool // 1-4 pairs to drop from the nonbonded list
 }
 
 // New resolves all parameters for sys.
@@ -133,6 +134,10 @@ func New(sys *topol.System, opts Options) *ForceField {
 		f.eps[i] = t.Eps
 		f.rminHalf[i] = t.RminHalf
 	}
+	f.is14 = make(map[[2]int32]bool, len(sys.Pairs14))
+	for _, p := range sys.Pairs14 {
+		f.is14[p] = true
+	}
 	return f
 }
 
@@ -145,7 +150,9 @@ func (f *ForceField) BondR0(bi int) float64 { return f.bonds[bi].R0 }
 
 // BuildPairs constructs the nonbonded neighbour list at the list cutoff,
 // with excluded (1-2, 1-3) and 1-4 pairs removed — 1-4 interactions are
-// evaluated separately with their scale factors.
+// evaluated separately with their scale factors. Each call allocates a
+// fresh list; steady-state callers rebuilding every few steps should hold
+// a PairLister instead.
 func (f *ForceField) BuildPairs(pos []vec.V, w *work.Counters) []space.Pair {
 	cl := space.NewCellList(f.Sys.Box, f.Opts.ListCutoff, pos)
 	var distEvals int64
@@ -153,18 +160,50 @@ func (f *ForceField) BuildPairs(pos []vec.V, w *work.Counters) []space.Pair {
 	if w != nil {
 		w.ListDistEvals += distEvals
 	}
+	return f.filterPairs(raw)
+}
+
+// filterPairs drops excluded and 1-4 pairs in place.
+func (f *ForceField) filterPairs(raw []space.Pair) []space.Pair {
 	out := raw[:0]
-	is14 := make(map[[2]int32]bool, len(f.Sys.Pairs14))
-	for _, p := range f.Sys.Pairs14 {
-		is14[p] = true
-	}
 	for _, p := range raw {
-		if f.Sys.Excl.Excluded(p.I, p.J) || is14[[2]int32{p.I, p.J}] {
+		if f.Sys.Excl.Excluded(p.I, p.J) || f.is14[[2]int32{p.I, p.J}] {
 			continue
 		}
 		out = append(out, p)
 	}
 	return out
+}
+
+// PairLister builds neighbour lists repeatedly over one topology without
+// steady-state allocation: the cell grid, its occupancy storage and the
+// pair buffer are all reused across Build calls. The slice returned by
+// Build is valid until the next Build on the same lister.
+type PairLister struct {
+	f    *ForceField
+	cl   *space.CellList
+	pair []space.Pair
+}
+
+// NewPairLister returns a reusable list builder for this force field.
+func (f *ForceField) NewPairLister() *PairLister { return &PairLister{f: f} }
+
+// Build constructs the filtered nonbonded list at pos, charging the
+// distance evaluations into w (when non-nil).
+func (pl *PairLister) Build(pos []vec.V, w *work.Counters) []space.Pair {
+	f := pl.f
+	if pl.cl == nil {
+		pl.cl = space.NewCellList(f.Sys.Box, f.Opts.ListCutoff, pos)
+	} else {
+		pl.cl.Rebuild(pos)
+	}
+	var distEvals int64
+	pl.pair = pl.cl.PairsAppend(pos, pl.pair, &distEvals)
+	if w != nil {
+		w.ListDistEvals += distEvals
+	}
+	pl.pair = f.filterPairs(pl.pair)
+	return pl.pair
 }
 
 // elecKernel returns energy and dE/dr for a unit charge product at

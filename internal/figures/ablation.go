@@ -49,13 +49,9 @@ func (s *Suite) Ablation() ([]AblationRow, error) {
 
 	var out []AblationRow
 	for _, v := range variants {
-		res, err := pmd.Run(
+		res, err := s.runCase(
 			cluster.Config{Nodes: p, CPUsPerNode: 1, Net: v.net, Seed: s.Cfg.ClusterSeed},
-			s.Cfg.Cost,
-			pmd.Config{
-				System: s.sys, MD: s.Cfg.MD, Steps: s.Cfg.Steps,
-				Middleware: pmd.MiddlewareMPI, ModernCollectives: v.modern,
-			},
+			pmd.MiddlewareMPI, v.modern,
 		)
 		if err != nil {
 			return nil, err

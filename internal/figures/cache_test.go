@@ -1,0 +1,103 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+)
+
+// TestRunStatsCountUniqueConfigs: every unique configuration simulates
+// exactly once per suite lifetime; repeats are cache hits, and runs
+// sharing a rank count share one physics tape (one recording, the rest
+// replays).
+func TestRunStatsCountUniqueConfigs(t *testing.T) {
+	s := NewSuite(quickConfig())
+	cells := []struct {
+		net netmodel.Params
+		p   int
+		mw  pmd.MiddlewareKind
+	}{
+		{netmodel.MyrinetGM(), 2, pmd.MiddlewareMPI},
+		{netmodel.TCPGigE(), 2, pmd.MiddlewareMPI},
+		{netmodel.MyrinetGM(), 2, pmd.MiddlewareCMPI},
+		{netmodel.MyrinetGM(), 4, pmd.MiddlewareMPI},
+	}
+	for round := 0; round < 3; round++ {
+		for _, c := range cells {
+			if _, err := s.Run(c.net, c.p, 1, c.mw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Misses != len(cells) {
+		t.Fatalf("misses = %d, want %d (each unique config simulated once)", st.Misses, len(cells))
+	}
+	if st.Hits != 2*len(cells) {
+		t.Fatalf("hits = %d, want %d", st.Hits, 2*len(cells))
+	}
+	// Two distinct rank counts → two tapes recorded; the two extra p=2
+	// cells replayed the p=2 tape.
+	if st.TapeRecords != 2 {
+		t.Fatalf("tape records = %d, want 2", st.TapeRecords)
+	}
+	if st.TapeReplays != 2 {
+		t.Fatalf("tape replays = %d, want 2", st.TapeReplays)
+	}
+}
+
+// TestFaultSpecPartitionsCache: a faulted suite must never serve a healthy
+// suite's timing (the spec is part of the content key) and its results
+// must differ.
+func TestFaultSpecPartitionsCache(t *testing.T) {
+	healthy := NewSuite(quickConfig())
+	cfg := quickConfig()
+	cfg.FaultSpec = "straggler@0:1000,node=0,slow=3"
+	faulted := NewSuite(cfg)
+
+	a, err := healthy.Run(netmodel.MyrinetGM(), 2, 1, pmd.MiddlewareMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faulted.Run(netmodel.MyrinetGM(), 2, 1, pmd.MiddlewareMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall == b.Wall {
+		t.Fatal("straggler scenario did not change the simulated wall clock")
+	}
+}
+
+// TestFigureOutputIdenticalAcrossWorkers: the rendered figure bytes —
+// the user-visible artifact — are identical between the serial schedule
+// and the host-parallel one.
+func TestFigureOutputIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) []byte {
+		cfg := quickConfig()
+		cfg.Workers = workers
+		s := NewSuite(cfg)
+		rows, err := s.Fig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := RenderFig3(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		rows8, err := s.Fig8()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderFig8(&buf, rows8); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("figure bytes differ between serial and host-parallel schedules")
+	}
+}

@@ -6,8 +6,10 @@ package figures
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/md"
 	"repro/internal/netmodel"
 	"repro/internal/pmd"
@@ -44,6 +46,17 @@ type Config struct {
 	ClusterSeed uint64            // network stall stream
 	Cost        cluster.CostModel //
 	MD          md.Config         // PME MD configuration
+
+	// Workers sizes the host worker pool for compute segments: 0 picks
+	// GOMAXPROCS, 1 forces the serial schedule, > 1 overlaps segments of
+	// different simulated ranks on that many host goroutines. Figure
+	// output is bitwise identical across all settings.
+	Workers int
+
+	// FaultSpec, when non-empty, is a fault-DSL scenario injected into
+	// every run of the suite (see internal/fault). It is part of the run
+	// cache key, so faulted and healthy results never mix.
+	FaultSpec string
 }
 
 // Default returns the paper's measurement protocol.
@@ -69,35 +82,108 @@ func Quick() Config {
 	return c
 }
 
-// Suite runs and caches the experiment cells.
-type Suite struct {
-	Cfg   Config
-	sys   *topol.System
-	cache map[caseKey]*pmd.Result
+// RunStats counts the suite's simulation work: how often the run cache
+// served a figure from memory and how often the physics tape replaced a
+// kernel execution with a counter replay.
+type RunStats struct {
+	Misses      int // unique configurations actually simulated
+	Hits        int // cells served from the run cache
+	TapeRecords int // runs that recorded a physics tape
+	TapeReplays int // runs that replayed one instead of executing kernels
 }
 
-type caseKey struct {
-	net  string
-	p    int
-	cpus int
-	mw   pmd.MiddlewareKind
+// Suite runs and caches the experiment cells. Two layers of memoization
+// back it: a content-keyed run cache (platform × middleware × workload ×
+// fault scenario — every unique configuration simulates exactly once per
+// Suite lifetime) and, below it, per-rank-count physics tapes that let
+// cache *misses* sharing a rank count skip the MD kernels and replay
+// recorded work counters through the event simulation.
+type Suite struct {
+	Cfg    Config
+	sys    *topol.System
+	cache  map[string]*pmd.Result
+	tapes  map[int]*pmd.Tape
+	faults cluster.FaultModel
+	stats  RunStats
 }
 
 // NewSuite builds the molecular system once, relaxes the strained built
 // geometry (so the measured trajectory is stable), and prepares an empty
-// result cache.
+// result cache. An invalid FaultSpec panics (it is programmer input; the
+// cmd binaries validate user specs before building a suite).
 func NewSuite(cfg Config) *Suite {
 	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: cfg.SystemSeed})
 	md.Relax(sys, 80)
-	return &Suite{
+	s := &Suite{
 		Cfg:   cfg,
 		sys:   sys,
-		cache: map[caseKey]*pmd.Result{},
+		cache: map[string]*pmd.Result{},
+		tapes: map[int]*pmd.Tape{},
 	}
+	if cfg.FaultSpec != "" {
+		sc, err := fault.ParseSpec(cfg.FaultSpec)
+		if err != nil {
+			panic("figures: bad fault spec: " + err.Error())
+		}
+		inj, err := fault.NewInjector(sc, fault.Options{})
+		if err != nil {
+			panic("figures: bad fault scenario: " + err.Error())
+		}
+		s.faults = inj
+	}
+	return s
 }
 
 // System exposes the workload (3552 atoms in the default configuration).
 func (s *Suite) System() *topol.System { return s.sys }
+
+// Stats returns the cache and tape counters accumulated so far.
+func (s *Suite) Stats() RunStats { return s.stats }
+
+// workers resolves the configured pool size (0 = one worker per host CPU).
+func (s *Suite) workers() int {
+	if s.Cfg.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Cfg.Workers
+}
+
+// runCase simulates one fully specified configuration, memoized on its
+// content key.
+func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern bool) (*pmd.Result, error) {
+	key := fmt.Sprintf("%s mw=%v modern=%t steps=%d fault=%q",
+		clusterCfg.Key(), mw, modern, s.Cfg.Steps, s.Cfg.FaultSpec)
+	if r, ok := s.cache[key]; ok {
+		s.stats.Hits++
+		return r, nil
+	}
+	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
+	tape := s.tapes[p]
+	if tape == nil {
+		tape = pmd.NewTape()
+		s.tapes[p] = tape
+	}
+	wasComplete := tape.Complete()
+	res, err := pmd.Run(clusterCfg, s.Cfg.Cost, pmd.Config{
+		System: s.sys, MD: s.Cfg.MD, Steps: s.Cfg.Steps,
+		Middleware: mw, ModernCollectives: modern,
+		Faults:      s.faults,
+		Tape:        tape,
+		HostWorkers: s.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Misses++
+	switch {
+	case wasComplete:
+		s.stats.TapeReplays++
+	case tape.Complete():
+		s.stats.TapeRecords++
+	}
+	s.cache[key] = res
+	return res, nil
+}
 
 // Run returns the (cached) result of one experiment cell. nodes×cpus ranks
 // run `p = nodes·cpus` processors; callers pass total processors and CPUs
@@ -106,25 +192,12 @@ func (s *Suite) Run(net netmodel.Params, procs, cpusPerNode int, mw pmd.Middlewa
 	if procs%cpusPerNode != 0 {
 		return nil, fmt.Errorf("figures: %d processors not divisible by %d CPUs/node", procs, cpusPerNode)
 	}
-	key := caseKey{net: net.Name, p: procs, cpus: cpusPerNode, mw: mw}
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	res, err := pmd.Run(
-		cluster.Config{
-			Nodes:       procs / cpusPerNode,
-			CPUsPerNode: cpusPerNode,
-			Net:         net,
-			Seed:        s.Cfg.ClusterSeed,
-		},
-		s.Cfg.Cost,
-		pmd.Config{System: s.sys, MD: s.Cfg.MD, Steps: s.Cfg.Steps, Middleware: mw},
-	)
-	if err != nil {
-		return nil, err
-	}
-	s.cache[key] = res
-	return res, nil
+	return s.runCase(cluster.Config{
+		Nodes:       procs / cpusPerNode,
+		CPUsPerNode: cpusPerNode,
+		Net:         net,
+		Seed:        s.Cfg.ClusterSeed,
+	}, mw, false)
 }
 
 // ---------------------------------------------------------------------------

@@ -105,7 +105,8 @@ type Engine struct {
 	pme *ewald.PME
 
 	pairs      []space.Pair
-	listOrigin []vec.V // positions at last list build
+	lister     *ff.PairLister // reusable list builder (no steady-state allocs)
+	listOrigin []vec.V        // positions at last list build
 	listFresh  bool
 
 	constraints []constraint
@@ -193,7 +194,10 @@ func (e *Engine) listValid() bool {
 
 // RefreshList rebuilds the neighbour list unconditionally.
 func (e *Engine) RefreshList(w *work.Counters) {
-	e.pairs = e.FF.BuildPairs(e.Pos, w)
+	if e.lister == nil {
+		e.lister = e.FF.NewPairLister()
+	}
+	e.pairs = e.lister.Build(e.Pos, w)
 	if e.listOrigin == nil {
 		e.listOrigin = make([]vec.V, len(e.Pos))
 	}

@@ -9,9 +9,12 @@ import (
 )
 
 // listValid mirrors the sequential engine's Verlet-skin check; every rank
-// holds an identical replica, so all ranks reach the same decision.
+// holds an identical replica, so all ranks reach the same decision. It is
+// also evaluated on the scheduler thread to pick the classic segment's
+// work lower bound — it reads only this rank's replica, which no compute
+// closure touches between the drift segment and the classic segment.
 func (w *worker) listValid() bool {
-	if w.listOrigin == nil {
+	if w.listGen < 0 {
 		return false
 	}
 	limit := (w.cfg.MD.FF.ListCutoff - w.cfg.MD.FF.CutOff) / 2
@@ -28,57 +31,94 @@ func (w *worker) listValid() bool {
 // total forces and the step energies. When st is non-nil, it closes the
 // classic phase sample using tr (opened by the caller at phase start) and
 // fills the PME sample for the distributed reciprocal computation.
+//
+// The physics is split into six compute segments (one per cost charge of
+// the original straight-line version, so the event sequence is unchanged),
+// each declaring an exact-where-possible work lower bound so the host-
+// parallel scheduler can overlap segments of different ranks. Everything
+// between segments — publishing shared slots, force combines, transpose
+// packing — is zero-cost bookkeeping and stays inline on the scheduler
+// thread.
 func (w *worker) computeForces(st *StepTiming, tr phaseTracker) md.EnergyReport {
 	sys := w.cfg.System
 	n := sys.N()
 	me := w.me()
-	charges := w.ff.Charges()
 	aLo, aHi := w.myAtoms()
+	pmeCfg := w.cfg.MD.PME
+	k1, k2, k3 := pmeCfg.K1, pmeCfg.K2, pmeCfg.K3
+	planeLen := k2 * k3
+	myYW := w.myYW()
+	o3 := int64(pmeCfg.Order * pmeCfg.Order * pmeCfg.Order)
 	var rep md.EnergyReport
-
-	// ---------------- Classic phase (continued) -------------------------
-	var wc work.Counters
-
-	// Neighbour-list management: each rank executes the full build (the
-	// replicas are identical) but the parallel list construction of
-	// CHARMM distributes the search work, so only 1/p of it is charged.
-	if !w.listValid() {
-		var wl work.Counters
-		w.pairs = w.ff.BuildPairs(w.pos, &wl)
-		wc.ListDistEvals += wl.ListDistEvals / int64(w.p)
-		if w.listOrigin == nil {
-			w.listOrigin = make([]vec.V, n)
-		}
-		copy(w.listOrigin, w.pos)
-		w.pairOff = blockPartition(len(w.pairs), w.p)
+	var charges []float64
+	if w.replay == nil {
+		charges = w.ff.Charges()
 	}
 
-	// Partial classic forces and energies over this rank's partitions.
-	vec.Fill(w.partial, vec.Zero)
-	var e ff.Energies
-	e.Bond = w.ff.BondsRange(w.pos, w.partial, &wc, w.bondOff[me], w.bondOff[me+1])
-	e.Angle = w.ff.AnglesRange(w.pos, w.partial, &wc, w.angOff[me], w.angOff[me+1])
-	e.Dihedral = w.ff.DihedralsRange(w.pos, w.partial, &wc, w.dihOff[me], w.dihOff[me+1])
-	e.Improper = w.ff.ImpropersRange(w.pos, w.partial, &wc, w.imprOff[me], w.imprOff[me+1])
-	e.Add(w.ff.Nonbonded(w.pos, w.pairs[w.pairOff[me]:w.pairOff[me+1]], w.partial, &wc))
-	e.Add(w.ff.Pairs14Range(w.pos, w.partial, &wc, w.p14Off[me], w.p14Off[me+1]))
-	w.r.ComputeWork(wc)
+	// ---------------- Classic phase (continued) -------------------------
 
-	w.sh.classicFrc[me] = w.partial
-	w.sh.energy[me].FF = e
+	// Exact bound for everything unconditionally evaluated over this
+	// rank's partitions. The neighbour-list rebuild and the nonbonded
+	// exclusion checks only add work on top; the current pair-list range
+	// is part of the bound only when the list provably survives this step
+	// (a rebuild repartitions the pair list, so the old range is no bound).
+	var minC work.Counters
+	if w.replay == nil {
+		minC = work.Counters{
+			BondTerms:     int64(w.bondOff[me+1] - w.bondOff[me]),
+			AngleTerms:    int64(w.angOff[me+1] - w.angOff[me]),
+			DihedralTerms: int64(w.dihOff[me+1]-w.dihOff[me]) + int64(w.imprOff[me+1]-w.imprOff[me]),
+			PairEvals:     int64(w.p14Off[me+1] - w.p14Off[me]),
+		}
+		if w.listValid() {
+			minC.PairEvals += int64(w.pairOff[me+1] - w.pairOff[me])
+		}
+	}
+
+	var e ff.Energies
+	w.seg(minC, func(wc *work.Counters) {
+		// Neighbour-list management: all replicas are identical, so the
+		// build is shared across ranks (constructed once per generation)
+		// while each rank still charges its 1/p share of the distributed
+		// search work, exactly like CHARMM's parallel list builder.
+		if !w.listValid() {
+			w.listGen++
+			pairs, distEvals := w.sh.sharedList(w.listGen, w.ff, w.pos)
+			w.pairs = pairs
+			wc.ListDistEvals += distEvals / int64(w.p)
+			copy(w.listOrigin, w.pos)
+			w.pairOff = blockPartition(len(w.pairs), w.p)
+		}
+
+		// Partial classic forces and energies over this rank's partitions.
+		vec.Fill(w.partial, vec.Zero)
+		e.Bond = w.ff.BondsRange(w.pos, w.partial, wc, w.bondOff[me], w.bondOff[me+1])
+		e.Angle = w.ff.AnglesRange(w.pos, w.partial, wc, w.angOff[me], w.angOff[me+1])
+		e.Dihedral = w.ff.DihedralsRange(w.pos, w.partial, wc, w.dihOff[me], w.dihOff[me+1])
+		e.Improper = w.ff.ImpropersRange(w.pos, w.partial, wc, w.imprOff[me], w.imprOff[me+1])
+		e.Add(w.ff.Nonbonded(w.pos, w.pairs[w.pairOff[me]:w.pairOff[me+1]], w.partial, wc))
+		e.Add(w.ff.Pairs14Range(w.pos, w.partial, wc, w.p14Off[me], w.p14Off[me+1]))
+	})
+
+	w.inline(func() {
+		w.sh.classicFrc[me] = w.partial
+		w.sh.energy[me].FF = e
+	})
 
 	// Global force combine (the classic "all-to-all collective"), followed
 	// by the separate energy/virial-array sum CHARMM performs per step.
 	reduceOp := float64(3*n) * 1e-9 // one add per force component, ~1 ns each
 	w.c.Allreduce(bytesPerCoord*n, reduceOp)
 	w.c.Allreduce(2048, 0)
-	vec.Fill(w.frcTotal, vec.Zero)
-	var eAll ff.Energies
-	for rk := 0; rk < w.p; rk++ {
-		vec.AddTo(w.frcTotal, w.sh.classicFrc[rk])
-		eAll.Add(w.sh.energy[rk].FF)
-	}
-	rep.FF = eAll
+	w.inline(func() {
+		vec.Fill(w.frcTotal, vec.Zero)
+		var eAll ff.Energies
+		for rk := 0; rk < w.p; rk++ {
+			vec.AddTo(w.frcTotal, w.sh.classicFrc[rk])
+			eAll.Add(w.sh.energy[rk].FF)
+		}
+		rep.FF = eAll
+	})
 
 	if st != nil {
 		st.Classic = tr.sample()
@@ -86,196 +126,203 @@ func (w *worker) computeForces(st *StepTiming, tr phaseTracker) md.EnergyReport 
 
 	// ---------------- PME phase -----------------------------------------
 	trP := w.beginPhase()
-	var wp work.Counters
-	o3 := int64(w.pme.Order * w.pme.Order * w.pme.Order)
-	k1, k2, k3 := w.pme.K1, w.pme.K2, w.pme.K3
-	planeLen := k2 * k3
+	nOwn := int64(aHi - aLo)
 
 	// Spread own atoms onto the full local accumulation grid.
-	for i := range w.localGrid {
-		w.localGrid[i] = 0
-	}
-	w.pme.Spread(w.pos, charges, aLo, aHi, w.localGrid)
-	wp.GridCharges += int64(aHi-aLo) * o3
-	w.sh.grids[me] = w.localGrid
-	w.r.ComputeWork(wp)
-	wp = work.Counters{}
+	w.seg(work.Counters{GridCharges: nOwn * o3}, func(wp *work.Counters) {
+		for i := range w.localGrid {
+			w.localGrid[i] = 0
+		}
+		w.pme.Spread(w.pos, charges, aLo, aHi, w.localGrid)
+		wp.GridCharges += nOwn * o3
+	})
+	w.inline(func() { w.sh.grids[me] = w.localGrid })
 
 	// Grid assembly: personalized all-to-all, then sum incoming slab
-	// pieces into the owned x-slab.
-	sizes := make([][]int, w.p)
-	for i := range sizes {
-		sizes[i] = make([]int, w.p)
-		for j := range sizes[i] {
-			if i != j {
-				sizes[i][j] = bytesPerRealPoint * (w.xOff[j+1] - w.xOff[j]) * planeLen
+	// pieces into the owned x-slab, and forward 2-D FFTs over the owned
+	// planes. Both counts are exact, so the bound is exact.
+	w.c.Alltoallv(w.sizesGrid)
+	var minP2 work.Counters
+	if w.replay == nil {
+		minP2 = work.Counters{
+			RecipPoints: int64(w.p-1) * int64(len(w.slab)),
+			FFTOps:      int64(w.myXW()) * w.plan2d.Ops(),
+		}
+	}
+	w.seg(minP2, func(wp *work.Counters) {
+		slabOff := w.xOff[me] * planeLen
+		for i := range w.slab {
+			w.slab[i] = 0
+		}
+		for rk := 0; rk < w.p; rk++ {
+			src := w.sh.grids[rk]
+			for i := range w.slab {
+				w.slab[i] += src[slabOff+i]
 			}
 		}
-	}
-	w.c.Alltoallv(sizes)
-	slabOff := w.xOff[me] * planeLen
-	for i := range w.slab {
-		w.slab[i] = 0
-	}
-	for rk := 0; rk < w.p; rk++ {
-		src := w.sh.grids[rk]
-		for i := range w.slab {
-			w.slab[i] += src[slabOff+i]
+		wp.RecipPoints += int64(w.p-1) * int64(len(w.slab))
+		for x := 0; x < w.myXW(); x++ {
+			w.plan2d.Forward(w.slab[x*planeLen : (x+1)*planeLen])
 		}
-	}
-	wp.RecipPoints += int64(w.p-1) * int64(len(w.slab))
-
-	// Forward 2-D FFTs over the owned planes.
-	for x := 0; x < w.myXW(); x++ {
-		w.plan2d.Forward(w.slab[x*planeLen : (x+1)*planeLen])
-	}
-	wp.FFTOps += int64(w.myXW()) * w.plan2d.Ops()
-	w.r.ComputeWork(wp)
-	wp = work.Counters{}
+		wp.FFTOps += int64(w.myXW()) * w.plan2d.Ops()
+	})
 
 	// Forward transpose: ship (myX × yW(dst) × K3) blocks.
-	for dst := 0; dst < w.p; dst++ {
-		yLo, yHi := w.yOff[dst], w.yOff[dst+1]
-		block := make([]complex128, w.myXW()*(yHi-yLo)*k3)
-		bi := 0
-		for x := 0; x < w.myXW(); x++ {
-			for y := yLo; y < yHi; y++ {
-				copy(block[bi:bi+k3], w.slab[(x*k2+y)*k3:(x*k2+y)*k3+k3])
-				bi += k3
+	w.inline(func() {
+		for dst := 0; dst < w.p; dst++ {
+			yLo, yHi := w.yOff[dst], w.yOff[dst+1]
+			block := w.packF[dst]
+			bi := 0
+			for x := 0; x < w.myXW(); x++ {
+				for y := yLo; y < yHi; y++ {
+					copy(block[bi:bi+k3], w.slab[(x*k2+y)*k3:(x*k2+y)*k3+k3])
+					bi += k3
+				}
 			}
+			w.sh.tblocksF[me][dst] = block
 		}
-		w.sh.tblocksF[me][dst] = block
-	}
-	sizesT := make([][]int, w.p)
-	for i := range sizesT {
-		sizesT[i] = make([]int, w.p)
-		for j := range sizesT[i] {
-			if i != j {
-				sizesT[i][j] = bytesPerPoint * (w.xOff[i+1] - w.xOff[i]) * (w.yOff[j+1] - w.yOff[j]) * k3
-			}
-		}
-	}
-	w.c.Alltoallv(sizesT)
-	myYW := w.myYW()
-	for src := 0; src < w.p; src++ {
-		block := w.sh.tblocksF[src][me]
-		xw := w.xOff[src+1] - w.xOff[src]
-		bi := 0
-		for xx := 0; xx < xw; xx++ {
-			x := w.xOff[src] + xx
-			for yy := 0; yy < myYW; yy++ {
-				copy(w.xlines[(x*myYW+yy)*k3:(x*myYW+yy)*k3+k3], block[bi:bi+k3])
-				bi += k3
-			}
-		}
-	}
-	wp.Other += int64(k1 * myYW * k3)
+	})
+	w.c.Alltoallv(w.sizesTF)
 
-	// 1-D FFTs along x, influence multiply on the owned spectrum lines,
-	// inverse 1-D FFTs.
-	var eRecip float64
-	for yy := 0; yy < myYW; yy++ {
-		for z := 0; z < k3; z++ {
-			for x := 0; x < k1; x++ {
-				w.line[x] = w.xlines[(x*myYW+yy)*k3+z]
-			}
-			w.plan1d.Forward(w.line)
-			m2 := w.yOff[me] + yy
-			for m1 := 0; m1 < k1; m1++ {
-				eC, cC := w.pme.Psi(m1, m2, z)
-				v := w.line[m1]
-				eRecip += eC * (real(v)*real(v) + imag(v)*imag(v))
-				w.line[m1] = v * complex(cC, 0)
-			}
-			w.plan1d.Inverse(w.line)
-			for x := 0; x < k1; x++ {
-				w.xlines[(x*myYW+yy)*k3+z] = w.line[x]
-			}
+	// Unpack into the transposed layout, then 1-D FFTs along x, influence
+	// multiply on the owned spectrum lines, inverse 1-D FFTs.
+	var minP3 work.Counters
+	if w.replay == nil {
+		minP3 = work.Counters{
+			Other:       int64(k1 * myYW * k3),
+			FFTOps:      2 * int64(myYW*k3) * w.plan1d.Ops(),
+			RecipPoints: int64(k1 * myYW * k3),
 		}
 	}
-	wp.FFTOps += 2 * int64(myYW*k3) * w.plan1d.Ops()
-	wp.RecipPoints += int64(k1 * myYW * k3)
-	w.r.ComputeWork(wp)
-	wp = work.Counters{}
+	var eRecip float64
+	w.seg(minP3, func(wp *work.Counters) {
+		for src := 0; src < w.p; src++ {
+			block := w.sh.tblocksF[src][me]
+			xw := w.xOff[src+1] - w.xOff[src]
+			bi := 0
+			for xx := 0; xx < xw; xx++ {
+				x := w.xOff[src] + xx
+				for yy := 0; yy < myYW; yy++ {
+					copy(w.xlines[(x*myYW+yy)*k3:(x*myYW+yy)*k3+k3], block[bi:bi+k3])
+					bi += k3
+				}
+			}
+		}
+		wp.Other += int64(k1 * myYW * k3)
+
+		for yy := 0; yy < myYW; yy++ {
+			for z := 0; z < k3; z++ {
+				for x := 0; x < k1; x++ {
+					w.line[x] = w.xlines[(x*myYW+yy)*k3+z]
+				}
+				w.plan1d.Forward(w.line)
+				m2 := w.yOff[me] + yy
+				for m1 := 0; m1 < k1; m1++ {
+					eC, cC := w.pme.Psi(m1, m2, z)
+					v := w.line[m1]
+					eRecip += eC * (real(v)*real(v) + imag(v)*imag(v))
+					w.line[m1] = v * complex(cC, 0)
+				}
+				w.plan1d.Inverse(w.line)
+				for x := 0; x < k1; x++ {
+					w.xlines[(x*myYW+yy)*k3+z] = w.line[x]
+				}
+			}
+		}
+		wp.FFTOps += 2 * int64(myYW*k3) * w.plan1d.Ops()
+		wp.RecipPoints += int64(k1 * myYW * k3)
+	})
 
 	// Backward transpose: return (xW(dst) × myY × K3) blocks.
-	for dst := 0; dst < w.p; dst++ {
-		xLo, xHi := w.xOff[dst], w.xOff[dst+1]
-		block := make([]complex128, (xHi-xLo)*myYW*k3)
-		bi := 0
-		for x := xLo; x < xHi; x++ {
-			for yy := 0; yy < myYW; yy++ {
-				copy(block[bi:bi+k3], w.xlines[(x*myYW+yy)*k3:(x*myYW+yy)*k3+k3])
-				bi += k3
+	w.inline(func() {
+		for dst := 0; dst < w.p; dst++ {
+			xLo, xHi := w.xOff[dst], w.xOff[dst+1]
+			block := w.packB[dst]
+			bi := 0
+			for x := xLo; x < xHi; x++ {
+				for yy := 0; yy < myYW; yy++ {
+					copy(block[bi:bi+k3], w.xlines[(x*myYW+yy)*k3:(x*myYW+yy)*k3+k3])
+					bi += k3
+				}
 			}
+			w.sh.tblocksB[me][dst] = block
 		}
-		w.sh.tblocksB[me][dst] = block
-	}
-	sizesB := make([][]int, w.p)
-	for i := range sizesB {
-		sizesB[i] = make([]int, w.p)
-		for j := range sizesB[i] {
-			if i != j {
-				sizesB[i][j] = bytesPerPoint * (w.xOff[j+1] - w.xOff[j]) * (w.yOff[i+1] - w.yOff[i]) * k3
-			}
-		}
-	}
-	w.c.Alltoallv(sizesB)
-	for src := 0; src < w.p; src++ {
-		block := w.sh.tblocksB[src][me]
-		yLo, yHi := w.yOff[src], w.yOff[src+1]
-		bi := 0
-		for xx := 0; xx < w.myXW(); xx++ {
-			for y := yLo; y < yHi; y++ {
-				copy(w.slab[(xx*k2+y)*k3:(xx*k2+y)*k3+k3], block[bi:bi+k3])
-				bi += k3
-			}
-		}
-	}
-	wp.Other += int64(w.myXW() * k2 * k3)
+	})
+	w.c.Alltoallv(w.sizesTB)
 
-	// Inverse 2-D FFTs complete the convolution on the owned planes.
-	for x := 0; x < w.myXW(); x++ {
-		w.plan2d.Inverse(w.slab[x*planeLen : (x+1)*planeLen])
+	// Unpack, then inverse 2-D FFTs complete the convolution on the owned
+	// planes.
+	var minP4 work.Counters
+	if w.replay == nil {
+		minP4 = work.Counters{
+			Other:  int64(w.myXW() * k2 * k3),
+			FFTOps: int64(w.myXW()) * w.plan2d.Ops(),
+		}
 	}
-	wp.FFTOps += int64(w.myXW()) * w.plan2d.Ops()
-	w.r.ComputeWork(wp)
-	wp = work.Counters{}
+	w.seg(minP4, func(wp *work.Counters) {
+		for src := 0; src < w.p; src++ {
+			block := w.sh.tblocksB[src][me]
+			yLo, yHi := w.yOff[src], w.yOff[src+1]
+			bi := 0
+			for xx := 0; xx < w.myXW(); xx++ {
+				for y := yLo; y < yHi; y++ {
+					copy(w.slab[(xx*k2+y)*k3:(xx*k2+y)*k3+k3], block[bi:bi+k3])
+					bi += k3
+				}
+			}
+		}
+		wp.Other += int64(w.myXW() * k2 * k3)
+		for x := 0; x < w.myXW(); x++ {
+			w.plan2d.Inverse(w.slab[x*planeLen : (x+1)*planeLen])
+		}
+		wp.FFTOps += int64(w.myXW()) * w.plan2d.Ops()
+	})
 
 	// Gather the convolved potential so every rank can interpolate the
 	// forces of its own atoms.
-	w.sh.convSlabs[me] = w.slab
-	blocksConv := make([]int, w.p)
-	for i := 0; i < w.p; i++ {
-		blocksConv[i] = bytesPerRealPoint * (w.xOff[i+1] - w.xOff[i]) * planeLen
-	}
-	w.c.Allgatherv(blocksConv)
-	for rk := 0; rk < w.p; rk++ {
-		copy(w.convFull[w.xOff[rk]*planeLen:w.xOff[rk+1]*planeLen], w.sh.convSlabs[rk])
-	}
-	wp.Other += int64(len(w.convFull))
+	w.inline(func() { w.sh.convSlabs[me] = w.slab })
+	w.c.Allgatherv(w.blocksConv)
 
-	// Interpolate PME forces for the owned atoms; add the excluded-pair
-	// correction for the owned exclusion rows.
-	vec.Fill(w.partial, vec.Zero)
-	w.pme.Interpolate(w.convFull, w.pos, charges, aLo, aHi, w.partial)
-	wp.GridCharges += int64(aHi-aLo) * o3
-	eExcl := ewald.ExclusionCorrectionRange(sys.Box, w.pos, charges, sys.Excl, w.pme.Beta, aLo, aHi, w.partial, &wp)
-	w.r.ComputeWork(wp)
+	// Assemble the full potential grid, interpolate PME forces for the
+	// owned atoms, add the excluded-pair correction for the owned
+	// exclusion rows (the correction's pair evaluations only add on top
+	// of the exact assembly + interpolation bound).
+	var minP5 work.Counters
+	if w.replay == nil {
+		minP5 = work.Counters{
+			Other:       int64(len(w.convFull)),
+			GridCharges: nOwn * o3,
+		}
+	}
+	var eExcl float64
+	w.seg(minP5, func(wp *work.Counters) {
+		for rk := 0; rk < w.p; rk++ {
+			copy(w.convFull[w.xOff[rk]*planeLen:w.xOff[rk+1]*planeLen], w.sh.convSlabs[rk])
+		}
+		wp.Other += int64(len(w.convFull))
+		vec.Fill(w.partial, vec.Zero)
+		w.pme.Interpolate(w.convFull, w.pos, charges, aLo, aHi, w.partial)
+		wp.GridCharges += nOwn * o3
+		eExcl = ewald.ExclusionCorrectionRange(sys.Box, w.pos, charges, sys.Excl, w.pme.Beta, aLo, aHi, w.partial, wp)
+	})
 
-	w.sh.pmeFrc[me] = w.partial
-	w.sh.energy[me].Recip = eRecip
-	w.sh.energy[me].ExclCorr = eExcl
+	w.inline(func() {
+		w.sh.pmeFrc[me] = w.partial
+		w.sh.energy[me].Recip = eRecip
+		w.sh.energy[me].ExclCorr = eExcl
+	})
 
 	// Combine PME forces and energies.
 	w.c.Allreduce(bytesPerCoord*n+64, reduceOp)
-	for rk := 0; rk < w.p; rk++ {
-		vec.AddTo(w.frcTotal, w.sh.pmeFrc[rk])
-		rep.Recip += w.sh.energy[rk].Recip
-		rep.ExclCorr += w.sh.energy[rk].ExclCorr
-	}
-	rep.Self = ewald.SelfEnergy(charges, w.pme.Beta)
-	rep.Background = ewald.BackgroundEnergy(charges, w.pme.Beta, sys.Box.Volume())
+	w.inline(func() {
+		for rk := 0; rk < w.p; rk++ {
+			vec.AddTo(w.frcTotal, w.sh.pmeFrc[rk])
+			rep.Recip += w.sh.energy[rk].Recip
+			rep.ExclCorr += w.sh.energy[rk].ExclCorr
+		}
+		rep.Self = ewald.SelfEnergy(charges, w.pme.Beta)
+		rep.Background = ewald.BackgroundEnergy(charges, w.pme.Beta, sys.Box.Volume())
+	})
 
 	if st != nil {
 		st.PME = trP.sample()

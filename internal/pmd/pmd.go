@@ -79,6 +79,20 @@ type Config struct {
 	// leaves waits unbounded (a lost partner becomes a sim deadlock).
 	Watchdog mpi.Watchdog
 
+	// Tape, when non-nil, memoizes the physics across runs of the same
+	// workload and rank count: an empty tape records this run's per-segment
+	// work counters, a completed tape replays them instead of executing the
+	// MD kernels (the simulated timings still come out of the full event
+	// simulation). Ignored when Init or a step hook needs real physics, or
+	// when the tape was recorded for a different rank or step count.
+	Tape *Tape
+
+	// HostWorkers > 1 executes compute segments of different ranks
+	// concurrently on that many host goroutines; results are bitwise
+	// identical to the serial schedule (see internal/sim). ≤ 1 runs
+	// everything inline.
+	HostWorkers int
+
 	// onStep, when non-nil, runs on every rank at the end of every
 	// completed step (after the step barrier, before the next step). The
 	// resilient driver hooks its checkpoint recorder here.
@@ -218,12 +232,32 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
 
+	// Tape eligibility: checkpoint starts and step hooks need the physics
+	// actually executed, and a completed tape only fits the rank/step
+	// shape it was recorded for.
+	tape := cfg.Tape
+	if cfg.Init != nil || cfg.onStep != nil {
+		tape = nil
+	}
+	if tape.Complete() && (tape.p != p || tape.steps != cfg.Steps) {
+		tape = nil
+	}
+	replaying := tape.Complete()
+	if tape != nil && !replaying {
+		tape.begin(p, cfg.Steps)
+	}
+
 	// The initial state comes from the sequential engine so trajectories
 	// are directly comparable; every rank starts from an identical copy.
-	seed := md.NewEngine(cfg.System, cfg.MD)
-	if cfg.Init != nil {
-		if err := seed.Restore(cfg.Init); err != nil {
-			return nil, nil, err
+	// A replayed run serves energies and positions from the tape and
+	// needs no physics state at all.
+	var seed *md.Engine
+	if !replaying {
+		seed = md.NewEngine(cfg.System, cfg.MD)
+		if cfg.Init != nil {
+			if err := seed.Restore(cfg.Init); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 
@@ -234,11 +268,21 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 		Energies: make([]md.EnergyReport, 0, cfg.Steps),
 	}
 
-	opts := mpi.Options{Tracer: cfg.Tracer, Faults: cfg.Faults, Watchdog: cfg.Watchdog}
+	opts := mpi.Options{
+		Tracer: cfg.Tracer, Faults: cfg.Faults, Watchdog: cfg.Watchdog,
+		HostWorkers: cfg.HostWorkers,
+	}
 	accts, err := mpi.RunOpts(clusterCfg, cost, opts, func(r *mpi.Rank) {
-		w := newWorker(r, cfg, sh, seed)
+		w := newWorker(r, cfg, sh, seed, tape)
 		w.run(res)
 	})
 	res.Acct = accts
+	if tape != nil && !replaying {
+		if err != nil {
+			tape.reset()
+		} else {
+			tape.finish(res.Energies, res.FinalPos)
+		}
+	}
 	return res, accts, err
 }

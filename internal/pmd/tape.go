@@ -1,0 +1,68 @@
+package pmd
+
+import (
+	"repro/internal/md"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// Tape memoizes the physics of one parallel run: the work counters of every
+// compute segment of every rank, in program order, plus the per-step
+// energies and the final positions. The replicated-data trajectory — and
+// with it every counter — is a function of the workload (system, MD config,
+// step count) and the rank count only: networks, middleware, collective
+// algorithms, CPUs per node and fault scenarios change when work happens
+// and how long it takes, never what is computed or how many bytes move. A
+// completed tape therefore lets any same-workload same-p run replay the
+// recorded counters through the cost model instead of re-executing the MD
+// kernels, which is where nearly all host time goes.
+//
+// A tape must not outlive its workload: callers key tapes by rank count
+// within one suite (fixed system, MD config and steps). Runs with a
+// checkpoint start (Init) or an onStep hook bypass tapes entirely — their
+// consumers need the physics actually executed.
+type Tape struct {
+	p, steps int
+	segs     [][]work.Counters // [rank] → per-segment counters, program order
+	energies []md.EnergyReport
+	finalPos []vec.V
+	complete bool
+}
+
+// NewTape returns an empty tape; the first eligible run records into it.
+func NewTape() *Tape { return &Tape{} }
+
+// Complete reports whether the tape holds a full recording.
+func (t *Tape) Complete() bool { return t != nil && t.complete }
+
+// begin prepares the tape to record a run of p ranks over steps steps.
+func (t *Tape) begin(p, steps int) {
+	t.p, t.steps = p, steps
+	t.segs = make([][]work.Counters, p)
+	t.energies = nil
+	t.finalPos = nil
+	t.complete = false
+}
+
+// reset discards a partial recording (e.g. after a crashed attempt).
+func (t *Tape) reset() {
+	t.p, t.steps = 0, 0
+	t.segs = nil
+	t.energies = nil
+	t.finalPos = nil
+	t.complete = false
+}
+
+// finish seals a recording with the run outputs replayed runs must serve.
+func (t *Tape) finish(energies []md.EnergyReport, finalPos []vec.V) {
+	t.energies = append([]md.EnergyReport(nil), energies...)
+	t.finalPos = append([]vec.V(nil), finalPos...)
+	t.complete = true
+}
+
+// record appends one segment's counters for the given rank. Each rank owns
+// its slot and appends sequentially, so concurrent segment closures of
+// different ranks never contend.
+func (t *Tape) record(rank int, w work.Counters) {
+	t.segs[rank] = append(t.segs[rank], w)
+}

@@ -2,6 +2,7 @@ package pmd
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cmpi"
 	"repro/internal/ewald"
@@ -32,7 +33,9 @@ type energyPart struct {
 // shared is the data blackboard the ranks exchange real values through.
 // The simulated collectives provide the ordering guarantees: a slot is
 // always written before the collective that logically transports it and
-// read only afterwards.
+// read only afterwards. Under host parallelism the same discipline makes
+// the physics closures race-free: a closure only reads remote slots whose
+// writers completed before a collective this rank has already exited.
 type shared struct {
 	posBlocks  [][]vec.V
 	classicFrc [][]vec.V
@@ -43,6 +46,44 @@ type shared struct {
 	tblocksF  [][][]complex128 // forward transpose blocks [src][dst]
 	tblocksB  [][][]complex128 // backward transpose blocks [src][dst]
 	convSlabs [][]complex128   // final x-slabs of the convolved potential
+
+	lists listCache
+}
+
+// listCache deduplicates neighbour-list construction across ranks: every
+// replica is bitwise identical, so all ranks would build the same list at
+// the same step. The first rank to need a generation builds it (inside its
+// classic compute segment); the others block on the same sync.Once and
+// share the result. Generations never overlap — a rank can only enter the
+// classic segment of step s after every rank passed the collectives of
+// step s−1 — so entries are effectively built one at a time.
+type listCache struct {
+	mu      sync.Mutex
+	entries map[int]*listEntry
+}
+
+type listEntry struct {
+	once      sync.Once
+	pairs     []space.Pair
+	distEvals int64
+}
+
+// sharedList returns the neighbour list of generation gen, building it
+// exactly once per run across all ranks.
+func (sh *shared) sharedList(gen int, ffield *ff.ForceField, pos []vec.V) ([]space.Pair, int64) {
+	sh.lists.mu.Lock()
+	e, ok := sh.lists.entries[gen]
+	if !ok {
+		e = &listEntry{}
+		sh.lists.entries[gen] = e
+	}
+	sh.lists.mu.Unlock()
+	e.once.Do(func() {
+		var wl work.Counters
+		e.pairs = ffield.BuildPairs(pos, &wl)
+		e.distEvals = wl.ListDistEvals
+	})
+	return e.pairs, e.distEvals
 }
 
 func newShared(p int, cfg Config) *shared {
@@ -56,6 +97,7 @@ func newShared(p int, cfg Config) *shared {
 		tblocksB:   make([][][]complex128, p),
 		convSlabs:  make([][]complex128, p),
 	}
+	sh.lists.entries = map[int]*listEntry{}
 	for i := 0; i < p; i++ {
 		sh.tblocksF[i] = make([][]complex128, p)
 		sh.tblocksB[i] = make([][]complex128, p)
@@ -79,6 +121,14 @@ type worker struct {
 
 	pairs      []space.Pair
 	listOrigin []vec.V
+	listGen    int // neighbour-list generation, in lockstep on all ranks
+
+	// Tape mode: at most one of rec/replay is non-nil. Recording appends
+	// every segment's counters; replaying charges the recorded counters and
+	// skips the physics (and all physics state below stays unallocated).
+	rec       *Tape
+	replay    *Tape
+	replayPos int
 
 	// Partitions.
 	p                       int
@@ -88,7 +138,14 @@ type worker struct {
 	xOff, yOff              []int // PME slab partitions
 	pairOff                 []int // nonbonded pair list (rebuilt with the list)
 
-	// PME working buffers.
+	// Collective size tables; fixed by the partitions, computed once.
+	blocks     []int   // position all-gather
+	blocksConv []int   // convolved-potential all-gather
+	sizesGrid  [][]int // grid-assembly all-to-all
+	sizesTF    [][]int // forward transpose
+	sizesTB    [][]int // backward transpose
+
+	// PME working buffers, reused across steps.
 	localGrid []complex128 // full grid, own-atom spreading
 	slab      []complex128 // owned x-slab [myX][K2][K3]
 	xlines    []complex128 // transposed layout [K1][myY][K3]
@@ -96,23 +153,23 @@ type worker struct {
 	plan2d    *fft.Plan2D
 	plan1d    *fft.Plan
 	line      []complex128
+	packF     [][]complex128 // forward transpose send blocks, per dst
+	packB     [][]complex128 // backward transpose send blocks, per dst
 
 	invMass []float64
 	dtAKMA  float64
 }
 
-func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine) *worker {
+func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape *Tape) *worker {
 	sys := cfg.System
 	n := sys.N()
 	p := r.Size()
-	w := &worker{
-		r: r, cfg: cfg, sh: sh, p: p,
-		ff:       seedEngine.FF,
-		pos:      append([]vec.V(nil), seedEngine.Pos...),
-		vel:      append([]vec.V(nil), seedEngine.Vel...),
-		frcTotal: make([]vec.V, n),
-		partial:  make([]vec.V, n),
-		invMass:  make([]float64, n),
+	w := &worker{r: r, cfg: cfg, sh: sh, p: p}
+	switch {
+	case tape.Complete():
+		w.replay = tape
+	case tape != nil:
+		w.rec = tape
 	}
 	switch {
 	case cfg.Middleware == MiddlewareCMPI:
@@ -122,12 +179,8 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine) *work
 	default:
 		w.c = mpiComms{r: r}
 	}
-	for i := range w.invMass {
-		w.invMass[i] = 1 / sys.Mass(i)
-	}
 	w.dtAKMA = dtAKMA(cfg.MD)
 	pmeCfg := cfg.MD.PME
-	w.pme = ewald.NewPME(sys.Box, pmeCfg.Beta, pmeCfg.K1, pmeCfg.K2, pmeCfg.K3, pmeCfg.Order)
 
 	w.atomOff = blockPartition(n, p)
 	w.bondOff = blockPartition(len(sys.Bonds), p)
@@ -138,14 +191,65 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine) *work
 	w.xOff = blockPartition(pmeCfg.K1, p)
 	w.yOff = blockPartition(pmeCfg.K2, p)
 
-	g := pmeCfg.K1 * pmeCfg.K2 * pmeCfg.K3
-	w.localGrid = make([]complex128, g)
-	w.slab = make([]complex128, w.myXW()*pmeCfg.K2*pmeCfg.K3)
-	w.xlines = make([]complex128, pmeCfg.K1*w.myYW()*pmeCfg.K3)
-	w.convFull = make([]complex128, g)
+	// FFT plans are cheap and provide the exact op counts the segment
+	// lower bounds need, so they exist in every mode.
 	w.plan2d = fft.NewPlan2D(pmeCfg.K2, pmeCfg.K3)
 	w.plan1d = fft.NewPlan(pmeCfg.K1)
+
+	w.blocks = make([]int, p)
+	w.blocksConv = make([]int, p)
+	planeLen := pmeCfg.K2 * pmeCfg.K3
+	for i := 0; i < p; i++ {
+		w.blocks[i] = bytesPerCoord * (w.atomOff[i+1] - w.atomOff[i])
+		w.blocksConv[i] = bytesPerRealPoint * (w.xOff[i+1] - w.xOff[i]) * planeLen
+	}
+	w.sizesGrid = make([][]int, p)
+	w.sizesTF = make([][]int, p)
+	w.sizesTB = make([][]int, p)
+	for i := 0; i < p; i++ {
+		w.sizesGrid[i] = make([]int, p)
+		w.sizesTF[i] = make([]int, p)
+		w.sizesTB[i] = make([]int, p)
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			w.sizesGrid[i][j] = bytesPerRealPoint * (w.xOff[j+1] - w.xOff[j]) * planeLen
+			w.sizesTF[i][j] = bytesPerPoint * (w.xOff[i+1] - w.xOff[i]) * (w.yOff[j+1] - w.yOff[j]) * pmeCfg.K3
+			w.sizesTB[i][j] = bytesPerPoint * (w.xOff[j+1] - w.xOff[j]) * (w.yOff[i+1] - w.yOff[i]) * pmeCfg.K3
+		}
+	}
+
+	if w.replay != nil {
+		// Replay charges recorded counters; no physics state needed.
+		return w
+	}
+
+	w.ff = seedEngine.FF
+	w.pos = append([]vec.V(nil), seedEngine.Pos...)
+	w.vel = append([]vec.V(nil), seedEngine.Vel...)
+	w.frcTotal = make([]vec.V, n)
+	w.partial = make([]vec.V, n)
+	w.listOrigin = make([]vec.V, n)
+	w.listGen = -1 // no list yet; first build is generation 0
+	w.invMass = make([]float64, n)
+	for i := range w.invMass {
+		w.invMass[i] = 1 / sys.Mass(i)
+	}
+	w.pme = ewald.NewPME(sys.Box, pmeCfg.Beta, pmeCfg.K1, pmeCfg.K2, pmeCfg.K3, pmeCfg.Order)
+
+	g := pmeCfg.K1 * planeLen
+	w.localGrid = make([]complex128, g)
+	w.slab = make([]complex128, w.myXW()*planeLen)
+	w.xlines = make([]complex128, pmeCfg.K1*w.myYW()*pmeCfg.K3)
+	w.convFull = make([]complex128, g)
 	w.line = make([]complex128, pmeCfg.K1)
+	w.packF = make([][]complex128, p)
+	w.packB = make([][]complex128, p)
+	for dst := 0; dst < p; dst++ {
+		w.packF[dst] = make([]complex128, w.myXW()*(w.yOff[dst+1]-w.yOff[dst])*pmeCfg.K3)
+		w.packB[dst] = make([]complex128, (w.xOff[dst+1]-w.xOff[dst])*w.myYW()*pmeCfg.K3)
+	}
 	return w
 }
 
@@ -158,6 +262,38 @@ func (w *worker) me() int             { return w.r.ID }
 func (w *worker) myAtoms() (int, int) { return w.atomOff[w.me()], w.atomOff[w.me()+1] }
 func (w *worker) myXW() int           { return w.xOff[w.me()+1] - w.xOff[w.me()] }
 func (w *worker) myYW() int           { return w.yOff[w.me()+1] - w.yOff[w.me()] }
+
+// seg charges one compute segment. fn must be pure physics over rank-local
+// (or collective-ordered) data, reporting its work through the counters.
+// minW must be a guaranteed lower bound on those counters — it is what
+// lets the host-parallel scheduler overlap this segment with other ranks'.
+// Recording mode tapes the counters; replay mode skips fn and charges the
+// recorded counters instead.
+func (w *worker) seg(minW work.Counters, fn func(*work.Counters)) {
+	switch {
+	case w.replay != nil:
+		wc := w.replay.segs[w.me()][w.replayPos]
+		w.replayPos++
+		w.r.ComputeWork(wc)
+	case w.rec != nil:
+		w.r.ComputeSeg(minW, func(c *work.Counters) {
+			fn(c)
+			w.rec.record(w.me(), *c)
+		})
+	default:
+		w.r.ComputeSeg(minW, fn)
+	}
+}
+
+// inline runs zero-cost physics bookkeeping (publishing slots, combines,
+// replica refreshes, transpose packing) on the scheduler thread; replay
+// mode skips it. Such code may read remote slots — the collective ordering
+// guarantees their writers' segments already resolved.
+func (w *worker) inline(fn func()) {
+	if w.replay == nil {
+		fn()
+	}
+}
 
 // phaseTracker captures comp/comm/sync deltas for one phase.
 type phaseTracker struct {
@@ -188,59 +324,62 @@ func (w *worker) run(res *Result) {
 	// the paper times the MD steps after the testing environment settled.
 	w.computeForces(nil, phaseTracker{})
 
+	aLo, aHi := w.myAtoms()
+	nOwn := int64(aHi - aLo)
+	half := 0.5 * w.dtAKMA
+	minKick := work.Counters{Integrate: nOwn}
+
 	for step := 0; step < w.cfg.Steps; step++ {
 		var st StepTiming
 
 		// ---- Classic phase ---------------------------------------------
 		tr := w.beginPhase()
-		var wc work.Counters
 
 		// Half-kick + drift for the owned atom block.
-		aLo, aHi := w.myAtoms()
-		half := 0.5 * w.dtAKMA
-		for i := aLo; i < aHi; i++ {
-			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
-			w.pos[i] = w.pos[i].Add(w.vel[i].Scale(w.dtAKMA))
-		}
-		wc.Integrate += int64(aHi - aLo)
-		w.r.ComputeWork(wc)
+		w.seg(minKick, func(wc *work.Counters) {
+			for i := aLo; i < aHi; i++ {
+				w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+				w.pos[i] = w.pos[i].Add(w.vel[i].Scale(w.dtAKMA))
+			}
+			wc.Integrate += nOwn
+		})
 
 		// Publish the block, all-gather positions, refresh the replica.
-		w.sh.posBlocks[w.me()] = w.pos[aLo:aHi]
-		blocks := make([]int, w.p)
-		for i := 0; i < w.p; i++ {
-			blocks[i] = bytesPerCoord * (w.atomOff[i+1] - w.atomOff[i])
-		}
-		w.c.Allgatherv(blocks)
-		for rk := 0; rk < w.p; rk++ {
-			if rk == w.me() {
-				continue
+		w.inline(func() { w.sh.posBlocks[w.me()] = w.pos[aLo:aHi] })
+		w.c.Allgatherv(w.blocks)
+		w.inline(func() {
+			for rk := 0; rk < w.p; rk++ {
+				if rk == w.me() {
+					continue
+				}
+				copy(w.pos[w.atomOff[rk]:w.atomOff[rk+1]], w.sh.posBlocks[rk])
 			}
-			copy(w.pos[w.atomOff[rk]:w.atomOff[rk+1]], w.sh.posBlocks[rk])
-		}
+		})
 
 		// Forces: closes the classic sample, fills the PME sample.
 		rep := w.computeForces(&st, tr)
 
 		// ---- Second half-kick + step bookkeeping (PME phase tail) -------
 		tp := w.beginPhase()
-		for i := aLo; i < aHi; i++ {
-			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
-		}
 		var kin float64
-		for i := aLo; i < aHi; i++ {
-			kin += 0.5 * sys.Mass(i) * w.vel[i].Norm2()
-		}
-		w.sh.energy[w.me()].Kinetic = kin
-		var wk work.Counters
-		wk.Integrate += int64(aHi - aLo)
-		w.r.ComputeWork(wk)
+		w.seg(minKick, func(wk *work.Counters) {
+			for i := aLo; i < aHi; i++ {
+				w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+			}
+			for i := aLo; i < aHi; i++ {
+				kin += 0.5 * sys.Mass(i) * w.vel[i].Norm2()
+			}
+			wk.Integrate += nOwn
+		})
+		w.inline(func() { w.sh.energy[w.me()].Kinetic = kin })
 		w.c.Barrier()
-		var kinTotal float64
-		for rk := 0; rk < w.p; rk++ {
-			kinTotal += w.sh.energy[rk].Kinetic
-		}
-		rep.Kinetic = kinTotal
+		w.inline(func() {
+			var kinTotal float64
+			for rk := 0; rk < w.p; rk++ {
+				kinTotal += w.sh.energy[rk].Kinetic
+			}
+			rep.Kinetic = kinTotal
+		})
 		st.PME.Add(tp.sample())
 
 		// Phase background lanes for the timeline.
@@ -250,6 +389,9 @@ func (w *worker) run(res *Result) {
 
 		timings = append(timings, st)
 		if w.me() == 0 {
+			if w.replay != nil {
+				rep = w.replay.energies[step]
+			}
 			res.Energies = append(res.Energies, rep)
 		}
 		if w.cfg.onStep != nil {
@@ -259,7 +401,11 @@ func (w *worker) run(res *Result) {
 
 	res.Timings[w.me()] = timings
 	if w.me() == 0 {
-		res.FinalPos = append([]vec.V(nil), w.pos...)
+		if w.replay != nil {
+			res.FinalPos = append([]vec.V(nil), w.replay.finalPos...)
+		} else {
+			res.FinalPos = append([]vec.V(nil), w.pos...)
+		}
 		res.Wall = w.r.Now()
 	}
 }

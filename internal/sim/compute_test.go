@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// computeScenario drives a mixed workload of compute segments, advances,
+// park/unpark handshakes and spawned helpers, and returns a trace of every
+// observable step. The physics closures only touch proc-local state, so the
+// serial and host-parallel schedules must produce identical traces.
+func computeScenario(workers int) []string {
+	env := NewEnv()
+	env.SetWorkers(workers)
+	var log []string
+	record := func(p *Proc, what string) {
+		log = append(log, fmt.Sprintf("%s %s @%.9f", p.Name(), what, p.Now()))
+	}
+	var waiter *Proc
+	for i := 0; i < 4; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			if i == 3 {
+				waiter = p
+				record(p, "park")
+				p.Park()
+				record(p, "unparked")
+				return
+			}
+			for step := 0; step < 5; step++ {
+				// Irregular costs with a provable lower bound of half.
+				cost := float64(1+(i*7+step*3)%5) * 0.125
+				d := p.Compute(cost/2, func() float64 { return cost })
+				record(p, fmt.Sprintf("compute %g", d))
+				p.Advance(0.01 * float64(i+1))
+				record(p, "advance")
+			}
+			if i == 0 {
+				env.Spawn("late", func(q *Proc) {
+					q.Advance(0.5)
+					record(q, "fired")
+					if waiter.Parked() {
+						env.Unpark(waiter)
+					}
+				})
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		log = append(log, "ERR "+err.Error())
+	}
+	return log
+}
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	serial := computeScenario(0)
+	for _, workers := range []int{2, 3, 8} {
+		par := computeScenario(workers)
+		if strings.Join(serial, "\n") != strings.Join(par, "\n") {
+			t.Fatalf("workers=%d diverged from serial schedule:\nserial:\n%s\nparallel:\n%s",
+				workers, strings.Join(serial, "\n"), strings.Join(par, "\n"))
+		}
+	}
+}
+
+func TestComputeRepeatedRunsIdentical(t *testing.T) {
+	first := computeScenario(4)
+	for run := 1; run < 3; run++ {
+		if got := computeScenario(4); strings.Join(got, "\n") != strings.Join(first, "\n") {
+			t.Fatalf("run %d differs from run 0", run)
+		}
+	}
+}
+
+func TestComputeLowerBoundViolation(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		env := NewEnv()
+		env.SetWorkers(workers)
+		env.Spawn("bad", func(p *Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: no panic for cost below bound", workers)
+				}
+			}()
+			p.Compute(2, func() float64 { return 1 })
+		})
+		if err := env.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestComputeClosurePanicPropagates(t *testing.T) {
+	env := NewEnv()
+	env.SetWorkers(2)
+	var recovered interface{}
+	env.Spawn("boom", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		p.Compute(0, func() float64 { panic("physics bug") })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != "physics bug" {
+		t.Fatalf("recovered %v, want physics bug", recovered)
+	}
+}
+
+func TestFinishedProcsAreReaped(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("main", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			// Every ParkTimeout spawns a helper timer; all must be reaped.
+			p.ParkTimeout(0.001)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := env.LiveProcs(); n != 0 {
+		t.Fatalf("%d live procs after completion, want 0", n)
+	}
+	if len(env.procs) != 0 {
+		t.Fatalf("proc table holds %d entries after completion, want 0", len(env.procs))
+	}
+}
+
+func TestComputeOverlapsIndependentWork(t *testing.T) {
+	// Two procs whose segments start at the same instant must both be in
+	// flight before either resolves when the pool allows it. Observe via a
+	// rendezvous: each closure waits until the other has started.
+	env := NewEnv()
+	env.SetWorkers(2)
+	started := make(chan struct{}, 2)
+	both := make(chan struct{})
+	go func() {
+		<-started
+		<-started
+		close(both)
+	}()
+	for i := 0; i < 2; i++ {
+		env.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Compute(1, func() float64 {
+				started <- struct{}{}
+				<-both // deadlocks unless both closures run concurrently
+				return 1
+			})
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,11 +7,18 @@
 // The cluster performance model runs every simulated MPI rank as one
 // process; between yields a process executes real Go code (the actual MD
 // computation), so simulated timing and real physics stay coupled.
+//
+// Compute segments — real host work whose virtual duration is only known
+// after running it — can optionally execute on a bounded pool of host
+// worker goroutines (SetWorkers), overlapping the physics of independent
+// processes while the scheduler preserves the exact serial event order; see
+// Proc.Compute.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -20,6 +27,7 @@ import (
 type Proc struct {
 	env      *Env
 	id       int
+	slot     int // index in env.procs; -1 once finished
 	name     string
 	wake     chan struct{}
 	state    procState
@@ -29,32 +37,68 @@ type Proc struct {
 
 	parkGen  int64 // distinguishes park episodes for ParkTimeout timers
 	timedOut bool  // set by a firing timer before the timeout unpark
+
+	// Compute-segment bookkeeping (host-parallel mode only).
+	computeAt    float64       // virtual submission time
+	computeMin   float64       // declared lower bound on the segment cost
+	computeCost  float64       // closure result, read after computeDone
+	computePanic interface{}   // recovered closure panic, re-raised in Compute
+	computeDone  chan struct{} // signalled once the closure has returned
 }
 
 type procState int
 
 const (
-	stateRunning procState = iota
-	stateTimed             // waiting until wakeAt
-	stateParked            // waiting for Unpark
+	stateRunning   procState = iota
+	stateTimed               // waiting until wakeAt
+	stateParked              // waiting for Unpark
+	stateComputing           // compute closure in flight on the worker pool
 	stateDone
 )
 
 // Env is the simulation environment: virtual clock plus scheduler.
 type Env struct {
 	now     float64
-	procs   []*Proc
+	procs   []*Proc // live (unfinished) processes; finished ones are reaped
 	queue   wakeQueue
 	yield   chan struct{}
 	seq     int64
+	spawned int // total processes ever spawned (stable IDs)
+	alive   int // processes spawned and not yet finished
 	running bool
 	current *Proc
+
+	// Host-parallel compute support.
+	workers   int           // pool size; ≤1 runs compute closures inline
+	sem       chan struct{} // pool slots, created lazily
+	computing []*Proc       // processes with an unresolved compute closure
 }
 
 // NewEnv returns an empty environment at time 0.
 func NewEnv() *Env {
 	return &Env{yield: make(chan struct{})}
 }
+
+// SetWorkers sets the host worker pool size for Proc.Compute closures.
+// n ≤ 1 keeps the serial behaviour (closures run inline on the process's
+// goroutine); n > 1 lets up to n closures of different processes execute
+// concurrently. Must be called before Run.
+func (e *Env) SetWorkers(n int) {
+	if e.running {
+		panic("sim: SetWorkers while running")
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
+	e.sem = nil
+}
+
+// Workers returns the configured host worker pool size.
+func (e *Env) Workers() int { return e.workers }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (e *Env) LiveProcs() int { return e.alive }
 
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() float64 { return e.now }
@@ -65,10 +109,13 @@ func (e *Env) Now() float64 { return e.now }
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
 		env:  e,
-		id:   len(e.procs),
+		id:   e.spawned,
+		slot: len(e.procs),
 		name: name,
 		wake: make(chan struct{}),
 	}
+	e.spawned++
+	e.alive++
 	e.procs = append(e.procs, p)
 	p.state = stateTimed
 	p.wakeAt = e.now
@@ -79,9 +126,27 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 		fn(p)
 		p.state = stateDone
 		p.finished = true
+		e.reap(p)
 		e.yield <- struct{}{}
 	}()
 	return p
+}
+
+// reap removes a finished process from the live set so long runs with many
+// short-lived helper processes (message deliveries, watchdog timers) do not
+// grow the process table without bound. Runs in the finishing process's
+// exclusive window, so no lock is needed.
+func (e *Env) reap(p *Proc) {
+	e.alive--
+	last := len(e.procs) - 1
+	if p.slot != last {
+		moved := e.procs[last]
+		e.procs[p.slot] = moved
+		moved.slot = p.slot
+	}
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+	p.slot = -1
 }
 
 func (e *Env) nextSeq() int64 {
@@ -98,16 +163,25 @@ func (e *Env) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 	for {
-		// All done?
-		alive := false
-		for _, p := range e.procs {
-			if !p.finished {
-				alive = true
-				break
-			}
-		}
-		if !alive {
+		if e.alive == 0 {
 			return nil
+		}
+		// Host-parallel mode: before popping the head event, every pending
+		// compute whose earliest possible wakeup (submission time + declared
+		// lower bound, with the seq assigned at submission) could order
+		// before the head must be resolved. This keeps the pop sequence —
+		// and therefore every tie-break and RNG draw — identical to the
+		// serial schedule.
+		for len(e.computing) > 0 {
+			c := e.minPendingCompute()
+			if e.queue.Len() > 0 {
+				head := e.queue[0]
+				bound := c.computeAt + c.computeMin
+				if head.wakeAt < bound || (head.wakeAt == bound && head.seq < c.seq) {
+					break // head provably precedes every in-flight segment
+				}
+			}
+			e.resolveCompute(c)
 		}
 		if e.queue.Len() == 0 {
 			return e.deadlockError()
@@ -122,6 +196,49 @@ func (e *Env) Run() error {
 		p.wake <- struct{}{}
 		<-e.yield
 		e.current = nil
+	}
+}
+
+// minPendingCompute returns the in-flight compute with the smallest
+// (earliest possible wakeup, seq) key.
+func (e *Env) minPendingCompute() *Proc {
+	best := e.computing[0]
+	bestAt := best.computeAt + best.computeMin
+	for _, c := range e.computing[1:] {
+		at := c.computeAt + c.computeMin
+		if at < bestAt || (at == bestAt && c.seq < best.seq) {
+			best, bestAt = c, at
+		}
+	}
+	return best
+}
+
+// resolveCompute waits for the closure of c to finish and schedules its
+// wakeup at submission time + actual cost, under the seq assigned at
+// submission.
+func (e *Env) resolveCompute(c *Proc) {
+	<-c.computeDone
+	if c.computePanic == nil {
+		d := c.computeCost
+		if math.IsNaN(d) || d < 0 {
+			c.computePanic = fmt.Sprintf("sim: invalid compute cost %g", d)
+		} else if d < c.computeMin {
+			c.computePanic = fmt.Sprintf("sim: compute cost %g below declared lower bound %g", d, c.computeMin)
+		}
+	}
+	if c.computePanic != nil {
+		// Wake as early as allowed so the panic unwinds the process.
+		c.wakeAt = c.computeAt + c.computeMin
+	} else {
+		c.wakeAt = c.computeAt + c.computeCost
+	}
+	c.state = stateTimed
+	heap.Push(&e.queue, c)
+	for i, p := range e.computing {
+		if p == c {
+			e.computing = append(e.computing[:i], e.computing[i+1:]...)
+			break
+		}
 	}
 }
 
@@ -148,7 +265,7 @@ func (p *Proc) Now() float64 { return p.env.now }
 // Name returns the process name.
 func (p *Proc) Name() string { return p.name }
 
-// ID returns the process index within its environment.
+// ID returns the process creation index within its environment.
 func (p *Proc) ID() int { return p.id }
 
 // Done reports whether the process function has returned. Unlike the other
@@ -173,6 +290,65 @@ func (p *Proc) Advance(d float64) {
 	p.yieldToScheduler()
 }
 
+// Compute executes fn — pure host-side work that must not touch the
+// simulation — and advances virtual time by its returned cost, exactly like
+// running fn inline followed by Advance(fn()). minCost must be a guaranteed
+// lower bound on the value fn will return (0 is always safe); the cost
+// being below the declared bound panics, in both modes.
+//
+// With a worker pool configured (Env.SetWorkers > 1), fn runs on a pool
+// goroutine while other processes' events proceed, but only events that
+// provably order before (submission time + minCost, seq) — the earliest
+// key this process's wakeup can take — are allowed to fire first, so the
+// event order is bitwise-identical to the serial schedule. Tighter bounds
+// buy more overlap; a zero bound serializes against same-time events.
+func (p *Proc) Compute(minCost float64, fn func() float64) float64 {
+	if math.IsNaN(minCost) || minCost < 0 {
+		panic(fmt.Sprintf("sim: invalid compute lower bound %g", minCost))
+	}
+	e := p.env
+	if e.workers <= 1 {
+		d := fn()
+		if math.IsNaN(d) || d < 0 {
+			panic(fmt.Sprintf("sim: invalid compute cost %g", d))
+		}
+		if d < minCost {
+			panic(fmt.Sprintf("sim: compute cost %g below declared lower bound %g", d, minCost))
+		}
+		p.Advance(d)
+		return d
+	}
+	if p.computeDone == nil {
+		p.computeDone = make(chan struct{}, 1)
+	}
+	if e.sem == nil {
+		e.sem = make(chan struct{}, e.workers)
+	}
+	p.computeAt = e.now
+	p.computeMin = minCost
+	p.computePanic = nil
+	p.state = stateComputing
+	p.seq = e.nextSeq() // same numbering point as the serial Advance
+	e.computing = append(e.computing, p)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				p.computePanic = v
+			}
+			p.computeDone <- struct{}{}
+		}()
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		p.computeCost = fn()
+	}()
+	p.yieldToScheduler()
+	if v := p.computePanic; v != nil {
+		p.computePanic = nil
+		panic(v)
+	}
+	return p.computeCost
+}
+
 // Park blocks the process until another process calls Unpark on it.
 func (p *Proc) Park() {
 	p.parkGen++
@@ -188,7 +364,8 @@ func (p *Proc) Park() {
 //
 // The timeout is implemented as a helper process; if the park ends early
 // the stale timer recognizes the finished episode (via a generation
-// counter) and does nothing.
+// counter) and does nothing. Finished timers are reaped from the process
+// table like any other process.
 func (p *Proc) ParkTimeout(d float64) bool {
 	if d <= 0 {
 		panic(fmt.Sprintf("sim: non-positive park timeout %g", d))

@@ -21,10 +21,13 @@ type CellList struct {
 	nx, ny, nz int
 	cells      [][]int32 // atom indices per cell
 	cellOf     []int32   // cell index per atom
+	seen       []int32   // visited-cell stamps, reused across Pairs calls
+	stamp      int32
 }
 
 // NewCellList builds a cell list for the given positions. cutoff must be
-// positive and no larger than box.MaxCutoff().
+// positive and no larger than box.MaxCutoff(). The list's storage is
+// reusable: Rebuild rebins new positions without reallocating.
 func NewCellList(box Box, cutoff float64, pos []vec.V) *CellList {
 	if cutoff <= 0 {
 		panic("space: non-positive cutoff")
@@ -42,12 +45,31 @@ func NewCellList(box Box, cutoff float64, pos []vec.V) *CellList {
 	cl.nz = maxInt(1, int(box.L.Z/cutoff))
 	cl.cells = make([][]int32, cl.nx*cl.ny*cl.nz)
 	cl.cellOf = make([]int32, len(pos))
+	cl.seen = make([]int32, len(cl.cells))
+	cl.bin(pos)
+	return cl
+}
+
+// Rebuild rebins positions into the existing grid, reusing all per-cell
+// storage (no steady-state allocation once the cell occupancies have
+// reached their high-water marks).
+func (cl *CellList) Rebuild(pos []vec.V) {
+	for c := range cl.cells {
+		cl.cells[c] = cl.cells[c][:0]
+	}
+	if cap(cl.cellOf) < len(pos) {
+		cl.cellOf = make([]int32, len(pos))
+	}
+	cl.cellOf = cl.cellOf[:len(pos)]
+	cl.bin(pos)
+}
+
+func (cl *CellList) bin(pos []vec.V) {
 	for i, p := range pos {
 		c := cl.cellIndex(p)
 		cl.cellOf[i] = int32(c)
 		cl.cells[c] = append(cl.cells[c], int32(i))
 	}
-	return cl
 }
 
 func maxInt(a, b int) int {
@@ -83,11 +105,17 @@ func (cl *CellList) NumCells() int { return len(cl.cells) }
 // number of distance evaluations performed (the quantity the performance
 // model charges for neighbour-list construction).
 func (cl *CellList) Pairs(pos []vec.V, distEvals *int64) []Pair {
-	var pairs []Pair
+	return cl.PairsAppend(pos, nil, distEvals)
+}
+
+// PairsAppend is Pairs appending into dst (reset to dst[:0]), so steady-
+// state callers can reuse one pair buffer across rebuilds.
+func (cl *CellList) PairsAppend(pos []vec.V, dst []Pair, distEvals *int64) []Pair {
+	pairs := dst[:0]
 	cut2 := cl.cutoff * cl.cutoff
 	var evals int64
-	seen := make([]int32, len(cl.cells)) // visited marker per home cell, 1-based stamps
-	stamp := int32(0)
+	seen := cl.seen // visited marker per home cell, 1-based stamps
+	stamp := cl.stamp
 	for cx := 0; cx < cl.nx; cx++ {
 		for cy := 0; cy < cl.ny; cy++ {
 			for cz := 0; cz < cl.nz; cz++ {
@@ -139,6 +167,7 @@ func (cl *CellList) Pairs(pos []vec.V, distEvals *int64) []Pair {
 			}
 		}
 	}
+	cl.stamp = stamp
 	if distEvals != nil {
 		*distEvals += evals
 	}
