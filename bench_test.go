@@ -2,16 +2,23 @@ package repro
 
 import (
 	"io"
+	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/ewald"
+	"repro/internal/ff"
+	"repro/internal/fft"
 	"repro/internal/figures"
 	"repro/internal/md"
 	"repro/internal/netmodel"
 	"repro/internal/pmd"
+	"repro/internal/rng"
+	"repro/internal/space"
 	"repro/internal/topol"
+	"repro/internal/vec"
 )
 
 // The figure benchmarks share one suite running the paper's full protocol
@@ -208,6 +215,87 @@ func BenchmarkSequentialMDStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step(nil, nil)
+	}
+}
+
+// exactKernelBench reports whether the micro-benchmarks below should run
+// the reference (pre-optimization) kernels instead of the fast ones — set
+// REPRO_EXACT_KERNELS=1 to measure the legacy paths (that is how the
+// checked-in bench/baseline_kernels.txt numbers were captured).
+func exactKernelBench() bool { return os.Getenv("REPRO_EXACT_KERNELS") == "1" }
+
+// BenchmarkFFT3D measures one forward+inverse 3-D transform of the paper's
+// 80×36×48 PME charge grid: half-spectrum r2c/c2r by default, the complex
+// reference plan under REPRO_EXACT_KERNELS=1.
+func BenchmarkFFT3D(b *testing.B) {
+	const nx, ny, nz = 80, 36, 48
+	r := rng.New(9)
+	if exactKernelBench() {
+		p := fft.NewPlan3D(nx, ny, nz)
+		x := make([]complex128, nx*ny*nz)
+		for i := range x {
+			x[i] = complex(r.Range(-1, 1), 0)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Forward(x)
+			p.Inverse(x)
+		}
+		return
+	}
+	p, err := fft.NewRealPlan3D(nx, ny, nz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, nx*ny*nz)
+	for i := range x {
+		x[i] = r.Range(-1, 1)
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, spec)
+		p.Inverse(spec, x)
+	}
+}
+
+// BenchmarkPMEReciprocal measures one full reciprocal-space evaluation
+// (spread → FFT → influence → FFT → interpolate) on the paper mesh with a
+// myoglobin-sized charge set.
+func BenchmarkPMEReciprocal(b *testing.B) {
+	box := space.NewBox(56.702, 25.181, 33.575)
+	r := rng.New(10)
+	const n = 3552
+	pos := make([]vec.V, n)
+	charges := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.New(r.Range(0, box.L.X), r.Range(0, box.L.Y), r.Range(0, box.L.Z))
+		charges[i] = r.Range(-0.8, 0.8)
+	}
+	p := ewald.NewPME(box, 0.34, 80, 36, 48, 4)
+	p.ExactFFT = exactKernelBench()
+	frc := make([]vec.V, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Recip(pos, charges, frc, nil)
+	}
+}
+
+// BenchmarkNonbondedKernel measures the short-range pair loop over the
+// relaxed myoglobin neighbour list: the SoA table kernel by default, the
+// exact-math reference loop under REPRO_EXACT_KERNELS=1.
+func BenchmarkNonbondedKernel(b *testing.B) {
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
+	md.Relax(sys, 40)
+	opts := ff.PMEOptions()
+	opts.ExactKernels = exactKernelBench()
+	f := ff.New(sys, opts)
+	pairs := f.BuildPairs(sys.Pos, nil)
+	k := f.NewNonbondedKernel()
+	frc := make([]vec.V, sys.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Compute(sys.Pos, pairs, frc, nil)
 	}
 }
 

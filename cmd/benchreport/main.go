@@ -1,17 +1,21 @@
 // benchreport measures the repository's host-performance contract and
 // emits it as machine-readable JSON (BENCH_host.json): ns/op, B/op and
-// allocs/op of the named go benchmarks plus the wall-clock of a full
-// `charmmbench -figure all` regeneration.
+// allocs/op of the named go benchmarks (the macro step/study benchmarks
+// and the FFT/PME/nonbonded kernel micro-benchmarks) plus the wall-clock
+// of a full `charmmbench -figure all` regeneration. Each entry records
+// the host CPU count and the GOMAXPROCS the benchmark actually ran with.
 //
 // Usage:
 //
 //	go run ./cmd/benchreport -out BENCH_host.json
-//	go run ./cmd/benchreport -baseline-bench bench/baseline_prepr.txt \
+//	go run ./cmd/benchreport -baseline-bench bench/baseline_kernels.txt \
 //	    -baseline-wall 65.9 -out BENCH_host.json
+//	go run ./cmd/benchreport -cpu 4 -out BENCH_host.json
 //
 // The baseline flags attach previously measured numbers (for example from
 // the commit before an optimization) so the report carries before/after
-// evidence; they never re-run anything.
+// evidence; they never re-run anything. A baseline file that is missing
+// any required benchmark is rejected with the missing names listed.
 package main
 
 import (
@@ -39,9 +43,20 @@ type Measurement struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// BenchEntry pairs a current measurement with an optional baseline.
+// benchResult is a parsed benchmark line: the measurement plus the
+// GOMAXPROCS the run actually used (the -N name suffix; 1 when absent).
+type benchResult struct {
+	m     Measurement
+	procs int
+}
+
+// BenchEntry pairs a current measurement with an optional baseline, and
+// records the execution environment of this specific entry: the host CPU
+// count and the GOMAXPROCS (workers) the benchmark actually ran with.
 type BenchEntry struct {
 	Name     string       `json:"name"`
+	NumCPU   int          `json:"num_cpu"`
+	Workers  int          `json:"workers"`
 	Current  Measurement  `json:"current"`
 	Baseline *Measurement `json:"baseline,omitempty"`
 }
@@ -62,35 +77,47 @@ type Report struct {
 	Benchmarks      []BenchEntry `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func parseBenchOutput(r io.Reader) (map[string]Measurement, error) {
-	out := map[string]Measurement{}
+func parseBenchOutput(r io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("benchreport: bad ns/op in %q", sc.Text())
 		}
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
 		var bytesOp, allocsOp int64
-		if m[3] != "" {
-			bytesOp, _ = strconv.ParseInt(m[3], 10, 64)
-		}
 		if m[4] != "" {
-			allocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
 		}
-		out[m[1]] = Measurement{NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
+		if m[5] != "" {
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out[m[1]] = benchResult{
+			m:     Measurement{NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp},
+			procs: procs,
+		}
 	}
 	return out, sc.Err()
 }
 
-func runBench(pattern, benchtime string) (map[string]Measurement, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-benchmem", "-benchtime", benchtime, ".")
+func runBench(pattern, benchtime, cpu string) (map[string]benchResult, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime}
+	if cpu != "" {
+		args = append(args, "-cpu", cpu)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -100,11 +127,24 @@ func runBench(pattern, benchtime string) (map[string]Measurement, error) {
 	return parseBenchOutput(&buf)
 }
 
+// requiredBenchmarks is the host-performance contract: every one of these
+// must appear in the benchmark output (and in the baseline file when one
+// is supplied) or the report is refused.
+var requiredBenchmarks = []string{
+	"BenchmarkSequentialMDStep",
+	"BenchmarkParallelStepSimulated",
+	"BenchmarkStudyAllFigures",
+	"BenchmarkFFT3D",
+	"BenchmarkPMEReciprocal",
+	"BenchmarkNonbondedKernel",
+}
+
 func main() {
 	out := flag.String("out", "BENCH_host.json", "output path")
 	baseBench := flag.String("baseline-bench", "", "previously saved `go test -bench` output to attach as the baseline")
 	baseWall := flag.Float64("baseline-wall", 0, "previously measured -figure all wall seconds to attach as the baseline")
 	skipFigures := flag.Bool("skip-figures", false, "skip the -figure all wall measurement")
+	cpu := flag.String("cpu", "", "value passed to `go test -cpu` (GOMAXPROCS list); empty uses the go default")
 	flag.Parse()
 
 	rep := Report{
@@ -115,28 +155,9 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 	}
 
-	// Step benchmarks at a fixed iteration count high enough to amortize
-	// cold caches and reach neighbour-list rebuilds; the whole-study
-	// benchmark once (it is tens of seconds of work on its own).
-	steps, err := runBench("BenchmarkSequentialMDStep|BenchmarkParallelStepSimulated", "20x")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	study, err := runBench("BenchmarkStudyAllFigures", "1x")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	current := map[string]Measurement{}
-	for k, v := range steps {
-		current[k] = v
-	}
-	for k, v := range study {
-		current[k] = v
-	}
-
-	baseline := map[string]Measurement{}
+	// Validate the baseline before the expensive measurements: a file
+	// missing a required benchmark is a hard error, not a partial report.
+	baseline := map[string]benchResult{}
 	if *baseBench != "" {
 		f, err := os.Open(*baseBench)
 		if err != nil {
@@ -149,21 +170,55 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}
+		var missing []string
+		for _, name := range requiredBenchmarks {
+			if _, ok := baseline[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"benchreport: baseline file %s is missing benchmarks: %s\n"+
+					"(every required benchmark needs a baseline line; re-capture the file or pass no -baseline-bench)\n",
+				*baseBench, strings.Join(missing, ", "))
+			os.Exit(1)
+		}
 	}
 
-	for _, name := range []string{
-		"BenchmarkSequentialMDStep",
-		"BenchmarkParallelStepSimulated",
-		"BenchmarkStudyAllFigures",
+	// Step benchmarks at a fixed iteration count high enough to amortize
+	// cold caches and reach neighbour-list rebuilds; the whole-study
+	// benchmark once (it is tens of seconds of work on its own); the
+	// micro kernels at a higher count since each iteration is tens of ms.
+	current := map[string]benchResult{}
+	for _, group := range []struct{ pattern, benchtime string }{
+		{"BenchmarkSequentialMDStep|BenchmarkParallelStepSimulated", "20x"},
+		{"BenchmarkStudyAllFigures", "1x"},
+		{"BenchmarkFFT3D|BenchmarkPMEReciprocal|BenchmarkNonbondedKernel", "50x"},
 	} {
+		res, err := runBench(group.pattern, group.benchtime, *cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for k, v := range res {
+			current[k] = v
+		}
+	}
+
+	for _, name := range requiredBenchmarks {
 		cur, ok := current[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchreport: benchmark %s missing from output\n", name)
 			os.Exit(1)
 		}
-		e := BenchEntry{Name: name, Current: cur}
+		e := BenchEntry{
+			Name:    name,
+			NumCPU:  runtime.NumCPU(),
+			Workers: cur.procs,
+			Current: cur.m,
+		}
 		if b, ok := baseline[name]; ok {
-			bc := b
+			bc := b.m
 			e.Baseline = &bc
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)

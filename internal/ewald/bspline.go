@@ -37,6 +37,24 @@ func abs(x float64) float64 {
 func splineWeights(order int, u float64, w, dw []float64) (k0 int) {
 	fl := int(floor(u))
 	k0 = fl - order + 1
+	if order == 4 {
+		// Closed-form cubic B-spline pieces in the fractional offset
+		// f = u − ⌊u⌋: w[t] = M₄(f + 3 − t), dw[t] = M₃(f+3−t) − M₃(f+2−t).
+		// Identical to the recursion up to roundoff, ~6× cheaper.
+		f := u - float64(fl)
+		f2 := f * f
+		f3 := f2 * f
+		omf := 1 - f
+		w[0] = omf * omf * omf / 6
+		w[1] = (3*f3 - 6*f2 + 4) / 6
+		w[2] = (-3*f3 + 3*f2 + 3*f + 1) / 6
+		w[3] = f3 / 6
+		dw[0] = -omf * omf / 2
+		dw[1] = f * (3*f - 4) / 2
+		dw[2] = (-3*f2 + 2*f + 1) / 2
+		dw[3] = f2 / 2
+		return k0
+	}
 	for t := 0; t < order; t++ {
 		arg := u - float64(k0+t)
 		w[t] = bsplineM(order, arg)

@@ -22,9 +22,22 @@ type PME struct {
 	K3    int
 	Order int
 
-	plan *fft.Plan3D
-	grid []complex128
-	conv []complex128
+	// ExactFFT forces Recip through the reference complex Plan3D path
+	// instead of the real-to-complex half-spectrum path. Set it before the
+	// first Recip call; the two paths agree to roundoff but not bitwise.
+	ExactFFT bool
+
+	plan  *fft.Plan3D      // complex reference path + modelled op counts
+	rplan *fft.RealPlan3D  // half-spectrum path (nil when K1 is odd)
+	grid  []complex128     // complex-path buffers, allocated on first use
+	conv  []complex128
+	rgrid []float64        // real-path buffers, allocated on first use
+	rconv []float64
+	spec  []complex128     // half spectrum, (K1/2+1)·K2·K3
+	eCoefH []float64       // Hermitian-weighted energy coefs, half spectrum
+	cCoefH []float64       // convolution coefs, half spectrum
+	lastReal bool          // which path the latest Recip took
+
 	bsq1 []float64 // |b(m)|² per dimension
 	bsq2 []float64
 	bsq3 []float64
@@ -50,8 +63,11 @@ func NewPME(box space.Box, beta float64, k1, k2, k3, order int) *PME {
 		Box: box, Beta: beta, K1: k1, K2: k2, K3: k3, Order: order,
 		plan: fft.NewPlan3D(k1, k2, k3),
 	}
-	p.grid = make([]complex128, k1*k2*k3)
-	p.conv = make([]complex128, k1*k2*k3)
+	// Real charge grid → half-spectrum transform whenever K1 is even
+	// (every production mesh); odd K1 falls back to the complex plan.
+	if rp, err := fft.NewRealPlan3D(k1, k2, k3); err == nil {
+		p.rplan = rp
+	}
 	p.bsq1 = bsplineModuli(k1, order)
 	p.bsq2 = bsplineModuli(k2, order)
 	p.bsq3 = bsplineModuli(k3, order)
@@ -98,17 +114,15 @@ func (p *PME) GridLen() int { return p.K1 * p.K2 * p.K3 }
 // forward 3-D FFT → multiply by the influence function → inverse FFT →
 // interpolate forces. Counters, if non-nil, record the work.
 func (p *PME) Recip(pos []vec.V, charges []float64, frc []vec.V, w *work.Counters) float64 {
-	p.spread(pos, charges)
-	copy(p.conv, p.grid)
-	p.plan.Forward(p.conv)
-	energyK := p.influence()
-	p.plan.Inverse(p.conv)
-
-	// E = ½ Σ_k Q(k)·conv(k) must equal the k-space sum; both are computed
-	// and the k-space value is returned (they agree to roundoff — asserted
-	// in tests). Forces interpolate the conv grid.
-	e := p.interpolateForces(pos, charges, frc)
-	_ = e
+	var energyK float64
+	if p.rplan != nil && !p.ExactFFT {
+		energyK = p.recipReal(pos, charges, frc)
+	} else {
+		energyK = p.recipComplex(pos, charges, frc)
+	}
+	// The counters charge the modelled cost — complex-transform flops and
+	// full-mesh influence points — regardless of which host path ran, so
+	// virtual-time figures are independent of host-side optimizations.
 	if w != nil {
 		n := int64(len(pos))
 		o3 := int64(p.Order * p.Order * p.Order)
@@ -119,22 +133,100 @@ func (p *PME) Recip(pos []vec.V, charges []float64, frc []vec.V, w *work.Counter
 	return energyK
 }
 
-// RecipEnergyGridDot returns ½ ΣQ·conv from the most recent Recip call —
-// exposed for the consistency test.
-func (p *PME) RecipEnergyGridDot() float64 {
-	var e float64
-	for i := range p.grid {
-		e += real(p.grid[i]) * real(p.conv[i])
+// recipComplex is the reference mesh pipeline on a complex grid.
+func (p *PME) recipComplex(pos []vec.V, charges []float64, frc []vec.V) float64 {
+	if p.grid == nil {
+		p.grid = make([]complex128, p.GridLen())
+		p.conv = make([]complex128, p.GridLen())
 	}
-	return 0.5 * e
-}
-
-// spread deposits all charges onto the private mesh.
-func (p *PME) spread(pos []vec.V, charges []float64) {
+	p.lastReal = false
 	for i := range p.grid {
 		p.grid[i] = 0
 	}
 	p.Spread(pos, charges, 0, len(pos), p.grid)
+	copy(p.conv, p.grid)
+	p.plan.Forward(p.conv)
+	energyK := p.influence()
+	p.plan.Inverse(p.conv)
+
+	// E = ½ Σ_k Q(k)·conv(k) must equal the k-space sum; both are computed
+	// and the k-space value is returned (they agree to roundoff — asserted
+	// in tests). Forces interpolate the conv grid.
+	p.Interpolate(p.conv, pos, charges, 0, len(pos), frc)
+	return energyK
+}
+
+// recipReal is the optimized pipeline: real charge grid, half-spectrum
+// r2c/c2r transforms, and precomputed influence coefficients. The energy
+// sums eCoefH·|F(Q)|² over the stored half spectrum only; eCoefH carries
+// weight 2 on interior kx planes (each stands in for its conjugate mirror
+// F(K1−kx, −ky, −kz) = conj F, which has the same |F|² and — because
+// signedFreq is odd and the moduli are even — the same ψ) and weight 1 on
+// the self-conjugate kx = 0 and kx = K1/2 planes.
+func (p *PME) recipReal(pos []vec.V, charges []float64, frc []vec.V) float64 {
+	if p.rgrid == nil {
+		p.rgrid = make([]float64, p.GridLen())
+		p.rconv = make([]float64, p.GridLen())
+		p.spec = make([]complex128, p.rplan.SpectrumLen())
+	}
+	if p.eCoefH == nil {
+		p.buildHalfInfluence()
+	}
+	p.lastReal = true
+	for i := range p.rgrid {
+		p.rgrid[i] = 0
+	}
+	p.spreadReal(pos, charges, p.rgrid)
+	p.rplan.Forward(p.rgrid, p.spec) // rgrid preserved for the grid-dot check
+	var energy float64
+	for i, fq := range p.spec {
+		re, im := real(fq), imag(fq)
+		energy += p.eCoefH[i] * (re*re + im*im)
+		p.spec[i] = complex(re*p.cCoefH[i], im*p.cCoefH[i])
+	}
+	p.rplan.Inverse(p.spec, p.rconv)
+	p.interpolateReal(p.rconv, pos, charges, frc)
+	return energy
+}
+
+// buildHalfInfluence precomputes the influence coefficients over the
+// stored half spectrum, folding the Hermitian energy weight into eCoefH.
+// One-time cost; it removes every exp/ψ evaluation from the step loop.
+func (p *PME) buildHalfInfluence() {
+	hx := p.rplan.HX()
+	p.eCoefH = make([]float64, hx*p.K2*p.K3)
+	p.cCoefH = make([]float64, hx*p.K2*p.K3)
+	idx := 0
+	for m1 := 0; m1 < hx; m1++ {
+		weight := 2.0
+		if m1 == 0 || 2*m1 == p.K1 {
+			weight = 1.0
+		}
+		for m2 := 0; m2 < p.K2; m2++ {
+			for m3 := 0; m3 < p.K3; m3++ {
+				eCoef, cCoef := p.Psi(m1, m2, m3)
+				p.eCoefH[idx] = weight * eCoef
+				p.cCoefH[idx] = cCoef
+				idx++
+			}
+		}
+	}
+}
+
+// RecipEnergyGridDot returns ½ ΣQ·conv from the most recent Recip call —
+// exposed for the consistency test.
+func (p *PME) RecipEnergyGridDot() float64 {
+	var e float64
+	if p.lastReal {
+		for i := range p.rgrid {
+			e += p.rgrid[i] * p.rconv[i]
+		}
+	} else {
+		for i := range p.grid {
+			e += real(p.grid[i]) * real(p.conv[i])
+		}
+	}
+	return 0.5 * e
 }
 
 // Spread deposits the charges of atoms [lo, hi) onto grid (row-major
@@ -142,6 +234,7 @@ func (p *PME) spread(pos []vec.V, charges []float64) {
 // uses it per atom block; grid may be any rank's local accumulation buffer.
 func (p *PME) Spread(pos []vec.V, charges []float64, lo, hi int, grid []complex128) {
 	order := p.Order
+	var i1, i2, i3 [maxOrder]int
 	for i := lo; i < hi; i++ {
 		r := pos[i]
 		q := charges[i]
@@ -155,19 +248,63 @@ func (p *PME) Spread(pos []vec.V, charges []float64, lo, hi int, grid []complex1
 		k01 := splineWeights(order, u1, p.w1, p.dw1)
 		k02 := splineWeights(order, u2, p.w2, p.dw2)
 		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
 		for a := 0; a < order; a++ {
-			g1 := mod(k01+a, p.K1)
+			row := i1[a] * p.K2
 			qa := q * p.w1[a]
 			for b := 0; b < order; b++ {
-				g2 := mod(k02+b, p.K2)
 				qab := qa * p.w2[b]
-				base := (g1*p.K2 + g2) * p.K3
+				base := (row + i2[b]) * p.K3
 				for c := 0; c < order; c++ {
-					g3 := mod(k03+c, p.K3)
-					grid[base+g3] += complex(qab*p.w3[c], 0)
+					grid[base+i3[c]] += complex(qab*p.w3[c], 0)
 				}
 			}
 		}
+	}
+}
+
+// spreadReal is Spread onto a real grid for the r2c pipeline.
+func (p *PME) spreadReal(pos []vec.V, charges []float64, grid []float64) {
+	order := p.Order
+	var i1, i2, i3 [maxOrder]int
+	for i := range pos {
+		q := charges[i]
+		if q == 0 {
+			continue
+		}
+		f := p.Box.Frac(pos[i])
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, p.w1, p.dw1)
+		k02 := splineWeights(order, u2, p.w2, p.dw2)
+		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
+		for a := 0; a < order; a++ {
+			row := i1[a] * p.K2
+			qa := q * p.w1[a]
+			for b := 0; b < order; b++ {
+				qab := qa * p.w2[b]
+				base := (row + i2[b]) * p.K3
+				for c := 0; c < order; c++ {
+					grid[base+i3[c]] += qab * p.w3[c]
+				}
+			}
+		}
+	}
+}
+
+// maxOrder bounds the interpolation order (NewPME rejects order > 8) so
+// per-atom wrapped grid indices fit in fixed stack arrays.
+const maxOrder = 8
+
+// wrapIndices precomputes the periodic grid indices of one atom's support:
+// 3·order mods instead of one per visited mesh point.
+func (p *PME) wrapIndices(k01, k02, k03 int, i1, i2, i3 *[maxOrder]int) {
+	for t := 0; t < p.Order; t++ {
+		i1[t] = mod(k01+t, p.K1)
+		i2[t] = mod(k02+t, p.K2)
+		i3[t] = mod(k03+t, p.K3)
 	}
 }
 
@@ -226,11 +363,6 @@ func signedFreq(m, k int) float64 {
 	return float64(m - k)
 }
 
-// interpolateForces interpolates over all atoms from the private conv grid.
-func (p *PME) interpolateForces(pos []vec.V, charges []float64, frc []vec.V) float64 {
-	return p.Interpolate(p.conv, pos, charges, 0, len(pos), frc)
-}
-
 // Interpolate differentiates the B-spline interpolant of the given conv
 // grid at the charge sites of atoms [lo, hi): F = −q·∇θ, with ∂u/∂x = K/L
 // per dimension. Forces accumulate into frc (when non-nil); the return
@@ -242,6 +374,7 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 	s1 := float64(p.K1) / p.Box.L.X
 	s2 := float64(p.K2) / p.Box.L.Y
 	s3 := float64(p.K3) / p.Box.L.Z
+	var i1, i2, i3 [maxOrder]int
 	var e float64
 	for i := lo; i < hi; i++ {
 		r := pos[i]
@@ -256,15 +389,13 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 		k01 := splineWeights(order, u1, p.w1, p.dw1)
 		k02 := splineWeights(order, u2, p.w2, p.dw2)
 		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
 		var gx, gy, gz, pot float64
 		for a := 0; a < order; a++ {
-			g1 := mod(k01+a, p.K1)
 			for b := 0; b < order; b++ {
-				g2 := mod(k02+b, p.K2)
-				base := (g1*p.K2 + g2) * p.K3
+				base := (i1[a]*p.K2 + i2[b]) * p.K3
 				for c := 0; c < order; c++ {
-					g3 := mod(k03+c, p.K3)
-					t := real(conv[base+g3])
+					t := real(conv[base+i3[c]])
 					pot += p.w1[a] * p.w2[b] * p.w3[c] * t
 					gx += p.dw1[a] * p.w2[b] * p.w3[c] * t
 					gy += p.w1[a] * p.dw2[b] * p.w3[c] * t
@@ -278,6 +409,53 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 		}
 	}
 	return e
+}
+
+// interpolateReal is Interpolate over a real conv grid for the r2c
+// pipeline, with the products regrouped to hoist the a/b spline factors
+// out of the inner loop.
+func (p *PME) interpolateReal(conv []float64, pos []vec.V, charges []float64, frc []vec.V) {
+	order := p.Order
+	s1 := float64(p.K1) / p.Box.L.X
+	s2 := float64(p.K2) / p.Box.L.Y
+	s3 := float64(p.K3) / p.Box.L.Z
+	var i1, i2, i3 [maxOrder]int
+	for i := range pos {
+		q := charges[i]
+		if q == 0 {
+			continue
+		}
+		f := p.Box.Frac(pos[i])
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, p.w1, p.dw1)
+		k02 := splineWeights(order, u2, p.w2, p.dw2)
+		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
+		var gx, gy, gz float64
+		for a := 0; a < order; a++ {
+			w1a, dw1a := p.w1[a], p.dw1[a]
+			row := i1[a] * p.K2
+			for b := 0; b < order; b++ {
+				base := (row + i2[b]) * p.K3
+				// Inner sums over z with the x/y factors applied once.
+				var s, sz float64
+				for c := 0; c < order; c++ {
+					t := conv[base+i3[c]]
+					s += p.w3[c] * t
+					sz += p.dw3[c] * t
+				}
+				w2b, dw2b := p.w2[b], p.dw2[b]
+				gx += dw1a * w2b * s
+				gy += w1a * dw2b * s
+				gz += w1a * w2b * sz
+			}
+		}
+		if frc != nil {
+			frc[i] = frc[i].Add(vec.New(-q*gx*s1, -q*gy*s2, -q*gz*s3))
+		}
+	}
 }
 
 func mod(a, n int) int {

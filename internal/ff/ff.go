@@ -33,6 +33,13 @@ type Options struct {
 
 	Scale14LJ   float64 // scale factor for 1-4 Lennard-Jones
 	Scale14Elec float64 // scale factor for 1-4 electrostatics
+
+	// ExactKernels disables the tabulated nonbonded kernel (and, through
+	// md.Engine, the r2c FFT path), restoring the reference exact-math
+	// implementations bit for bit. Physics agrees either way to the table's
+	// measured accuracy; use this flag to validate or to reproduce
+	// pre-table trajectories exactly.
+	ExactKernels bool
 }
 
 // DefaultOptions matches the paper's setup: shift truncation at 10 Å with
@@ -97,6 +104,13 @@ type ForceField struct {
 	eps      []float64
 	rminHalf []float64
 	is14     map[[2]int32]bool // 1-4 pairs to drop from the nonbonded list
+
+	// Tabulated-kernel data, nil/empty when Opts.ExactKernels is set.
+	table  *InteractionTable
+	typ    []int32   // atom → type index
+	ntypes int
+	ljA    []float64 // eps·rmin¹² per type pair, ntypes×ntypes
+	ljB    []float64 // 2·eps·rmin⁶ per type pair
 }
 
 // New resolves all parameters for sys.
@@ -138,8 +152,32 @@ func New(sys *topol.System, opts Options) *ForceField {
 	for _, p := range sys.Pairs14 {
 		f.is14[p] = true
 	}
+	if !opts.ExactKernels {
+		f.table = NewInteractionTable(opts, defaultTableIntervals)
+		f.ntypes = len(sys.Types)
+		f.typ = make([]int32, n)
+		for i, a := range sys.Atoms {
+			f.typ[i] = int32(a.Type)
+		}
+		f.ljA = make([]float64, f.ntypes*f.ntypes)
+		f.ljB = make([]float64, f.ntypes*f.ntypes)
+		for ti := 0; ti < f.ntypes; ti++ {
+			for tj := 0; tj < f.ntypes; tj++ {
+				eps := math.Sqrt(sys.Types[ti].Eps * sys.Types[tj].Eps)
+				rmin := sys.Types[ti].RminHalf + sys.Types[tj].RminHalf
+				r3 := rmin * rmin * rmin
+				r6 := r3 * r3
+				f.ljA[ti*f.ntypes+tj] = eps * r6 * r6
+				f.ljB[ti*f.ntypes+tj] = 2 * eps * r6
+			}
+		}
+	}
 	return f
 }
+
+// Table returns the interaction table backing the fast nonbonded kernel,
+// or nil when Opts.ExactKernels disabled it.
+func (f *ForceField) Table() *InteractionTable { return f.table }
 
 // Charges returns the per-atom charge array (shared; do not modify).
 func (f *ForceField) Charges() []float64 { return f.charge }
@@ -209,9 +247,16 @@ func (pl *PairLister) Build(pos []vec.V, w *work.Counters) []space.Pair {
 // elecKernel returns energy and dE/dr for a unit charge product at
 // distance r under the configured truncation.
 func (f *ForceField) elecKernel(r float64) (e, dedr float64) {
-	switch f.Opts.ElecMode {
+	return elecValue(f.Opts, r)
+}
+
+// elecValue is the exact electrostatic kernel as a standalone function, so
+// the interaction-table constructor evaluates the same math as the exact
+// path.
+func elecValue(o Options, r float64) (e, dedr float64) {
+	switch o.ElecMode {
 	case ElecShift:
-		rc := f.Opts.CutOff
+		rc := o.CutOff
 		if r >= rc {
 			return 0, 0
 		}
@@ -221,7 +266,7 @@ func (f *ForceField) elecKernel(r float64) (e, dedr float64) {
 		dedr = units.CoulombConst * (-1/(r*r) - 2/(rc*rc) + 3*r*r/(rc*rc*rc*rc))
 		return e, dedr
 	case ElecEwaldDirect:
-		b := f.Opts.Beta
+		b := o.Beta
 		erfc := math.Erfc(b * r)
 		e = units.CoulombConst * erfc / r
 		dedr = -units.CoulombConst * (erfc/(r*r) + 2*b/math.SqrtPi*math.Exp(-b*b*r*r)/r)
@@ -247,7 +292,13 @@ func (f *ForceField) ljKernel(i, j int32, r float64) (e, dedr float64) {
 // switchFn returns the CHARMM switching function S(r) and dS/dr over
 // [CutOn, CutOff].
 func (f *ForceField) switchFn(r float64) (s, dsdr float64) {
-	ron, roff := f.Opts.CutOn, f.Opts.CutOff
+	return switchValue(f.Opts, r)
+}
+
+// switchValue is switchFn as a standalone function, shared with the
+// interaction-table constructor.
+func switchValue(o Options, r float64) (s, dsdr float64) {
+	ron, roff := o.CutOn, o.CutOff
 	if r <= ron {
 		return 1, 0
 	}

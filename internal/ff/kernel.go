@@ -1,0 +1,133 @@
+package ff
+
+import (
+	"math"
+
+	"repro/internal/space"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// NonbondedKernel is the table-driven structure-of-arrays pair kernel. It
+// owns the SoA scratch (positions and force accumulators as separate
+// x/y/z slices) so the immutable ForceField stays safe for concurrent use:
+// hold one kernel per goroutine/rank. When the force field was built with
+// ExactKernels, Compute transparently delegates to the reference
+// ForceField.Nonbonded.
+type NonbondedKernel struct {
+	f          *ForceField
+	x, y, z    []float64
+	fx, fy, fz []float64
+}
+
+// NewNonbondedKernel returns a kernel with its own scratch over f.
+func (f *ForceField) NewNonbondedKernel() *NonbondedKernel {
+	return &NonbondedKernel{f: f}
+}
+
+// Compute evaluates the prefiltered pair list like ForceField.Nonbonded:
+// switched LJ plus truncated electrostatics, forces accumulated into frc,
+// one PairEval charged per listed pair. Energies match the exact path to
+// the table's measured accuracy; pairs closer than √U0 fall back to exact
+// math in place.
+func (k *NonbondedKernel) Compute(pos []vec.V, pairs []space.Pair, frc []vec.V, w *work.Counters) Energies {
+	f := k.f
+	if f.table == nil {
+		return f.Nonbonded(pos, pairs, frc, w)
+	}
+	n := len(pos)
+	if cap(k.x) < n {
+		k.x = make([]float64, n)
+		k.y = make([]float64, n)
+		k.z = make([]float64, n)
+		k.fx = make([]float64, n)
+		k.fy = make([]float64, n)
+		k.fz = make([]float64, n)
+	}
+	x, y, z := k.x[:n], k.y[:n], k.z[:n]
+	fx, fy, fz := k.fx[:n], k.fy[:n], k.fz[:n]
+	for i, p := range pos {
+		x[i], y[i], z[i] = p.X, p.Y, p.Z
+		fx[i], fy[i], fz[i] = 0, 0, 0
+	}
+
+	tab := f.table
+	charge := f.charge
+	typ := f.typ
+	ljA, ljB := f.ljA, f.ljB
+	nt := f.ntypes
+	coef := tab.coef
+	u0, inv := tab.U0, tab.inv
+	nIntervals := tab.n
+	box := f.Sys.Box
+	lx, ly, lz := box.L.X, box.L.Y, box.L.Z
+	invLx, invLy, invLz := 1/lx, 1/ly, 1/lz
+	cut2 := f.Opts.CutOff * f.Opts.CutOff
+
+	var eLJ, eElec float64
+	for _, p := range pairs {
+		i, j := int(p.I), int(p.J)
+		dx := x[i] - x[j]
+		dy := y[i] - y[j]
+		dz := z[i] - z[j]
+		dx -= lx * math.Round(dx*invLx)
+		dy -= ly * math.Round(dy*invLy)
+		dz -= lz * math.Round(dz*invLz)
+		u := dx*dx + dy*dy + dz*dz
+		if u > cut2 || u == 0 {
+			continue
+		}
+		qq := charge[i] * charge[j]
+		var dedu float64
+		if u >= u0 {
+			ui := (u - u0) * inv
+			ii := int(ui)
+			if ii >= nIntervals {
+				ii = nIntervals - 1
+			}
+			t := ui - float64(ii)
+			c := coef[ii*12 : ii*12+12 : ii*12+12]
+			A := ljA[int(typ[i])*nt+int(typ[j])]
+			B := ljB[int(typ[i])*nt+int(typ[j])]
+			e12 := ((c[3]*t+c[2])*t+c[1])*t + c[0]
+			g12 := (3*c[3]*t+2*c[2])*t + c[1]
+			e6 := ((c[7]*t+c[6])*t+c[5])*t + c[4]
+			g6 := (3*c[7]*t+2*c[6])*t + c[5]
+			ee := ((c[11]*t+c[10])*t+c[9])*t + c[8]
+			ge := (3*c[11]*t+2*c[10])*t + c[9]
+			eLJ += A*e12 - B*e6
+			eElec += qq * ee
+			dedu = (A*g12 - B*g6 + qq*ge) * inv
+		} else {
+			// Close contact below the table domain: exact math.
+			r := math.Sqrt(u)
+			elj, dlj := f.ljKernel(p.I, p.J, r)
+			s, dsdr := f.switchFn(r)
+			eLJ += elj * s
+			dedr := dlj*s + elj*dsdr
+			if qq != 0 {
+				ee, de := f.elecKernel(r)
+				eElec += qq * ee
+				dedr += qq * de
+			}
+			dedu = dedr / (2 * r)
+		}
+		fmag := -2 * dedu
+		gx, gy, gz := fmag*dx, fmag*dy, fmag*dz
+		fx[i] += gx
+		fy[i] += gy
+		fz[i] += gz
+		fx[j] -= gx
+		fy[j] -= gy
+		fz[j] -= gz
+	}
+	for i := range fx {
+		if fx[i] != 0 || fy[i] != 0 || fz[i] != 0 {
+			frc[i] = frc[i].Add(vec.New(fx[i], fy[i], fz[i]))
+		}
+	}
+	if w != nil {
+		w.PairEvals += int64(len(pairs))
+	}
+	return Energies{LJ: eLJ, Elec: eElec}
+}

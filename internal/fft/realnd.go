@@ -1,0 +1,146 @@
+package fft
+
+import "fmt"
+
+// xposeBlock is the number of (y,z) columns gathered per blocked-transpose
+// pass. 32 rows of the largest practical line length (a few hundred
+// complex128s) stay well inside L1/L2 while every grid read and write in
+// the pass touches contiguous runs of xposeBlock values.
+const xposeBlock = 32
+
+// RealPlan3D computes forward/inverse 3-D DFTs of real row-major data
+// indexed [x][y][z] (element (ix, iy, iz) at (ix·Ny + iy)·Nz + iz), storing
+// only the non-redundant half spectrum kx = 0..Nx/2. For the real charge
+// grids of PME this is ~2× less transform work and half the spectrum
+// memory of a complex Plan3D; the discarded half follows from Hermitian
+// symmetry F(Nx−kx, (Ny−ky) mod Ny, (Nz−kz) mod Nz) = conj(F(kx, ky, kz)).
+//
+// The x lines (stride Ny·Nz) go through the 1-D RealPlan via cache-blocked
+// gather/scatter transposes; the half-spectrum planes are contiguous and
+// use a complex Plan2D in place. Like all plans in this package, a
+// RealPlan3D is not safe for concurrent use.
+type RealPlan3D struct {
+	nx, ny, nz int
+	hx         int // nx/2 + 1 stored x frequencies
+	rpx        *RealPlan
+	plane      *Plan2D
+
+	rblk []float64    // blocked transpose scratch: xposeBlock × nx reals
+	cblk []complex128 // blocked transpose scratch: xposeBlock × hx bins
+}
+
+// NewRealPlan3D returns a plan for an nx×ny×nz real grid. nx must be even
+// (the 1-D real transform packs x pairs into a half-length complex
+// transform); odd nx returns an error so callers can fall back to a
+// complex Plan3D. ny and nz may be any positive size, including ones that
+// route through Bluestein.
+func NewRealPlan3D(nx, ny, nz int) (*RealPlan3D, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("fft: invalid 3-D dims %d×%d×%d", nx, ny, nz)
+	}
+	if nx%2 != 0 {
+		return nil, fmt.Errorf("fft: real 3-D transform needs even x dim, got %d", nx)
+	}
+	hx := nx/2 + 1
+	return &RealPlan3D{
+		nx: nx, ny: ny, nz: nz, hx: hx,
+		rpx:   NewRealPlan(nx),
+		plane: NewPlan2D(ny, nz),
+		rblk:  make([]float64, xposeBlock*nx),
+		cblk:  make([]complex128, xposeBlock*hx),
+	}, nil
+}
+
+// Dims returns the real-space dimensions (nx, ny, nz).
+func (p *RealPlan3D) Dims() (int, int, int) { return p.nx, p.ny, p.nz }
+
+// Len returns the number of real grid points nx·ny·nz.
+func (p *RealPlan3D) Len() int { return p.nx * p.ny * p.nz }
+
+// SpectrumLen returns the half-spectrum storage size (nx/2+1)·ny·nz.
+func (p *RealPlan3D) SpectrumLen() int { return p.hx * p.ny * p.nz }
+
+// HX returns the number of stored x frequencies, nx/2+1.
+func (p *RealPlan3D) HX() int { return p.hx }
+
+// Forward computes the half spectrum of the real grid x:
+// spec[(kx·Ny + ky)·Nz + kz] = F(kx, ky, kz) for kx = 0..Nx/2. The input
+// grid is left intact. len(x) must be Len() and len(spec) SpectrumLen().
+func (p *RealPlan3D) Forward(x []float64, spec []complex128) {
+	if len(x) != p.Len() || len(spec) != p.SpectrumLen() {
+		panic(fmt.Sprintf("fft: real 3-D forward lengths %d/%d, want %d/%d",
+			len(x), len(spec), p.Len(), p.SpectrumLen()))
+	}
+	planeLen := p.ny * p.nz
+	// Real transforms along x: gather blocks of xposeBlock strided lines
+	// into contiguous rows, transform, scatter the half spectra.
+	for j0 := 0; j0 < planeLen; j0 += xposeBlock {
+		w := planeLen - j0
+		if w > xposeBlock {
+			w = xposeBlock
+		}
+		for ix := 0; ix < p.nx; ix++ {
+			src := x[ix*planeLen+j0 : ix*planeLen+j0+w]
+			for b, v := range src {
+				p.rblk[b*p.nx+ix] = v
+			}
+		}
+		for b := 0; b < w; b++ {
+			p.rpx.Forward(p.rblk[b*p.nx:(b+1)*p.nx], p.cblk[b*p.hx:(b+1)*p.hx])
+		}
+		for ix := 0; ix < p.hx; ix++ {
+			dst := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
+			for b := range dst {
+				dst[b] = p.cblk[b*p.hx+ix]
+			}
+		}
+	}
+	// Complex transforms over the stored (contiguous) y×z planes.
+	for ix := 0; ix < p.hx; ix++ {
+		p.plane.Forward(spec[ix*planeLen : (ix+1)*planeLen])
+	}
+}
+
+// Inverse reconstructs the real grid from its half spectrum, including the
+// full 1/(Nx·Ny·Nz) normalization, so Inverse(Forward(x)) == x. The
+// spectrum buffer is used as workspace and destroyed.
+func (p *RealPlan3D) Inverse(spec []complex128, x []float64) {
+	if len(x) != p.Len() || len(spec) != p.SpectrumLen() {
+		panic(fmt.Sprintf("fft: real 3-D inverse lengths %d/%d, want %d/%d",
+			len(spec), len(x), p.SpectrumLen(), p.Len()))
+	}
+	planeLen := p.ny * p.nz
+	for ix := 0; ix < p.hx; ix++ {
+		p.plane.Inverse(spec[ix*planeLen : (ix+1)*planeLen])
+	}
+	for j0 := 0; j0 < planeLen; j0 += xposeBlock {
+		w := planeLen - j0
+		if w > xposeBlock {
+			w = xposeBlock
+		}
+		for ix := 0; ix < p.hx; ix++ {
+			src := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
+			for b, v := range src {
+				p.cblk[b*p.hx+ix] = v
+			}
+		}
+		for b := 0; b < w; b++ {
+			p.rpx.Inverse(p.cblk[b*p.hx:(b+1)*p.hx], p.rblk[b*p.nx:(b+1)*p.nx])
+		}
+		for ix := 0; ix < p.nx; ix++ {
+			dst := x[ix*planeLen+j0 : ix*planeLen+j0+w]
+			for b := range dst {
+				dst[b] = p.rblk[b*p.nx+ix]
+			}
+		}
+	}
+}
+
+// Ops returns the analytic flop count of one half-spectrum transform: the
+// real x transforms plus the complex transforms of the stored planes. The
+// performance model keeps charging the complex Plan3D count (CHARMM-era
+// codes were modelled on complex transforms); this count exists for host
+// benchmarking only.
+func (p *RealPlan3D) Ops() int64 {
+	return int64(p.ny*p.nz)*p.rpx.Ops() + int64(p.hx)*p.plane.Ops()
+}

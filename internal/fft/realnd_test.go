@@ -1,0 +1,147 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRealGrid(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// full3D computes the reference complex 3-D spectrum of a real grid.
+func full3D(x []float64, nx, ny, nz int) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	NewPlan3D(nx, ny, nz).Forward(cx)
+	return cx
+}
+
+func TestRealPlan3DMatchesComplexPlan(t *testing.T) {
+	cases := [][3]int{
+		{80, 36, 48}, // the paper's PME mesh
+		{8, 6, 10},
+		{2, 1, 1},
+		{4, 5, 3},
+		{6, 7, 7},   // odd y/z dims
+		{14, 37, 9}, // y through Bluestein (37 is prime > 31)
+		{74, 5, 4},  // x/2 = 37 through Bluestein
+	}
+	for _, c := range cases {
+		nx, ny, nz := c[0], c[1], c[2]
+		p, err := NewRealPlan3D(nx, ny, nz)
+		if err != nil {
+			t.Fatalf("NewRealPlan3D(%d,%d,%d): %v", nx, ny, nz, err)
+		}
+		x := randRealGrid(nx*ny*nz, int64(nx*1000+ny*10+nz))
+		want := full3D(x, nx, ny, nz)
+		spec := make([]complex128, p.SpectrumLen())
+		p.Forward(x, spec)
+
+		scale := 0.0
+		for _, v := range want {
+			if a := cmplxAbs(v); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-11 * (1 + scale)
+		for ix := 0; ix < p.HX(); ix++ {
+			for iy := 0; iy < ny; iy++ {
+				for iz := 0; iz < nz; iz++ {
+					got := spec[(ix*ny+iy)*nz+iz]
+					ref := want[(ix*ny+iy)*nz+iz]
+					if cmplxAbs(got-ref) > tol {
+						t.Fatalf("%d×%d×%d spec[%d,%d,%d] = %v, want %v",
+							nx, ny, nz, ix, iy, iz, got, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRealPlan3DHermitianReconstruction checks that the discarded
+// redundant half of the spectrum really is the conjugate mirror of the
+// stored half — the identity the PME energy accumulation relies on.
+func TestRealPlan3DHermitianReconstruction(t *testing.T) {
+	nx, ny, nz := 12, 5, 6
+	p, err := NewRealPlan3D(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRealGrid(nx*ny*nz, 7)
+	want := full3D(x, nx, ny, nz)
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(x, spec)
+	for ix := p.HX(); ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				mx, my, mz := nx-ix, (ny-iy)%ny, (nz-iz)%nz
+				s := spec[(mx*ny+my)*nz+mz]
+				mirror := complex(real(s), -imag(s))
+				ref := want[(ix*ny+iy)*nz+iz]
+				if cmplxAbs(mirror-ref) > 1e-10 {
+					t.Fatalf("Hermitian mirror (%d,%d,%d) = %v, want %v", ix, iy, iz, mirror, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestRealPlan3DRoundTrip(t *testing.T) {
+	for _, c := range [][3]int{{80, 36, 48}, {10, 9, 4}, {74, 37, 9}} {
+		nx, ny, nz := c[0], c[1], c[2]
+		p, err := NewRealPlan3D(nx, ny, nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randRealGrid(nx*ny*nz, 42)
+		orig := append([]float64(nil), x...)
+		spec := make([]complex128, p.SpectrumLen())
+		p.Forward(x, spec)
+		for i, v := range x {
+			if v != orig[i] {
+				t.Fatalf("%v: Forward modified its input at %d", c, i)
+			}
+		}
+		back := make([]float64, len(x))
+		p.Inverse(spec, back)
+		for i := range back {
+			if math.Abs(back[i]-orig[i]) > 1e-11*(1+math.Abs(orig[i])) {
+				t.Fatalf("%v: roundtrip[%d] = %g, want %g", c, i, back[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestRealPlan3DRejectsOddX(t *testing.T) {
+	if _, err := NewRealPlan3D(37, 36, 48); err == nil {
+		t.Fatal("odd x dim must be rejected")
+	}
+	if _, err := NewRealPlan3D(0, 4, 4); err == nil {
+		t.Fatal("zero dim must be rejected")
+	}
+}
+
+func TestRealPlan3DOpsBelowComplex(t *testing.T) {
+	p, err := NewRealPlan3D(80, 36, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewPlan3D(80, 36, 48).Ops()
+	if p.Ops() >= full {
+		t.Fatalf("real plan ops %d not below complex plan ops %d", p.Ops(), full)
+	}
+}
+
+func cmplxAbs(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}

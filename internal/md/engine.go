@@ -103,6 +103,7 @@ type Engine struct {
 	Frc []vec.V
 
 	pme *ewald.PME
+	nbk *ff.NonbondedKernel // table-driven pair kernel (exact when configured)
 
 	pairs      []space.Pair
 	lister     *ff.PairLister // reusable list builder (no steady-state allocs)
@@ -141,8 +142,12 @@ func NewEngine(sys *topol.System, cfg Config) *Engine {
 	for i := range e.invMass {
 		e.invMass[i] = 1 / sys.Mass(i)
 	}
+	e.nbk = e.FF.NewNonbondedKernel()
 	if cfg.UsePME {
 		e.pme = ewald.NewPME(sys.Box, cfg.PME.Beta, cfg.PME.K1, cfg.PME.K2, cfg.PME.K3, cfg.PME.Order)
+		// The exact-kernels flag also pins PME to the reference complex
+		// transform so the whole force evaluation is bit-reproducible.
+		e.pme.ExactFFT = cfg.FF.ExactKernels
 	}
 	e.buildConstraints()
 	if len(e.constraints) > 0 {
@@ -223,7 +228,7 @@ func (e *Engine) ComputeForces(w, wPME *work.Counters) EnergyReport {
 	vec.Fill(e.Frc, vec.Zero)
 	var rep EnergyReport
 	rep.FF = e.FF.Bonded(e.Pos, e.Frc, w)
-	rep.FF.Add(e.FF.Nonbonded(e.Pos, e.pairs, e.Frc, w))
+	rep.FF.Add(e.nbk.Compute(e.Pos, e.pairs, e.Frc, w))
 	rep.FF.Add(e.FF.Pairs14(e.Pos, e.Frc, w))
 	if e.pme != nil {
 		charges := e.FF.Charges()

@@ -96,7 +96,7 @@ func (w *worker) computeForces(st *StepTiming, tr phaseTracker) md.EnergyReport 
 		e.Angle = w.ff.AnglesRange(w.pos, w.partial, wc, w.angOff[me], w.angOff[me+1])
 		e.Dihedral = w.ff.DihedralsRange(w.pos, w.partial, wc, w.dihOff[me], w.dihOff[me+1])
 		e.Improper = w.ff.ImpropersRange(w.pos, w.partial, wc, w.imprOff[me], w.imprOff[me+1])
-		e.Add(w.ff.Nonbonded(w.pos, w.pairs[w.pairOff[me]:w.pairOff[me+1]], w.partial, wc))
+		e.Add(w.nbk.Compute(w.pos, w.pairs[w.pairOff[me]:w.pairOff[me+1]], w.partial, wc))
 		e.Add(w.ff.Pairs14Range(w.pos, w.partial, wc, w.p14Off[me], w.p14Off[me+1]))
 	})
 

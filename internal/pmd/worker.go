@@ -113,6 +113,7 @@ type worker struct {
 	sh  *shared
 
 	ff  *ff.ForceField
+	nbk *ff.NonbondedKernel
 	pme *ewald.PME
 
 	pos, vel []vec.V
@@ -226,6 +227,7 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 	}
 
 	w.ff = seedEngine.FF
+	w.nbk = w.ff.NewNonbondedKernel() // per-rank scratch over the shared FF
 	w.pos = append([]vec.V(nil), seedEngine.Pos...)
 	w.vel = append([]vec.V(nil), seedEngine.Vel...)
 	w.frcTotal = make([]vec.V, n)

@@ -20,8 +20,13 @@ type CellList struct {
 	cutoff     float64
 	nx, ny, nz int
 	cells      [][]int32 // atom indices per cell
-	cellOf     []int32   // cell index per atom
-	seen       []int32   // visited-cell stamps, reused across Pairs calls
+	// Per-cell structure-of-arrays coordinate copies, parallel to cells:
+	// the pair scan streams these contiguous batches instead of gathering
+	// vec.V positions through the index indirection. Values are the exact
+	// binned positions, so distances are bitwise identical to box.Dist2.
+	cx, cy, cz [][]float64
+	cellOf     []int32 // cell index per atom
+	seen       []int32 // visited-cell stamps, reused across Pairs calls
 	stamp      int32
 }
 
@@ -44,6 +49,9 @@ func NewCellList(box Box, cutoff float64, pos []vec.V) *CellList {
 	cl.ny = maxInt(1, int(box.L.Y/cutoff))
 	cl.nz = maxInt(1, int(box.L.Z/cutoff))
 	cl.cells = make([][]int32, cl.nx*cl.ny*cl.nz)
+	cl.cx = make([][]float64, len(cl.cells))
+	cl.cy = make([][]float64, len(cl.cells))
+	cl.cz = make([][]float64, len(cl.cells))
 	cl.cellOf = make([]int32, len(pos))
 	cl.seen = make([]int32, len(cl.cells))
 	cl.bin(pos)
@@ -56,6 +64,9 @@ func NewCellList(box Box, cutoff float64, pos []vec.V) *CellList {
 func (cl *CellList) Rebuild(pos []vec.V) {
 	for c := range cl.cells {
 		cl.cells[c] = cl.cells[c][:0]
+		cl.cx[c] = cl.cx[c][:0]
+		cl.cy[c] = cl.cy[c][:0]
+		cl.cz[c] = cl.cz[c][:0]
 	}
 	if cap(cl.cellOf) < len(pos) {
 		cl.cellOf = make([]int32, len(pos))
@@ -69,6 +80,9 @@ func (cl *CellList) bin(pos []vec.V) {
 		c := cl.cellIndex(p)
 		cl.cellOf[i] = int32(c)
 		cl.cells[c] = append(cl.cells[c], int32(i))
+		cl.cx[c] = append(cl.cx[c], p.X)
+		cl.cy[c] = append(cl.cy[c], p.Y)
+		cl.cz[c] = append(cl.cz[c], p.Z)
 	}
 }
 
@@ -109,10 +123,13 @@ func (cl *CellList) Pairs(pos []vec.V, distEvals *int64) []Pair {
 }
 
 // PairsAppend is Pairs appending into dst (reset to dst[:0]), so steady-
-// state callers can reuse one pair buffer across rebuilds.
+// state callers can reuse one pair buffer across rebuilds. Distances come
+// from the coordinates binned at construction/Rebuild time (pos must be
+// the same array, and is retained in the signature for that contract).
 func (cl *CellList) PairsAppend(pos []vec.V, dst []Pair, distEvals *int64) []Pair {
 	pairs := dst[:0]
 	cut2 := cl.cutoff * cl.cutoff
+	lx, ly, lz := cl.box.L.X, cl.box.L.Y, cl.box.L.Z
 	var evals int64
 	seen := cl.seen // visited marker per home cell, 1-based stamps
 	stamp := cl.stamp
@@ -121,11 +138,18 @@ func (cl *CellList) PairsAppend(pos []vec.V, dst []Pair, distEvals *int64) []Pai
 			for cz := 0; cz < cl.nz; cz++ {
 				home := (cx*cl.ny+cy)*cl.nz + cz
 				own := cl.cells[home]
-				// Pairs within the home cell.
+				ox, oy, oz := cl.cx[home], cl.cy[home], cl.cz[home]
+				// Pairs within the home cell, batched over the cell's SoA
+				// coordinates (identical distances and pair order as the
+				// position-array walk: same mi1 per axis, same sum).
 				for a := 0; a < len(own); a++ {
+					ax, ay, az := ox[a], oy[a], oz[a]
 					for b := a + 1; b < len(own); b++ {
 						evals++
-						if cl.box.Dist2(pos[own[a]], pos[own[b]]) <= cut2 {
+						dx := mi1(ax-ox[b], lx)
+						dy := mi1(ay-oy[b], ly)
+						dz := mi1(az-oz[b], lz)
+						if dx*dx+dy*dy+dz*dz <= cut2 {
 							pairs = appendOrdered(pairs, own[a], own[b])
 						}
 					}
@@ -153,10 +177,15 @@ func (cl *CellList) PairsAppend(pos []vec.V, dst []Pair, distEvals *int64) []Pai
 							}
 							seen[nb] = stamp
 							other := cl.cells[nb]
-							for _, i := range own {
-								for _, j := range other {
+							bx, by, bz := cl.cx[nb], cl.cy[nb], cl.cz[nb]
+							for a, i := range own {
+								ax, ay, az := ox[a], oy[a], oz[a]
+								for b, j := range other {
 									evals++
-									if cl.box.Dist2(pos[i], pos[j]) <= cut2 {
+									ddx := mi1(ax-bx[b], lx)
+									ddy := mi1(ay-by[b], ly)
+									ddz := mi1(az-bz[b], lz)
+									if ddx*ddx+ddy*ddy+ddz*ddz <= cut2 {
 										pairs = appendOrdered(pairs, i, j)
 									}
 								}
