@@ -1,0 +1,143 @@
+// chaos is the soak harness: it draws seeded random fault scenarios,
+// runs the resilient parallel MD under each, and checks the invariants a
+// production run must never violate (termination, finite energies,
+// bitwise determinism across host-worker counts, checkpoint/restart
+// equivalence through the durable on-disk path). The first violation is
+// shrunk to a minimal DSL reproducer and the full scenario is written as
+// JSON for replay.
+//
+// Usage:
+//
+//	chaos -runs 20 -seed 1
+//	chaos -runs 100 -p 8 -cpus 2 -net score -fail-dir failures -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+)
+
+func main() {
+	runs := flag.Int("runs", 20, "number of random scenarios to soak")
+	seed := flag.Uint64("seed", 1, "base seed (run i uses a derived stream)")
+	steps := flag.Int("steps", 4, "MD steps per run")
+	procs := flag.Int("p", 4, "processors")
+	cpus := flag.Int("cpus", 1, "CPUs per node (1 or 2)")
+	netName := flag.String("net", "tcp", "network: tcp, score, myrinet, fast")
+	atoms := flag.Int("atoms", 300, "solvated-box size in atoms")
+	workersList := flag.String("workers", "1,4", "comma-separated host-worker counts cross-checked bitwise")
+	mwName := flag.String("mw", "mpi", "middleware: mpi or cmpi")
+	ckptEvery := flag.Int("ckpt-every", 2, "checkpoint cadence in steps")
+	failDir := flag.String("fail-dir", "", "write the failing scenario JSON here")
+	verbose := flag.Bool("v", false, "per-run progress")
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		fail("-runs must be >= 1 (got %d)", *runs)
+	}
+	net, ok := netmodel.ByName(*netName)
+	if !ok {
+		fail("unknown network %q", *netName)
+	}
+	if *cpus != 1 && *cpus != 2 {
+		fail("-cpus must be 1 or 2 (got %d)", *cpus)
+	}
+	if *procs < 2**cpus || *procs%*cpus != 0 {
+		fail("-p (%d) must be a multiple of -cpus (%d) spanning at least 2 nodes", *procs, *cpus)
+	}
+	var mw pmd.MiddlewareKind
+	switch *mwName {
+	case "mpi":
+		mw = pmd.MiddlewareMPI
+	case "cmpi":
+		mw = pmd.MiddlewareCMPI
+	default:
+		fail("-mw must be mpi or cmpi (got %q)", *mwName)
+	}
+	var workers []int
+	for _, s := range strings.Split(*workersList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			fail("bad -workers entry %q", s)
+		}
+		workers = append(workers, w)
+	}
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		}
+	}
+	h, err := chaos.NewHarness(chaos.Config{
+		Seed:            *seed,
+		Steps:           *steps,
+		Nodes:           *procs / *cpus,
+		CPUsPerNode:     *cpus,
+		Net:             net,
+		Middleware:      mw,
+		Atoms:           *atoms,
+		Workers:         workers,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("soaking %d scenarios: p=%d (%d CPU/node) on %s, %d atoms, %d steps, workers %v, horizon %.3gs\n",
+		*runs, *procs, *cpus, net.Name, *atoms, *steps, workers, h.Horizon())
+
+	reports, failure, err := h.Soak(*runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: harness error:", err)
+		os.Exit(1)
+	}
+	if failure == nil {
+		var faults, recoveries int
+		for _, r := range reports {
+			faults += r.Faults
+			recoveries += r.Recoveries
+		}
+		fmt.Printf("PASS: %d runs, %d faults injected, %d crash recoveries, 0 invariant violations\n",
+			len(reports), faults, recoveries)
+		return
+	}
+
+	fmt.Printf("FAIL: run %d (seed %d) violated invariant %q\n", failure.Index, failure.Seed, failure.Err.Name)
+	fmt.Printf("  detail:   %s\n", failure.Err.Detail)
+	fmt.Printf("  scenario: %s\n", failure.Scenario.DSL())
+	fmt.Printf("  minimal:  %s\n", failure.Minimal.DSL())
+	fmt.Printf("  reproduce: faultbench -spec '%s' -seed %d -p %d -cpus %d -net %s -steps %d -atoms %d\n",
+		failure.Minimal.DSL(), failure.Seed, *procs, *cpus, *netName, *steps, *atoms)
+	if *failDir != "" {
+		if err := os.MkdirAll(*failDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*failDir, fmt.Sprintf("scenario-%d.json", failure.Seed))
+		buf, err := json.MarshalIndent(failure.Scenario, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  scenario JSON written to %s\n", path)
+	}
+	os.Exit(1)
+}

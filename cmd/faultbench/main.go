@@ -43,7 +43,9 @@ func main() {
 	wdTimeout := flag.Float64("timeout", 30, "watchdog timeout (virtual s); 0 disables")
 	wdRetries := flag.Int("retries", 2, "watchdog retry budget")
 	wdBackoff := flag.Float64("backoff", 2, "watchdog backoff multiplier")
-	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every k steps")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every k steps (0 = default)")
+	ckptDir := flag.String("ckpt-dir", "", "durable checkpoint directory (resumes a killed run found there)")
+	ckptKeep := flag.Int("ckpt-keep", 0, "on-disk checkpoint ring depth (0 = default)")
 	restartCost := flag.Float64("restart-cost", 10, "virtual seconds charged per recovery")
 	format := flag.String("format", "text", "output format: text or csv")
 	flag.Parse()
@@ -64,6 +66,15 @@ func main() {
 	}
 	if *steps < 1 {
 		fail("-steps must be >= 1 (got %d)", *steps)
+	}
+	if *ckptEvery < 0 {
+		fail("-ckpt-every must be >= 0, 0 meaning the default (got %d)", *ckptEvery)
+	}
+	if *ckptKeep < 0 {
+		fail("-ckpt-keep must be >= 0, 0 meaning the default (got %d)", *ckptKeep)
+	}
+	if *ckptKeep > 0 && *ckptDir == "" {
+		fail("-ckpt-keep needs -ckpt-dir")
 	}
 	if *format != "text" && *format != "csv" {
 		fail("-format must be text or csv (got %q)", *format)
@@ -119,7 +130,13 @@ func main() {
 	wd := mpi.Watchdog{Timeout: *wdTimeout, Retries: *wdRetries, Backoff: *wdBackoff}
 	cost := cluster.PentiumIII1GHz()
 
-	run := func(mw pmd.MiddlewareKind, scenario *fault.Scenario) *pmd.ResilientResult {
+	// The durable directory identifies ONE run's checkpoint ring, so it
+	// only applies to the single faulted run of a 1-severity invocation —
+	// the healthy baseline and severity sweeps stay in-memory.
+	if *ckptDir != "" && (len(sevs) != 1 || len(mws) != 1) {
+		fail("-ckpt-dir needs exactly one severity and one middleware (the ring identifies one run)")
+	}
+	run := func(mw pmd.MiddlewareKind, scenario *fault.Scenario, dir string) *pmd.ResilientResult {
 		res, err := pmd.RunResilient(clCfg, cost, pmd.ResilientConfig{
 			Config: pmd.Config{
 				System:     sys,
@@ -130,11 +147,17 @@ func main() {
 			},
 			Scenario:        scenario,
 			CheckpointEvery: *ckptEvery,
+			CheckpointDir:   dir,
+			KeepCheckpoints: *ckptKeep,
 			RestartCost:     *restartCost,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultbench:", err)
 			os.Exit(1)
+		}
+		if res.Resumed != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: resumed from on-disk checkpoint at step %d (%d corrupt skipped, %.3gs lost)\n",
+				res.Resumed.Step, res.Resumed.SkippedCheckpoints, res.Resumed.LostOnDisk)
 		}
 		return res
 	}
@@ -142,9 +165,9 @@ func main() {
 	headers := []string{"mw", "severity", "wall(s)", "slowdown", "excess(s)", "comp", "comm", "sync", "lost", "recoveries", "profile"}
 	var rows [][]string
 	for _, mw := range mws {
-		healthy := run(mw, nil)
+		healthy := run(mw, nil, "")
 		for _, sev := range sevs {
-			res := run(mw, sc.Scale(sev))
+			res := run(mw, sc.Scale(sev), *ckptDir)
 			var tot mpi.Accounting
 			for _, a := range res.Acct {
 				tot.Add(a)

@@ -1,16 +1,23 @@
 // mdrun runs the sequential MD engine on the synthetic myoglobin system
-// and prints an energy trace — the physical baseline of the study.
+// and prints an energy trace — the physical baseline of the study. It can
+// persist a checksummed checkpoint ring (-ckpt-dir) so a killed run
+// restarts from the newest valid checkpoint, and run under the numeric
+// guardrails (-guard) with exact-kernel fallback on a trip.
 //
 // Usage:
 //
 //	mdrun -steps 50 -minimize 100 -temp 300 -pme
+//	mdrun -steps 500 -ckpt-dir run1.ckpt -ckpt-every 25
+//	mdrun -steps 50 -guard -guard-drift 500
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/topol"
 	"repro/internal/work"
@@ -25,6 +32,14 @@ func main() {
 	dt := flag.Float64("dt", 1.0, "timestep (fs)")
 	xyz := flag.String("xyz", "", "write an XYZ trajectory to this file")
 	every := flag.Int("every", 1, "trajectory output interval (steps)")
+	ckptDir := flag.String("ckpt-dir", "", "durable checkpoint ring directory (resumes a killed run found there)")
+	ckptEvery := flag.Int("ckpt-every", 10, "checkpoint interval in steps")
+	ckptKeep := flag.Int("ckpt-keep", 0, "checkpoint ring depth (0 = default)")
+	guardOn := flag.Bool("guard", false, "enable numeric guardrails (NaN/Inf + energy drift)")
+	guardPolicy := flag.String("guard-policy", "fallback", "on a guard trip: fallback (redo step on exact kernels) or abort")
+	guardDrift := flag.Float64("guard-drift", 0, "energy-drift tolerance in kcal/mol (0 disables drift checks)")
+	guardWindow := flag.Int("guard-window", 0, "drift window in steps (0 = default)")
+	guardInject := flag.Int("guard-inject", 0, "force a synthetic guard trip at this step (test hook)")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -39,6 +54,27 @@ func main() {
 	}
 	if *dt <= 0 {
 		fmt.Fprintf(os.Stderr, "mdrun: -dt must be > 0 (got %g)\n", *dt)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *ckptEvery < 1 {
+		fmt.Fprintf(os.Stderr, "mdrun: -ckpt-every must be >= 1 (got %d)\n", *ckptEvery)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *ckptKeep < 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -ckpt-keep must be >= 0 (got %d)\n", *ckptKeep)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var policy guard.Policy
+	switch *guardPolicy {
+	case "fallback":
+		policy = guard.PolicyFallback
+	case "abort":
+		policy = guard.PolicyAbort
+	default:
+		fmt.Fprintf(os.Stderr, "mdrun: -guard-policy must be fallback or abort (got %q)\n", *guardPolicy)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,6 +103,42 @@ func main() {
 		engine.InitVelocities(*temp, *seed)
 	}
 
+	// Durable checkpoint ring: resume from the newest valid on-disk
+	// checkpoint if one exists (corrupt newer files are skipped), else
+	// start fresh and fill the ring as the run progresses.
+	var ring *md.CheckpointRing
+	startStep := 0
+	if *ckptDir != "" {
+		ring = &md.CheckpointRing{Dir: *ckptDir, Keep: *ckptKeep}
+		cp, meta, skipped, err := ring.LoadNewest()
+		switch {
+		case err == nil:
+			if err := engine.Restore(cp); err != nil {
+				fmt.Fprintln(os.Stderr, "mdrun:", err)
+				os.Exit(1)
+			}
+			startStep = meta.Step
+			fmt.Printf("resumed from checkpoint at step %d (%d corrupt file(s) skipped)\n", startStep, skipped)
+		case errors.Is(err, md.ErrNoCheckpoint):
+			// fresh run
+		default:
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+	}
+	if startStep >= *steps && *steps > 0 {
+		fmt.Printf("checkpoint already at step %d; nothing to do\n", startStep)
+		return
+	}
+
+	mon := guard.NewMonitor(guard.Config{
+		Enabled:     *guardOn,
+		Policy:      policy,
+		DriftTol:    *guardDrift,
+		DriftWindow: *guardWindow,
+		InjectStep:  *guardInject,
+	}, cfg.FF.ExactKernels)
+
 	var traj *os.File
 	if *xyz != "" {
 		var err error
@@ -81,8 +153,12 @@ func main() {
 	var wc, wp work.Counters
 	fmt.Printf("%6s %14s %14s %14s %14s %10s\n", "step", "potential", "classic", "pme", "total", "temp(K)")
 	engine.ComputeForces(&wc, &wp)
-	for s := 1; s <= *steps; s++ {
-		rep := engine.Step(&wc, &wp)
+	for s := startStep + 1; s <= *steps; s++ {
+		rep, err := engine.StepGuarded(mon, s, &wc, &wp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%6d %14.3f %14.3f %14.3f %14.3f %10.1f\n",
 			s, rep.Potential(), rep.Classic(), rep.PME(), rep.Total(), engine.Temperature())
 		if traj != nil && s%*every == 0 {
@@ -91,6 +167,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if ring != nil && s%*ckptEvery == 0 {
+			meta := md.DurableMeta{Step: s, RankAcct: make([][4]float64, 1)}
+			if err := ring.Save(engine.Snapshot(), meta); err != nil {
+				fmt.Fprintln(os.Stderr, "mdrun: checkpoint:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	for _, ev := range mon.Events() {
+		fmt.Println(ev)
 	}
 	fmt.Printf("work: %d pair evals, %d list dist evals, %d FFT flops\n",
 		wc.PairEvals, wc.ListDistEvals, wp.FFTOps)

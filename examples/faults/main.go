@@ -9,9 +9,12 @@
 // stages and its 1-byte sync rounds eat the boosted stall probability,
 // so it absorbs several times MPI's absolute excess. Part 3 crashes a
 // rank mid-run and finishes on the survivors via checkpoint rewind.
+// Part 4 kills the whole job mid-flight and restarts it from the
+// durable on-disk checkpoint ring, accounting for the lost work.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -108,4 +111,52 @@ func main() {
 	last := res.Energies[len(res.Energies)-1]
 	fmt.Printf("completed all %d steps through the crash: final energy %.3f kcal/mol, wall %.3f s (%.3f s lost)\n",
 		steps, last.Total(), res.Wall, res.LostTotal())
+
+	// Part 4: kill the *entire job* mid-flight (not just one rank) and
+	// restart it from the durable checkpoint ring on disk. The restart
+	// resumes at the newest valid checkpoint; work done past it by the
+	// killed process is charged to Lost, so the accounting stays honest.
+	fmt.Println("\n--- kill and restart from disk ---")
+	ckptDir, err := os.MkdirTemp("", "faults-ckpt-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+
+	// Checkpoint every other step and kill between checkpoints: step 3's
+	// work exists only in the dead process, so the restart must redo it
+	// and charge it to Lost.
+	const dSteps, kill = 4, 3
+	durable := func(halt int) (*pmd.ResilientResult, error) {
+		return pmd.RunResilient(clCfg, cost, pmd.ResilientConfig{
+			Config:          pmd.Config{System: sys, MD: cfg, Steps: dSteps, Middleware: pmd.MiddlewareMPI},
+			RestartCost:     5,
+			CheckpointDir:   ckptDir,
+			CheckpointEvery: 2,
+			HaltAfterStep:   halt,
+		})
+	}
+
+	halted, err := durable(kill)
+	if !errors.Is(err, pmd.ErrHalted) {
+		log.Fatalf("expected the simulated kill, got %v", err)
+	}
+	fmt.Printf("killed after step %d of %d; %d steps run, checkpoints on disk in %s\n",
+		kill, dSteps, len(halted.Energies), ckptDir)
+
+	resumed, err := durable(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resumed.Resumed == nil {
+		log.Fatal("restart did not pick up the on-disk checkpoint")
+	}
+	if resumed.LostTotal() <= 0 {
+		log.Fatal("restart accounted no lost work for the killed process")
+	}
+	final := resumed.Energies[len(resumed.Energies)-1]
+	fmt.Printf("restarted from checkpoint at step %d (skipped %d corrupt), finished step %d: energy %.3f kcal/mol\n",
+		resumed.Resumed.Step, resumed.Resumed.SkippedCheckpoints, dSteps, final.Total())
+	fmt.Printf("lost to the kill: %.3f s on disk, %.3f s total across the run\n",
+		resumed.Resumed.LostOnDisk, resumed.LostTotal())
 }

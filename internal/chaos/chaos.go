@@ -1,0 +1,355 @@
+// Package chaos is the soak harness over the fault-injection layer: it
+// generates seeded random fault scenarios (fault.RandomScenario), runs
+// the resilient parallel MD under each one, and asserts the invariants a
+// production run must never violate — termination without deadlock,
+// finite energies, bitwise replay determinism across host-worker counts,
+// and checkpoint/restart equivalence through the durable on-disk path.
+// On a violation the failing scenario is shrunk to a minimal DSL
+// reproducer (Shrink).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/pmd"
+	"repro/internal/topol"
+)
+
+// Config sizes the soak workload. Zero fields take the defaults noted.
+type Config struct {
+	Seed        uint64 // base seed; run i uses ScenarioSeed(Seed, i)
+	Steps       int    // MD steps per run (default 4, minimum 2)
+	Nodes       int    // cluster nodes (default 4, minimum 2 so crashes are recoverable)
+	CPUsPerNode int    // default 1
+	Net         netmodel.Params
+	Middleware  pmd.MiddlewareKind
+	Atoms       int   // solvated-box size (default 300)
+	Workers     []int // host-worker counts cross-checked bitwise (default {1, 4})
+
+	CheckpointEvery int     // checkpoint cadence (default 2, exercising loss windows)
+	RestartCost     float64 // virtual seconds per recovery (default 5)
+
+	Logf func(format string, args ...interface{}) // optional progress logger
+}
+
+// InvariantError names the violated soak invariant.
+type InvariantError struct {
+	Name   string // terminates | finite-energies | worker-determinism | checkpoint-restart
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("chaos: invariant %q violated: %s", e.Name, e.Detail)
+}
+
+// RunReport summarizes one passing soak run.
+type RunReport struct {
+	Index      int
+	Seed       uint64
+	DSL        string
+	Faults     int
+	Recoveries int
+	Wall       float64
+	Lost       float64
+}
+
+// Failure describes the first failing soak run, with the scenario shrunk
+// to a minimal reproducer for the same invariant.
+type Failure struct {
+	Index    int
+	Seed     uint64
+	Scenario *fault.Scenario
+	Minimal  *fault.Scenario
+	Err      *InvariantError
+}
+
+// Harness holds the fixed workload every soak run shares.
+type Harness struct {
+	cfg     Config
+	sys     *topol.System
+	mdCfg   md.Config
+	cost    cluster.CostModel
+	horizon float64 // healthy wall time, sizing scenario windows
+}
+
+// NewHarness builds the shared workload (solvated box, relaxed, PME) and
+// probes a healthy run to size the scenario horizon.
+func NewHarness(cfg Config) (*Harness, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 4
+	}
+	if cfg.Steps < 2 {
+		return nil, fmt.Errorf("chaos: need Steps >= 2 (checkpoint/restart splits the run), got %d", cfg.Steps)
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("chaos: need Nodes >= 2 (a crash drops a node), got %d", cfg.Nodes)
+	}
+	if cfg.CPUsPerNode == 0 {
+		cfg.CPUsPerNode = 1
+	}
+	if cfg.Net.Name == "" {
+		cfg.Net = netmodel.TCPGigE()
+	}
+	if cfg.Atoms == 0 {
+		cfg.Atoms = 300
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2
+	}
+	if cfg.RestartCost == 0 {
+		cfg.RestartCost = 5
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+
+	sys, k := topol.NewSolvatedBox(cfg.Atoms, cfg.Seed+1)
+	md.Relax(sys, 60)
+	mdCfg := md.ClampCutoffs(md.PMEDefaultConfig(), sys.Box)
+	mdCfg.PME = md.PMEConfig{Beta: 0.34, K1: k, K2: k, K3: k, Order: 4}
+	mdCfg.FF.Beta = mdCfg.PME.Beta
+	mdCfg.Temperature = 300
+	mdCfg.Seed = cfg.Seed + 1
+
+	h := &Harness{cfg: cfg, sys: sys, mdCfg: mdCfg, cost: cluster.PentiumIII1GHz()}
+	probe, err := h.run(nil, cfg.Workers[0], "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: healthy probe run failed: %w", err)
+	}
+	h.horizon = probe.Wall
+	return h, nil
+}
+
+// Horizon returns the healthy wall time scenarios are sized against.
+func (h *Harness) Horizon() float64 { return h.horizon }
+
+func (h *Harness) clusterCfg() cluster.Config {
+	return cluster.Config{Nodes: h.cfg.Nodes, CPUsPerNode: h.cfg.CPUsPerNode, Net: h.cfg.Net, Seed: 1}
+}
+
+// run executes one resilient run of the shared workload under sc.
+func (h *Harness) run(sc *fault.Scenario, workers int, ckptDir string, halt int) (*pmd.ResilientResult, error) {
+	return pmd.RunResilient(h.clusterCfg(), h.cost, pmd.ResilientConfig{
+		Config: pmd.Config{
+			System:      h.sys,
+			MD:          h.mdCfg,
+			Steps:       h.cfg.Steps,
+			Middleware:  h.cfg.Middleware,
+			HostWorkers: workers,
+		},
+		Scenario:        sc,
+		CheckpointEvery: h.cfg.CheckpointEvery,
+		RestartCost:     h.cfg.RestartCost,
+		CheckpointDir:   ckptDir,
+		HaltAfterStep:   halt,
+	})
+}
+
+// Check runs the full invariant pipeline for one scenario. It returns a
+// report of the primary run, the first violated invariant (nil when all
+// hold), and an infrastructure error (temp dirs, persistence) that is
+// not a property of the scenario.
+func (h *Harness) Check(sc *fault.Scenario) (RunReport, *InvariantError, error) {
+	rep := RunReport{Seed: sc.Seed, DSL: sc.DSL(), Faults: len(sc.Faults)}
+
+	// Invariant: the run terminates (no sim deadlock, crashes recover
+	// within budget). The watchdog RunResilient arms for crash scenarios
+	// turns a would-be deadlock into a typed error caught here.
+	base, err := h.run(sc, h.cfg.Workers[0], "", 0)
+	if err != nil {
+		return rep, &InvariantError{"terminates", err.Error()}, nil
+	}
+	rep.Recoveries = len(base.Recoveries)
+	rep.Wall = base.Wall
+	rep.Lost = base.LostTotal()
+
+	// Invariant: every reported energy is finite.
+	if len(base.Energies) != h.cfg.Steps {
+		return rep, &InvariantError{"finite-energies",
+			fmt.Sprintf("got %d energy steps, want %d", len(base.Energies), h.cfg.Steps)}, nil
+	}
+	for i, e := range base.Energies {
+		for _, v := range []float64{e.Potential(), e.Kinetic, e.Total()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return rep, &InvariantError{"finite-energies",
+					fmt.Sprintf("step %d: non-finite energy %g", i, v)}, nil
+			}
+		}
+	}
+
+	// Invariant: replay determinism — the identical scenario on other
+	// host-worker counts must reproduce energies, wall clock and
+	// accounting bitwise.
+	for _, w := range h.cfg.Workers[1:] {
+		alt, err := h.run(sc, w, "", 0)
+		if err != nil {
+			return rep, &InvariantError{"worker-determinism",
+				fmt.Sprintf("workers=%d failed: %v", w, err)}, nil
+		}
+		if alt.Wall != base.Wall {
+			return rep, &InvariantError{"worker-determinism",
+				fmt.Sprintf("workers=%d wall %g != %g", w, alt.Wall, base.Wall)}, nil
+		}
+		if len(alt.Energies) != len(base.Energies) {
+			return rep, &InvariantError{"worker-determinism",
+				fmt.Sprintf("workers=%d energy count %d != %d", w, len(alt.Energies), len(base.Energies))}, nil
+		}
+		for i := range base.Energies {
+			if alt.Energies[i] != base.Energies[i] {
+				return rep, &InvariantError{"worker-determinism",
+					fmt.Sprintf("workers=%d step %d energies differ", w, i)}, nil
+			}
+		}
+		for i := range base.Acct {
+			if alt.Acct[i] != base.Acct[i] {
+				return rep, &InvariantError{"worker-determinism",
+					fmt.Sprintf("workers=%d rank %d accounting differs", w, i)}, nil
+			}
+		}
+	}
+
+	// Invariant: checkpoint/restart equivalence through the durable path.
+	// Crash specs are stripped for this leg: a resume shifts the scenario
+	// clock by the redone steps, so a crash would interrupt a different
+	// step than in the reference and legitimately change the figures.
+	// Everything else (windows, flaps) shifts identically.
+	if inv, err := h.checkDurable(stripCrashes(sc)); inv != nil || err != nil {
+		return rep, inv, err
+	}
+	return rep, nil, nil
+}
+
+// checkDurable kills a run mid-flight at the durable layer's simulated
+// kill point, resumes it from disk, and requires the stitched figures to
+// match an uninterrupted reference bitwise.
+func (h *Harness) checkDurable(sc *fault.Scenario) (*InvariantError, error) {
+	dir, err := os.MkdirTemp("", "chaos-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	halt := h.cfg.Steps / 2
+	if halt < 1 {
+		halt = 1
+	}
+	w := h.cfg.Workers[0]
+	ref, err := h.run(sc, w, "", 0)
+	if err != nil {
+		return &InvariantError{"checkpoint-restart", fmt.Sprintf("reference run failed: %v", err)}, nil
+	}
+	halted, err := h.run(sc, w, dir, halt)
+	if err != pmd.ErrHalted {
+		return &InvariantError{"checkpoint-restart",
+			fmt.Sprintf("halted run: want ErrHalted, got %v", err)}, nil
+	}
+	resumed, err := h.run(sc, w, dir, 0)
+	if err != nil {
+		return &InvariantError{"checkpoint-restart", fmt.Sprintf("resume failed: %v", err)}, nil
+	}
+	if resumed.Resumed == nil {
+		return &InvariantError{"checkpoint-restart", "resume did not use the on-disk checkpoint"}, nil
+	}
+	cut := resumed.Resumed.Step
+	if cut > len(halted.Energies) {
+		return &InvariantError{"checkpoint-restart",
+			fmt.Sprintf("resume step %d beyond halted prefix %d", cut, len(halted.Energies))}, nil
+	}
+	stitched := append(append([]md.EnergyReport{}, halted.Energies[:cut]...), resumed.Energies...)
+	if len(stitched) != len(ref.Energies) {
+		return &InvariantError{"checkpoint-restart",
+			fmt.Sprintf("stitched %d steps, reference %d", len(stitched), len(ref.Energies))}, nil
+	}
+	for i := range stitched {
+		if stitched[i] != ref.Energies[i] {
+			return &InvariantError{"checkpoint-restart",
+				fmt.Sprintf("step %d: stitched energies differ from uninterrupted reference", i)}, nil
+		}
+	}
+	for i, p := range ref.Final.FinalPos {
+		if resumed.Final.FinalPos[i] != p {
+			return &InvariantError{"checkpoint-restart",
+				fmt.Sprintf("atom %d: final position differs from uninterrupted reference", i)}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Soak generates and checks `runs` random scenarios. It stops at the
+// first invariant violation, returning the shrunk failure; the error
+// return is reserved for infrastructure problems.
+func (h *Harness) Soak(runs int) ([]RunReport, *Failure, error) {
+	var reports []RunReport
+	for i := 0; i < runs; i++ {
+		seed := ScenarioSeed(h.cfg.Seed, i)
+		sc := fault.RandomScenario(seed, h.horizon, h.cfg.Nodes, h.cfg.CPUsPerNode)
+		rep, inv, err := h.Check(sc)
+		if err != nil {
+			return reports, nil, err
+		}
+		rep.Index = i
+		if inv != nil {
+			h.cfg.Logf("run %d seed %d FAILED %s — shrinking", i, seed, inv.Name)
+			minimal, serr := h.shrinkSameInvariant(sc, inv.Name)
+			if serr != nil {
+				return reports, nil, serr
+			}
+			return reports, &Failure{Index: i, Seed: seed, Scenario: sc, Minimal: minimal, Err: inv}, nil
+		}
+		reports = append(reports, rep)
+		h.cfg.Logf("run %d seed %d ok: %d fault(s), %d recover(ies), wall %.3gs",
+			i, seed, rep.Faults, rep.Recoveries, rep.Wall)
+	}
+	return reports, nil, nil
+}
+
+func (h *Harness) shrinkSameInvariant(sc *fault.Scenario, name string) (*fault.Scenario, error) {
+	var infra error
+	min := Shrink(sc, func(cand *fault.Scenario) bool {
+		if infra != nil {
+			return false
+		}
+		_, inv, err := h.Check(cand)
+		if err != nil {
+			infra = err
+			return false
+		}
+		return inv != nil && inv.Name == name
+	})
+	return min, infra
+}
+
+// ScenarioSeed derives run i's scenario seed from the base seed with a
+// splitmix64 finalizer, so neighbouring runs get uncorrelated streams.
+func ScenarioSeed(base uint64, run int) uint64 {
+	x := base + 0x9E3779B97F4A7C15*uint64(run+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// stripCrashes returns sc without its crash specs (same name/seed).
+func stripCrashes(sc *fault.Scenario) *fault.Scenario {
+	out := &fault.Scenario{Name: sc.Name, Seed: sc.Seed, Jitter: sc.Jitter}
+	for _, f := range sc.Faults {
+		if f.Kind != fault.KindCrash {
+			out.Faults = append(out.Faults, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package chaos
+
+import "repro/internal/fault"
+
+// Shrink reduces a failing scenario to a minimal reproducer: the smallest
+// scenario for which stillFails keeps returning true. It is a pure
+// greedy ddmin-style reducer over the DSL vocabulary — first specs are
+// dropped one at a time to a fixed point, then each surviving spec is
+// simplified (single flap occurrence, open-ended windows closed to the
+// default). stillFails is called on candidate scenarios; Shrink never
+// mutates its argument.
+func Shrink(sc *fault.Scenario, stillFails func(*fault.Scenario) bool) *fault.Scenario {
+	cur := cloneScenario(sc)
+
+	// Pass 1: drop whole specs until no single removal still fails.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Faults); i++ {
+			cand := cloneScenario(cur)
+			cand.Faults = append(cand.Faults[:i], cand.Faults[i+1:]...)
+			if len(cand.Faults) > 0 && stillFails(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Pass 2: simplify the surviving specs field by field.
+	for i := range cur.Faults {
+		f := cur.Faults[i]
+		if f.Count > 1 {
+			cand := cloneScenario(cur)
+			cand.Faults[i].Count = 1
+			cand.Faults[i].Period = 0
+			if stillFails(cand) {
+				cur = cand
+			}
+		}
+		if f.End != 0 {
+			cand := cloneScenario(cur)
+			cand.Faults[i].End = 0
+			if stillFails(cand) {
+				cur = cand
+			}
+		}
+		if f.Node >= 0 && f.Kind != fault.KindFlap {
+			cand := cloneScenario(cur)
+			cand.Faults[i].Node = -1
+			if stillFails(cand) {
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+func cloneScenario(sc *fault.Scenario) *fault.Scenario {
+	out := &fault.Scenario{Name: sc.Name, Seed: sc.Seed, Jitter: sc.Jitter}
+	out.Faults = append([]fault.Spec{}, sc.Faults...)
+	return out
+}

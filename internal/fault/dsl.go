@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DSL renders the spec in the compact flag syntax ParseSpec accepts,
+// omitting fields at their defaults. For a validated spec the rendering
+// is a fixed point: ParseSpec(s.DSL()) validates to a spec with the same
+// DSL. Keys appear in a fixed order so renderings are canonical.
+func (f Spec) DSL() string {
+	var b strings.Builder
+	b.WriteString(string(f.Kind))
+	b.WriteByte('@')
+	b.WriteString(ftoa(f.Start))
+	if f.End != 0 {
+		b.WriteByte(':')
+		b.WriteString(ftoa(f.End))
+	}
+	kv := func(key, val string) {
+		b.WriteByte(',')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	if f.Node != -1 {
+		kv("node", strconv.Itoa(f.Node))
+	}
+	if f.Rank != 0 || f.Kind == KindCrash {
+		kv("rank", strconv.Itoa(f.Rank))
+	}
+	if f.Bandwidth != 0 && f.Bandwidth != 1 {
+		kv("bw", ftoa(f.Bandwidth))
+	}
+	if f.Latency != 0 && f.Latency != 1 {
+		kv("lat", ftoa(f.Latency))
+	}
+	if f.Stall != 0 && f.Stall != 1 {
+		kv("stall", ftoa(f.Stall))
+	}
+	if f.Slowdown != 0 && f.Slowdown != 1 {
+		kv("slow", ftoa(f.Slowdown))
+	}
+	if f.Duration != 0 {
+		kv("dur", ftoa(f.Duration))
+	}
+	if f.Count != 0 && f.Count != 1 {
+		kv("count", strconv.Itoa(f.Count))
+	}
+	if f.Period != 0 {
+		kv("period", ftoa(f.Period))
+	}
+	return b.String()
+}
+
+// DSL renders the scenario's faults as a semicolon-joined spec string.
+// Name, Seed and Jitter are not representable in the DSL; reproducer
+// output passes the seed separately (ParseSpec scenarios carry Seed 0,
+// which the CLIs fill from -seed).
+func (s *Scenario) DSL() string {
+	parts := make([]string, 0, len(s.Faults))
+	for _, f := range s.Faults {
+		parts = append(parts, f.DSL())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ftoa formats a float with the minimal digits that round-trip exactly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -10,11 +10,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// maxFlapCount bounds flap repetition so a hostile Count cannot make the
+// injector materialize an unbounded occurrence list.
+const maxFlapCount = 10000
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Kind enumerates the fault types.
 type Kind string
@@ -63,9 +70,27 @@ type Scenario struct {
 
 // Validate normalizes and checks the scenario in place: zero multipliers
 // become 1, flap Count defaults to 1, and impossible specs are rejected.
+// Non-finite numbers are rejected everywhere — a NaN start time or an
+// infinite window would otherwise reach the discrete-event clock — and
+// flap counts are bounded so a malicious count cannot blow up injector
+// materialization.
 func (s *Scenario) Validate() error {
+	if !isFinite(s.Jitter) || s.Jitter < 0 {
+		return fmt.Errorf("fault: jitter %g must be finite and >= 0", s.Jitter)
+	}
 	for i := range s.Faults {
 		f := &s.Faults[i]
+		for _, v := range []float64{f.Start, f.End, f.Bandwidth, f.Latency, f.Stall, f.Slowdown, f.Duration, f.Period} {
+			if !isFinite(v) {
+				return fmt.Errorf("fault %d: non-finite numeric field", i)
+			}
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("fault %d: negative count %d", i, f.Count)
+		}
+		if f.Count > maxFlapCount {
+			return fmt.Errorf("fault %d: count %d exceeds the limit of %d", i, f.Count, maxFlapCount)
+		}
 		if f.Bandwidth == 0 {
 			f.Bandwidth = 1
 		}
@@ -127,11 +152,19 @@ func (s *Scenario) Validate() error {
 // > 1 an amplification.
 func (s *Scenario) Scale(sev float64) *Scenario {
 	out := &Scenario{Name: s.Name, Seed: s.Seed, Jitter: s.Jitter}
+	// Amplifying an already-huge factor can overflow to +Inf, which the
+	// event clock must never see; saturate instead.
+	clamp := func(v float64) float64 {
+		if v > math.MaxFloat64 || math.IsInf(v, 1) {
+			return math.MaxFloat64
+		}
+		return v
+	}
 	lerp := func(f float64) float64 {
 		if f < 1 {
 			f = 1
 		}
-		v := 1 + (f-1)*sev
+		v := clamp(1 + (f-1)*sev)
 		if v < 1 {
 			return 1
 		}
@@ -147,7 +180,7 @@ func (s *Scenario) Scale(sev float64) *Scenario {
 		case KindStraggler:
 			g.Slowdown = lerp(f.Slowdown)
 		case KindFlap:
-			g.Duration = f.Duration * sev
+			g.Duration = clamp(f.Duration * sev)
 			if g.Duration <= 0 {
 				continue // severity 0 removes the flap entirely
 			}

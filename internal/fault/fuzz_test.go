@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the flag-DSL parser with arbitrary input. Every
+// accepted scenario must be well-formed and its canonical rendering must
+// be a fixed point: ParseSpec(s.DSL()) accepts and renders identically.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("straggler@5:25,node=1,slow=4")
+	f.Add("link@0:60,bw=8,lat=4,stall=3")
+	f.Add("flap@10,node=0,dur=0.5,count=3,period=20")
+	f.Add("crash@12,rank=3")
+	f.Add("link@0,bw=2;crash@5,rank=0;straggler@1:2,slow=1.5")
+	f.Add("link@1e309")
+	f.Add("flap@1,node=0,dur=1,count=99999999")
+	f.Add("crash@NaN,rank=1")
+	f.Add(";;;")
+	f.Add("link@3,node=-7,bw=1.0000000000000002")
+	f.Fuzz(func(t *testing.T, dsl string) {
+		s, err := ParseSpec(dsl)
+		if err != nil {
+			return
+		}
+		if len(s.Faults) == 0 {
+			t.Fatalf("accepted %q with no faults", dsl)
+		}
+		// Accepted means validated: normalization already ran, so a second
+		// Validate must agree (idempotence).
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted %q but re-validation fails: %v", dsl, err)
+		}
+		canon := s.DSL()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not parse: %v", canon, dsl, err)
+		}
+		if got := s2.DSL(); got != canon {
+			t.Fatalf("DSL not a fixed point: %q -> %q -> %q", dsl, canon, got)
+		}
+	})
+}
+
+// FuzzLoad drives the JSON scenario loader. Accepted scenarios must
+// survive a marshal/load round trip and scale without panicking.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{"name":"x","seed":7,"faults":[{"kind":"crash","start":5,"node":-1,"rank":2}]}`))
+	f.Add([]byte(`{"name":"w","jitter":0.5,"faults":[{"kind":"link","start":0,"end":9,"node":1,"bandwidth":4}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"flap","start":1,"node":0,"duration":0.2,"count":3,"period":2}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"straggler","start":1e308,"node":-1,"slowdown":1e308}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"link","start":0,"node":-1,"bandwidth":-1}]}`))
+	f.Add([]byte(`{"faults":null}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(buf)); err != nil {
+			t.Fatalf("marshal/load round trip rejected: %v\njson: %s", err, buf)
+		}
+		// Scaling an accepted scenario must stay valid at any severity.
+		for _, sev := range []float64{0, 0.5, 1, 3} {
+			if err := s.Scale(sev).Validate(); err != nil {
+				t.Fatalf("Scale(%g) of accepted scenario invalid: %v", sev, err)
+			}
+		}
+		// The canonical DSL rendering of any accepted scenario reparses
+		// (the JSON vocabulary is a superset only through Name/Seed/Jitter,
+		// which the DSL drops by design).
+		if canon := s.DSL(); canon != "" {
+			if _, err := ParseSpec(canon); err != nil {
+				t.Fatalf("DSL rendering %q of accepted JSON does not parse: %v", canon, err)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsAreInteresting pins the behaviours the seed corpus is
+// chosen to cover, so regressions in the corpus itself get caught.
+func TestFuzzSeedsAreInteresting(t *testing.T) {
+	if _, err := ParseSpec("link@1e309"); err == nil {
+		t.Error("infinite start time accepted")
+	}
+	if _, err := ParseSpec("flap@1,node=0,dur=1,count=99999999"); err == nil {
+		t.Error("unbounded flap count accepted")
+	}
+	// strconv.ParseFloat accepts "NaN", so the rejection must come from
+	// Validate's finiteness check, not the parser.
+	if _, err := ParseSpec("crash@NaN,rank=1"); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN start: want non-finite validation error, got %v", err)
+	}
+	if _, err := ParseSpec(";;;"); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

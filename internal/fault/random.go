@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+const randomSeedSalt = 0x63686173 // "chas"
+
+// RandomScenario draws a seeded random fault scenario over the DSL
+// vocabulary, sized for a cluster of nodes×cpusPerNode ranks and a run of
+// roughly horizon virtual seconds. The same (seed, horizon, nodes,
+// cpusPerNode) always yields the same scenario, and every scenario
+// validates and is recoverable by construction: at most one crash is
+// generated, only when a node can be lost (nodes >= 2), so soak runs can
+// assert termination. Jitter stays 0 so the scenario is exactly
+// representable in the flag DSL (the shrinker prints reproducers there).
+func RandomScenario(seed uint64, horizon float64, nodes, cpusPerNode int) *Scenario {
+	if horizon <= 0 || nodes < 1 || cpusPerNode < 1 {
+		panic(fmt.Sprintf("fault: bad RandomScenario shape (horizon %g, %d nodes, %d cpus)",
+			horizon, nodes, cpusPerNode))
+	}
+	r := rng.New(seed ^ randomSeedSalt)
+	s := &Scenario{Name: fmt.Sprintf("random-%d", seed), Seed: seed}
+
+	n := 1 + r.Intn(4)
+	crashUsed := false
+	for i := 0; i < n; i++ {
+		kinds := []Kind{KindLink, KindStraggler, KindFlap}
+		if nodes >= 2 && !crashUsed {
+			kinds = append(kinds, KindCrash)
+		}
+		kind := kinds[r.Intn(len(kinds))]
+		f := Spec{Kind: kind, Node: -1}
+		switch kind {
+		case KindLink:
+			f.Start = round3(r.Range(0, 0.6*horizon))
+			if r.Float64() < 0.7 { // 30% of windows stay open-ended
+				f.End = round3(f.Start + r.Range(0.05*horizon, horizon))
+			}
+			if r.Float64() < 0.5 {
+				f.Node = r.Intn(nodes)
+			}
+			f.Bandwidth = round3(1 + r.Range(0, 8))
+			f.Latency = round3(1 + r.Range(0, 4))
+			f.Stall = round3(1 + r.Range(0, 3))
+		case KindStraggler:
+			f.Start = round3(r.Range(0, 0.6*horizon))
+			if r.Float64() < 0.7 {
+				f.End = round3(f.Start + r.Range(0.05*horizon, horizon))
+			}
+			if r.Float64() < 0.6 {
+				f.Node = r.Intn(nodes)
+			}
+			f.Slowdown = round3(1 + r.Range(0.5, 6))
+		case KindFlap:
+			f.Node = r.Intn(nodes)
+			f.Start = round3(r.Range(0, 0.8*horizon))
+			f.Duration = round3(r.Range(0.01*horizon, 0.1*horizon) + 1e-3)
+			f.Count = 1 + r.Intn(3)
+			if f.Count > 1 {
+				f.Period = round3(f.Duration + r.Range(0.05*horizon, 0.3*horizon))
+			}
+		case KindCrash:
+			crashUsed = true
+			f.Rank = r.Intn(nodes * cpusPerNode)
+			f.Start = round3(r.Range(0.05*horizon, 0.7*horizon))
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: RandomScenario generated an invalid scenario: %v", err))
+	}
+	return s
+}
+
+// round3 rounds to 3 decimals so generated scenarios print compactly in
+// the DSL without losing the exact-round-trip property.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -19,6 +19,14 @@ type Checkpoint struct {
 	Pos        []vec.V
 	Vel        []vec.V
 	Frc        []vec.V
+
+	// ListOrigin is the Verlet-list build origin at checkpoint time (nil
+	// if no list was built yet). Restoring it makes a restarted
+	// trajectory bitwise-identical to the uninterrupted one: the restart
+	// reuses the pair list built at these positions instead of rebuilding
+	// at the restored positions, which would legitimately reorder
+	// floating-point sums.
+	ListOrigin []vec.V
 }
 
 // Snapshot captures the engine's dynamic state as an in-memory checkpoint
@@ -34,13 +42,18 @@ func (e *Engine) Snapshot() *Checkpoint {
 	copy(cp.Pos, e.Pos)
 	copy(cp.Vel, e.Vel)
 	copy(cp.Frc, e.Frc)
+	if e.listOrigin != nil {
+		cp.ListOrigin = append([]vec.V(nil), e.listOrigin...)
+	}
 	return cp
 }
 
 // Restore rewinds the engine to an in-memory checkpoint. The checkpoint
 // must come from an engine over a system with the same atom count and the
 // same timestep; anything else is an error, not a silent
-// reinterpretation. The neighbour list is invalidated so the next
+// reinterpretation. When the checkpoint carries a list origin the pair
+// list is rebuilt at those positions, reproducing the interrupted run's
+// list state exactly; otherwise the list is invalidated so the next
 // evaluation rebuilds it.
 func (e *Engine) Restore(cp *Checkpoint) error {
 	if cp.N != e.Sys.N() {
@@ -53,10 +66,25 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		return fmt.Errorf("md: corrupt checkpoint (array lengths %d/%d/%d for N=%d)",
 			len(cp.Pos), len(cp.Vel), len(cp.Frc), cp.N)
 	}
+	if len(cp.ListOrigin) != 0 && len(cp.ListOrigin) != cp.N {
+		return fmt.Errorf("md: corrupt checkpoint (list origin has %d atoms for N=%d)",
+			len(cp.ListOrigin), cp.N)
+	}
 	copy(e.Pos, cp.Pos)
 	copy(e.Vel, cp.Vel)
 	copy(e.Frc, cp.Frc)
-	e.listOrigin = nil // force a list rebuild at the next evaluation
+	if len(cp.ListOrigin) == cp.N {
+		if e.listOrigin == nil {
+			e.listOrigin = make([]vec.V, cp.N)
+		}
+		copy(e.listOrigin, cp.ListOrigin)
+		if e.lister == nil {
+			e.lister = e.FF.NewPairLister()
+		}
+		e.pairs = e.lister.Build(e.listOrigin, nil)
+	} else {
+		e.listOrigin = nil // force a list rebuild at the next evaluation
+	}
 	return nil
 }
 

@@ -1,0 +1,123 @@
+package md
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+func guardedEngine(seed uint64) *Engine {
+	sys := waterBox(27, 12, seed)
+	cfg := smallCutoffs(DefaultConfig())
+	cfg.Temperature = 250
+	cfg.Seed = seed
+	e := NewEngine(sys, cfg)
+	e.ComputeForces(nil, nil)
+	return e
+}
+
+// TestGuardedRunWithoutTripsIsByteIdentical: an armed guard that never
+// fires must not perturb the trajectory in any way.
+func TestGuardedRunWithoutTripsIsByteIdentical(t *testing.T) {
+	plain := guardedEngine(3)
+	guarded := guardedEngine(3)
+	mon := guard.NewMonitor(guard.Config{Enabled: true, DriftTol: 1e6}, false)
+	for s := 1; s <= 6; s++ {
+		want := plain.Step(nil, nil)
+		got, err := guarded.StepGuarded(mon, s, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("step %d: guarded energies differ from unguarded", s)
+		}
+	}
+	for i := range plain.Pos {
+		if plain.Pos[i] != guarded.Pos[i] {
+			t.Fatalf("atom %d: guarded positions differ", i)
+		}
+	}
+	if len(mon.Events()) != 0 {
+		t.Fatalf("unexpected trips: %v", mon.Events())
+	}
+}
+
+// TestGuardedFallbackRecovers: a seeded trip degrades the engine to exact
+// kernels, re-runs the step, records a recovered event and continues with
+// finite energies.
+func TestGuardedFallbackRecovers(t *testing.T) {
+	e := guardedEngine(5)
+	if e.Cfg.FF.ExactKernels {
+		t.Fatal("test premise: engine must start on tabulated kernels")
+	}
+	mon := guard.NewMonitor(guard.Config{Enabled: true, InjectStep: 3}, e.Cfg.FF.ExactKernels)
+	for s := 1; s <= 5; s++ {
+		rep, err := e.StepGuarded(mon, s, nil, nil)
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		for _, v := range []float64{rep.Potential(), rep.Kinetic, rep.Total()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("step %d: non-finite energy after recovery", s)
+			}
+		}
+	}
+	if !e.Cfg.FF.ExactKernels {
+		t.Error("engine did not degrade to exact kernels")
+	}
+	if !mon.Exact() {
+		t.Error("monitor does not know about the degradation")
+	}
+	evs := mon.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want exactly one trip, got %v", evs)
+	}
+	if evs[0].Step != 3 || evs[0].Cause != guard.CauseInjected || !evs[0].Recovered {
+		t.Errorf("trip event %+v", evs[0])
+	}
+}
+
+// TestGuardedAbortPolicy: PolicyAbort surfaces the trip as a *TripError
+// instead of degrading.
+func TestGuardedAbortPolicy(t *testing.T) {
+	e := guardedEngine(9)
+	mon := guard.NewMonitor(guard.Config{
+		Enabled: true, Policy: guard.PolicyAbort, InjectStep: 2,
+	}, e.Cfg.FF.ExactKernels)
+	if _, err := e.StepGuarded(mon, 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.StepGuarded(mon, 2, nil, nil)
+	var te *guard.TripError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TripError, got %v", err)
+	}
+	if te.Ev.Recovered {
+		t.Error("aborted trip marked recovered")
+	}
+	if e.Cfg.FF.ExactKernels {
+		t.Error("abort policy degraded the kernels anyway")
+	}
+}
+
+// TestUseExactKernelsIdempotent: calling it twice is safe and the second
+// call does not rebuild anything visible.
+func TestUseExactKernelsIdempotent(t *testing.T) {
+	e := guardedEngine(11)
+	e.UseExactKernels()
+	if !e.Cfg.FF.ExactKernels {
+		t.Fatal("first call did not switch")
+	}
+	ff1 := e.FF
+	e.UseExactKernels()
+	if e.FF != ff1 {
+		t.Error("second call rebuilt the force field")
+	}
+	// The engine still steps after degradation.
+	rep := e.Step(nil, nil)
+	if math.IsNaN(rep.Total()) {
+		t.Error("non-finite energy after kernel switch")
+	}
+}

@@ -1,0 +1,353 @@
+package pmd
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+)
+
+// TestKillRestartBitwiseIdentical is the acceptance path: run, get killed
+// mid-flight (simulated kill -9 after step 3), restart from the on-disk
+// ring, and the stitched figures must match an uninterrupted run bitwise
+// — with the post-checkpoint work booked as Lost.
+func TestKillRestartBitwiseIdentical(t *testing.T) {
+	sys := testSystem(48, 24, 3)
+	net := netmodel.TCPGigE()
+	cost := cluster.PentiumIII1GHz()
+	cl := clusterCfg(4, 1, net)
+	const steps, halt = 6, 3
+	mk := func(dir string, halt int) ResilientConfig {
+		return ResilientConfig{
+			Config: Config{
+				System:     sys,
+				MD:         testMDConfig(),
+				Steps:      steps,
+				Middleware: MiddlewareMPI,
+			},
+			CheckpointEvery: 2,
+			RestartCost:     5,
+			CheckpointDir:   dir,
+			HaltAfterStep:   halt,
+		}
+	}
+
+	ref, err := RunResilient(cl, cost, mk("", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	halted, err := RunResilient(cl, cost, mk(dir, halt))
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+	if len(halted.Energies) != halt {
+		t.Fatalf("halted run reports %d steps, want %d", len(halted.Energies), halt)
+	}
+
+	resumed, err := RunResilient(cl, cost, mk(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == nil {
+		t.Fatal("restart ignored the on-disk checkpoint")
+	}
+	// Halt was at step 3, newest checkpoint at step 2: one step of work
+	// died with the process and must come back as Lost.
+	if resumed.Resumed.Step != 2 {
+		t.Fatalf("resumed at step %d, want 2", resumed.Resumed.Step)
+	}
+	if resumed.Resumed.SkippedCheckpoints != 0 {
+		t.Fatalf("intact ring reports %d skipped", resumed.Resumed.SkippedCheckpoints)
+	}
+	if resumed.Resumed.LostOnDisk <= 0 {
+		t.Fatal("killed post-checkpoint work booked no Lost time")
+	}
+	if resumed.LostTotal() < resumed.Resumed.LostOnDisk {
+		t.Fatal("on-disk Lost did not reach the merged accounting")
+	}
+
+	stitched := append(append([]md.EnergyReport{}, halted.Energies[:resumed.Resumed.Step]...), resumed.Energies...)
+	if len(stitched) != len(ref.Energies) {
+		t.Fatalf("stitched %d steps, reference %d", len(stitched), len(ref.Energies))
+	}
+	for i := range stitched {
+		if stitched[i] != ref.Energies[i] {
+			t.Fatalf("step %d: stitched energies differ from uninterrupted reference", i)
+		}
+	}
+	for i, p := range ref.Final.FinalPos {
+		if resumed.Final.FinalPos[i] != p {
+			t.Fatalf("atom %d: final position differs from uninterrupted reference", i)
+		}
+	}
+}
+
+// TestRestartSurvivesCorruptNewestCheckpoint: damage the newest on-disk
+// checkpoint and the restart falls back one interval — and still matches
+// the uninterrupted reference bitwise from the older cut.
+func TestRestartSurvivesCorruptNewestCheckpoint(t *testing.T) {
+	sys := testSystem(48, 24, 5)
+	net := netmodel.TCPGigE()
+	cost := cluster.PentiumIII1GHz()
+	cl := clusterCfg(4, 1, net)
+	const steps = 6
+	mk := func(dir string, halt int) ResilientConfig {
+		return ResilientConfig{
+			Config: Config{
+				System:     sys,
+				MD:         testMDConfig(),
+				Steps:      steps,
+				Middleware: MiddlewareMPI,
+			},
+			CheckpointEvery: 1, // a checkpoint per step: corruption costs exactly one step
+			RestartCost:     5,
+			CheckpointDir:   dir,
+			HaltAfterStep:   halt,
+		}
+	}
+
+	ref, err := RunResilient(cl, cost, mk("", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	halted, err := RunResilient(cl, cost, mk(dir, 4))
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+
+	// Flip one byte in the newest checkpoint (step 4).
+	ring := &md.CheckpointRing{Dir: dir}
+	buf, err := os.ReadFile(ring.Path(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/3] ^= 0x40
+	if err := os.WriteFile(ring.Path(4), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunResilient(cl, cost, mk(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == nil {
+		t.Fatal("restart ignored the ring")
+	}
+	if resumed.Resumed.Step != 3 || resumed.Resumed.SkippedCheckpoints != 1 {
+		t.Fatalf("resumed at step %d with %d skipped, want 3 and 1",
+			resumed.Resumed.Step, resumed.Resumed.SkippedCheckpoints)
+	}
+	stitched := append(append([]md.EnergyReport{}, halted.Energies[:3]...), resumed.Energies...)
+	for i := range stitched {
+		if stitched[i] != ref.Energies[i] {
+			t.Fatalf("step %d: stitched energies differ after corruption fallback", i)
+		}
+	}
+}
+
+// TestGuardFallbackInParallelRun: a seeded trip mid-run rewinds to the
+// last checkpoint, degrades to exact kernels, finishes cleanly and books
+// the redone steps as Lost.
+func TestGuardFallbackInParallelRun(t *testing.T) {
+	sys := testSystem(48, 24, 11)
+	net := netmodel.TCPGigE()
+	res, err := RunResilient(clusterCfg(3, 1, net), cluster.PentiumIII1GHz(), ResilientConfig{
+		Config: Config{
+			System:     sys,
+			MD:         testMDConfig(),
+			Steps:      5,
+			Middleware: MiddlewareMPI,
+			Guard:      guard.Config{Enabled: true, InjectStep: 3},
+		},
+		CheckpointEvery: 2,
+		RestartCost:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Energies) != 5 {
+		t.Fatalf("got %d energy steps, want 5", len(res.Energies))
+	}
+	for i, e := range res.Energies {
+		if math.IsNaN(e.Total()) || math.IsInf(e.Total(), 0) {
+			t.Fatalf("step %d: non-finite energy after guard recovery", i)
+		}
+	}
+	if len(res.GuardTrips) != 1 {
+		t.Fatalf("want 1 guard trip, got %+v", res.GuardTrips)
+	}
+	tr := res.GuardTrips[0]
+	if tr.Cause != guard.CauseInjected || tr.Step != 3 || !tr.Recovered {
+		t.Errorf("trip event %+v", tr)
+	}
+	if res.LostTotal() <= 0 {
+		t.Error("guard rewind booked no lost time")
+	}
+}
+
+// TestGuardAbortInParallelRun: PolicyAbort surfaces the trip instead of
+// degrading.
+func TestGuardAbortInParallelRun(t *testing.T) {
+	sys := testSystem(48, 24, 13)
+	net := netmodel.TCPGigE()
+	_, err := RunResilient(clusterCfg(3, 1, net), cluster.PentiumIII1GHz(), ResilientConfig{
+		Config: Config{
+			System:     sys,
+			MD:         testMDConfig(),
+			Steps:      4,
+			Middleware: MiddlewareMPI,
+			Guard:      guard.Config{Enabled: true, Policy: guard.PolicyAbort, InjectStep: 2},
+		},
+		CheckpointEvery: 2,
+	})
+	var te *guard.TripError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TripError, got %v", err)
+	}
+	if te.Ev.Step != 2 || te.Ev.Recovered {
+		t.Errorf("abort event %+v", te.Ev)
+	}
+}
+
+// TestGuardedParallelRunWithoutTripsIsByteIdentical: arming the guards
+// must cost nothing — same energies, wall clock and positions.
+func TestGuardedParallelRunWithoutTripsIsByteIdentical(t *testing.T) {
+	sys := testSystem(48, 24, 17)
+	net := netmodel.TCPGigE()
+	run := func(g guard.Config) *ResilientResult {
+		res, err := RunResilient(clusterCfg(3, 1, net), cluster.PentiumIII1GHz(), ResilientConfig{
+			Config: Config{
+				System:     sys,
+				MD:         testMDConfig(),
+				Steps:      4,
+				Middleware: MiddlewareMPI,
+				Guard:      g,
+			},
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(guard.Config{})
+	guarded := run(guard.Config{Enabled: true, DriftTol: 1e9})
+	if guarded.Wall != plain.Wall {
+		t.Errorf("guarded wall %g != %g", guarded.Wall, plain.Wall)
+	}
+	for i := range plain.Energies {
+		if guarded.Energies[i] != plain.Energies[i] {
+			t.Fatalf("step %d: guarded energies differ", i)
+		}
+	}
+	for i := range plain.Final.FinalPos {
+		if guarded.Final.FinalPos[i] != plain.Final.FinalPos[i] {
+			t.Fatalf("atom %d: guarded positions differ", i)
+		}
+	}
+	if len(guarded.GuardTrips) != 0 {
+		t.Errorf("phantom trips: %+v", guarded.GuardTrips)
+	}
+}
+
+// TestResilientConfigValidation: bad knobs come back as typed
+// ConfigErrors naming the field, not silent clamps.
+func TestResilientConfigValidation(t *testing.T) {
+	sys := testSystem(27, 24, 19)
+	net := netmodel.TCPGigE()
+	base := func() ResilientConfig {
+		return ResilientConfig{Config: Config{
+			System: sys, MD: testMDConfig(), Steps: 2, Middleware: MiddlewareMPI,
+		}}
+	}
+	cases := []struct {
+		name  string
+		field string
+		tweak func(*ResilientConfig)
+	}{
+		{"negative checkpoint interval", "CheckpointEvery", func(c *ResilientConfig) { c.CheckpointEvery = -1 }},
+		{"negative ring depth", "KeepCheckpoints", func(c *ResilientConfig) { c.KeepCheckpoints = -2 }},
+		{"negative restart cost", "RestartCost", func(c *ResilientConfig) { c.RestartCost = -5 }},
+		{"negative restart budget", "MaxRestarts", func(c *ResilientConfig) { c.MaxRestarts = -1 }},
+		{"negative halt step", "HaltAfterStep", func(c *ResilientConfig) { c.HaltAfterStep = -3 }},
+		{"halt without directory", "HaltAfterStep", func(c *ResilientConfig) { c.HaltAfterStep = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.tweak(&cfg)
+			_, err := RunResilient(clusterCfg(2, 1, net), cluster.PentiumIII1GHz(), cfg)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ConfigError, got %v", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("error names field %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+
+	// CheckpointEvery 0 is the documented default, not an error.
+	cfg := base()
+	cfg.CheckpointEvery = 0
+	if _, err := RunResilient(clusterCfg(2, 1, net), cluster.PentiumIII1GHz(), cfg); err != nil {
+		t.Fatalf("zero CheckpointEvery rejected: %v", err)
+	}
+}
+
+// TestDeterministicAcrossHostWorkers: the same durable kill/restart
+// sequence replayed with a different host-worker count produces the same
+// on-disk state and figures.
+func TestDeterministicAcrossHostWorkers(t *testing.T) {
+	sys := testSystem(48, 24, 23)
+	net := netmodel.TCPGigE()
+	cost := cluster.PentiumIII1GHz()
+	sc, err := fault.ParseSpec("straggler@0:1,node=1,slow=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *ResilientResult {
+		dir := t.TempDir()
+		cfg := ResilientConfig{
+			Config: Config{
+				System: sys, MD: testMDConfig(), Steps: 4,
+				Middleware: MiddlewareMPI, HostWorkers: workers,
+			},
+			Scenario:        sc,
+			CheckpointEvery: 2,
+			RestartCost:     5,
+			CheckpointDir:   dir,
+			HaltAfterStep:   2,
+		}
+		if _, err := RunResilient(clusterCfg(4, 1, net), cost, cfg); !errors.Is(err, ErrHalted) {
+			t.Fatalf("want ErrHalted, got %v", err)
+		}
+		cfg.HaltAfterStep = 0
+		res, err := RunResilient(clusterCfg(4, 1, net), cost, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Wall != b.Wall {
+		t.Errorf("wall differs across workers: %g vs %g", a.Wall, b.Wall)
+	}
+	for i := range a.Energies {
+		if a.Energies[i] != b.Energies[i] {
+			t.Fatalf("step %d: energies differ across workers", i)
+		}
+	}
+	if a.LostTotal() != b.LostTotal() {
+		t.Errorf("lost differs across workers: %g vs %g", a.LostTotal(), b.LostTotal())
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cmpi"
+	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/topol"
@@ -93,6 +94,15 @@ type Config struct {
 	// everything inline.
 	HostWorkers int
 
+	// Guard enables the numeric guardrails (internal/guard): per-step
+	// NaN/Inf checks on the combined forces and total energy plus an
+	// energy-drift monitor. Checks run on replicated data (bitwise
+	// identical on every rank) and cost no virtual time, so a guarded
+	// run with no trips produces byte-identical figures. A trip ends the
+	// attempt with a *guard.TripError; RunResilient turns that into a
+	// rewind-and-degrade to exact kernels when the policy allows.
+	Guard guard.Config
+
 	// onStep, when non-nil, runs on every rank at the end of every
 	// completed step (after the step barrier, before the next step). The
 	// resilient driver hooks its checkpoint recorder here.
@@ -132,6 +142,11 @@ type Result struct {
 	FinalPos []vec.V           // rank 0 replica after the run
 	Wall     float64           // virtual wall clock of the whole run
 	Acct     []mpi.Accounting  // per-rank transport accounting
+
+	// GuardEvents are the guard trips recorded during the run (rank 0's
+	// log; verdicts are identical on every rank). A trip also surfaces as
+	// a *guard.TripError from Run.
+	GuardEvents []guard.Event
 }
 
 // PhaseTotals sums a phase over steps and returns the per-rank maxima the
@@ -232,11 +247,11 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
 
-	// Tape eligibility: checkpoint starts and step hooks need the physics
-	// actually executed, and a completed tape only fits the rank/step
-	// shape it was recorded for.
+	// Tape eligibility: checkpoint starts, step hooks and numeric guards
+	// need the physics actually executed, and a completed tape only fits
+	// the rank/step shape it was recorded for.
 	tape := cfg.Tape
-	if cfg.Init != nil || cfg.onStep != nil {
+	if cfg.Init != nil || cfg.onStep != nil || cfg.Guard.Enabled {
 		tape = nil
 	}
 	if tape.Complete() && (tape.p != p || tape.steps != cfg.Steps) {
@@ -283,6 +298,12 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 		} else {
 			tape.finish(res.Energies, res.FinalPos)
 		}
+	}
+	if err == nil && sh.guardTrip != nil {
+		// Every rank reached the same verdict and broke the step loop at
+		// the same step; the simulation itself completed cleanly, so the
+		// trip surfaces as a typed error around the partial result.
+		err = &guard.TripError{Ev: *sh.guardTrip}
 	}
 	return res, accts, err
 }

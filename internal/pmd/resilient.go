@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/vec"
@@ -20,18 +21,50 @@ type ResilientConfig struct {
 	// degenerates to Run plus accounting plumbing).
 	Scenario *fault.Scenario
 
-	// CheckpointEvery takes an in-memory snapshot every k completed steps
-	// (default 1). Larger values lose more work per crash.
+	// CheckpointEvery takes a snapshot every k completed steps; 0 means
+	// the default of 1, negative values are a *ConfigError. Larger values
+	// lose more work per crash.
 	CheckpointEvery int
 
 	// RestartCost is the virtual time charged per recovery (failure
 	// detection, job relaunch, checkpoint distribution).
 	RestartCost float64
 
-	// MaxRestarts bounds recovery attempts; 0 means one per crash spec in
-	// the scenario.
+	// MaxRestarts bounds crash-recovery attempts; 0 means one per crash
+	// spec in the scenario.
 	MaxRestarts int
+
+	// CheckpointDir, when non-empty, persists checkpoints durably: a ring
+	// of the last KeepCheckpoints checksummed checkpoint files plus a
+	// per-step progress journal (see internal/md durable format). If the
+	// directory already holds a valid checkpoint the run RESUMES from the
+	// newest one that validates, booking the killed process's
+	// post-checkpoint work as Lost; corrupt newer files are skipped.
+	CheckpointDir string
+
+	// KeepCheckpoints is the on-disk ring depth; 0 means md.DefaultKeep,
+	// negative values are a *ConfigError.
+	KeepCheckpoints int
+
+	// HaltAfterStep > 0 simulates a kill -9 for tests and examples: the
+	// run stops right after that global step completes (persistence is
+	// current up to it, nothing later reaches disk) and RunResilient
+	// returns the partial result with ErrHalted. Requires CheckpointDir.
+	HaltAfterStep int
 }
+
+// ConfigError reports an invalid ResilientConfig field.
+type ConfigError struct {
+	Field string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string { return fmt.Sprintf("pmd: invalid %s: %s", e.Field, e.Msg) }
+
+// ErrHalted marks a run stopped at the configured HaltAfterStep kill
+// point. The result returned alongside it holds the completed prefix; a
+// follow-up RunResilient with the same CheckpointDir resumes from disk.
+var ErrHalted = errors.New("pmd: run halted at the simulated kill point")
 
 // RecoveryEvent records one crash-and-rewind cycle.
 type RecoveryEvent struct {
@@ -42,6 +75,13 @@ type RecoveryEvent struct {
 	Checkpoint  *md.Checkpoint
 }
 
+// ResumeInfo describes a restart from a durable on-disk checkpoint.
+type ResumeInfo struct {
+	Step               int     // global step count the run resumed from
+	SkippedCheckpoints int     // corrupt newer checkpoints passed over
+	LostOnDisk         float64 // killed process's work past the checkpoint (virtual s)
+}
+
 // ResilientResult is the outcome of a fault-tolerant run.
 type ResilientResult struct {
 	Final      *Result           // the completing attempt
@@ -50,6 +90,13 @@ type ResilientResult struct {
 	Ranks      int               // surviving rank count
 	Acct       []mpi.Accounting  // per surviving rank, merged across attempts
 	Recoveries []RecoveryEvent
+
+	// GuardTrips are the numeric-guard events of the whole run (recovered
+	// trips that were healed by the exact-kernel fallback included).
+	GuardTrips []guard.Event
+
+	// Resumed is set when the run restarted from an on-disk checkpoint.
+	Resumed *ResumeInfo
 }
 
 // LostTotal sums the Lost bucket over ranks.
@@ -63,38 +110,114 @@ func (r *ResilientResult) LostTotal() float64 {
 
 // ckptEntry is one rank's recorded state at a checkpoint step.
 type ckptEntry struct {
-	step int
-	acct mpi.Accounting
-	vel  []vec.V // owned atom block
-	pos  []vec.V // rank 0 only: full replica
-	frc  []vec.V // rank 0 only: combined forces
+	step   int
+	acct   mpi.Accounting
+	vel    []vec.V // owned atom block
+	pos    []vec.V // rank 0 only: full replica
+	frc    []vec.V // rank 0 only: combined forces
+	origin []vec.V // rank 0 only: Verlet-list origin (replicated on all ranks)
 }
 
-// recorder collects per-rank checkpoint entries during an attempt. The
-// sim engine runs rank processes strictly one at a time, so plain slice
-// writes are safe. Full history is kept because ranks can be one
-// checkpoint apart when a crash interrupts a collective: the rewind uses
-// the newest step every rank (including the crashed one) has recorded.
+// recorder collects per-rank checkpoint entries during an attempt and,
+// when a durable ring is attached, persists each globally completed
+// checkpoint (plus a per-step progress journal) to disk. The sim engine
+// runs onStep hooks strictly one rank at a time on the scheduler thread,
+// so plain field writes are safe. Full in-memory history is kept because
+// ranks can be one checkpoint apart when a crash interrupts a collective:
+// the rewind uses the newest step every rank (including the crashed one)
+// has recorded.
 type recorder struct {
 	every int
+	p     int
 	hist  [][]ckptEntry
+
+	// Durable persistence; ring == nil keeps everything in memory only.
+	ring       *md.CheckpointRing
+	atomOff    []int
+	timestepFS float64
+	baseStep   int              // globally completed steps before this attempt
+	baseWall   float64          // scenario clock at attempt start
+	carried    []mpi.Accounting // global cumulative accounting per rank before this attempt
+	consumed   []int            // crash spec indices already recovered
+	haltAfter  int              // global step to stop at (simulated kill); 0 = never
+	halted     bool
+	nowMax     float64
+	acct       []mpi.Accounting // current attempt accounting, refreshed every onStep
+	seen       map[int]int      // local step -> ranks that completed it
+	persistErr error
 }
 
 func (rec *recorder) onStep(w *worker, step int) {
-	if (step+1)%rec.every != 0 {
+	me := w.me()
+	ckptStep := (step+1)%rec.every == 0
+	if ckptStep {
+		lo, hi := w.myAtoms()
+		e := ckptEntry{
+			step: step,
+			acct: w.r.Acct(),
+			vel:  append([]vec.V(nil), w.vel[lo:hi]...),
+		}
+		if me == 0 {
+			e.pos = append([]vec.V(nil), w.pos...)
+			e.frc = append([]vec.V(nil), w.frcTotal...)
+			if w.listGen >= 0 {
+				e.origin = append([]vec.V(nil), w.listOrigin...)
+			}
+		}
+		rec.hist[me] = append(rec.hist[me], e)
+	}
+	// The halt step itself still persists: every rank completes it (each
+	// sets only its own stop flag), so its checkpoint must reach disk
+	// before the simulated kill — that is the state the restart resumes.
+	global := rec.baseStep + step + 1
+	if rec.ring != nil && (rec.haltAfter == 0 || global <= rec.haltAfter) {
+		rec.acct[me] = w.r.Acct()
+		if now := w.r.Now(); now > rec.nowMax {
+			rec.nowMax = now
+		}
+		rec.seen[step]++
+		if rec.seen[step] == rec.p {
+			// Collective ordering guarantees every rank finished this step
+			// before any rank reaches the next one, so the state gathered
+			// across ranks is globally consistent here.
+			delete(rec.seen, step)
+			rec.persist(step, ckptStep)
+		}
+	}
+	if rec.haltAfter > 0 && global >= rec.haltAfter {
+		rec.halted = true
+		w.stop = true
+	}
+}
+
+// persist writes the progress journal for the just-completed step and,
+// on checkpoint steps, the durable checkpoint itself. Persistence errors
+// are remembered (first one wins) and surfaced after the attempt.
+func (rec *recorder) persist(localStep int, ckptStep bool) {
+	if rec.persistErr != nil {
 		return
 	}
-	lo, hi := w.myAtoms()
-	e := ckptEntry{
-		step: step,
-		acct: w.r.Acct(),
-		vel:  append([]vec.V(nil), w.vel[lo:hi]...),
+	global := rec.baseStep + localStep + 1
+	wall := rec.baseWall + rec.nowMax
+	quads := make([][4]float64, rec.p)
+	for i := 0; i < rec.p; i++ {
+		a := rec.carried[i]
+		a.Add(rec.acct[i])
+		quads[i] = [4]float64{a.Comp, a.Comm, a.Sync, a.Lost}
 	}
-	if w.me() == 0 {
-		e.pos = append([]vec.V(nil), w.pos...)
-		e.frc = append([]vec.V(nil), w.frcTotal...)
+	if ckptStep {
+		idx := len(rec.hist[0]) - 1
+		cp := rec.assemble(idx, rec.atomOff, rec.timestepFS)
+		meta := md.DurableMeta{Step: global, Wall: wall, RankAcct: quads}
+		if err := rec.ring.Save(cp, meta); err != nil {
+			rec.persistErr = err
+			return
+		}
 	}
-	rec.hist[w.me()] = append(rec.hist[w.me()], e)
+	prog := md.Progress{Step: global, Wall: wall, RankAcct: quads, ConsumedCrashes: rec.consumed}
+	if err := rec.ring.MarkProgress(prog); err != nil {
+		rec.persistErr = err
+	}
 }
 
 // rewindIndex returns the index into each rank's history of the newest
@@ -127,22 +250,56 @@ func (rec *recorder) assemble(idx int, atomOff []int, timestepFS float64) *md.Ch
 	for rk := range rec.hist {
 		copy(cp.Vel[atomOff[rk]:atomOff[rk+1]], rec.hist[rk][idx].vel)
 	}
+	if root.origin != nil {
+		cp.ListOrigin = append([]vec.V(nil), root.origin...)
+	}
 	return cp
+}
+
+// validate checks the resilience knobs and applies defaults in place.
+func (rcfg *ResilientConfig) validate() error {
+	switch {
+	case rcfg.CheckpointEvery < 0:
+		return &ConfigError{"CheckpointEvery",
+			fmt.Sprintf("must be >= 0 (0 means the default of 1), got %d", rcfg.CheckpointEvery)}
+	case rcfg.KeepCheckpoints < 0:
+		return &ConfigError{"KeepCheckpoints",
+			fmt.Sprintf("must be >= 0 (0 means the default of %d), got %d", md.DefaultKeep, rcfg.KeepCheckpoints)}
+	case rcfg.RestartCost < 0:
+		return &ConfigError{"RestartCost", fmt.Sprintf("must be >= 0, got %g", rcfg.RestartCost)}
+	case rcfg.MaxRestarts < 0:
+		return &ConfigError{"MaxRestarts", fmt.Sprintf("must be >= 0, got %d", rcfg.MaxRestarts)}
+	case rcfg.HaltAfterStep < 0:
+		return &ConfigError{"HaltAfterStep", fmt.Sprintf("must be >= 0, got %d", rcfg.HaltAfterStep)}
+	case rcfg.HaltAfterStep > 0 && rcfg.CheckpointDir == "":
+		return &ConfigError{"HaltAfterStep", "simulated kill needs CheckpointDir to resume from"}
+	}
+	if rcfg.CheckpointEvery == 0 {
+		rcfg.CheckpointEvery = 1
+	}
+	return nil
+}
+
+func quadToAcct(q [4]float64) mpi.Accounting {
+	return mpi.Accounting{Comp: q[0], Comm: q[1], Sync: q[2], Lost: q[3]}
 }
 
 // RunResilient executes the parallel MD under fault injection with
 // checkpoint-restart recovery. On an injected rank crash it drops the
 // crashed rank's whole node, rewinds to the newest globally consistent
-// in-memory checkpoint and re-runs the remaining steps on the survivors;
-// the discarded virtual time lands in the Lost accounting bucket. Other
-// errors (including watchdog timeouts with no crash behind them) are
-// returned as-is.
+// checkpoint and re-runs the remaining steps on the survivors; the
+// discarded virtual time lands in the Lost accounting bucket. On a
+// numeric guard trip with guard.PolicyFallback it rewinds the same way
+// and continues on exact kernels. With CheckpointDir set, checkpoints
+// also persist to disk and a later invocation resumes a killed run from
+// the newest valid file. Other errors (including watchdog timeouts with
+// no crash behind them) are returned as-is.
 func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg ResilientConfig) (*ResilientResult, error) {
 	if err := clusterCfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rcfg.CheckpointEvery < 1 {
-		rcfg.CheckpointEvery = 1
+	if err := rcfg.validate(); err != nil {
+		return nil, err
 	}
 	var crashSpecs int
 	if rcfg.Scenario != nil {
@@ -166,9 +323,57 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 	stepsDone := 0
 	offset := 0.0
 	init := rcfg.Init
+	exact := rcfg.MD.FF.ExactKernels
 	var consumed []int
 	var carried []mpi.Accounting
 	restarts := 0
+
+	var ring *md.CheckpointRing
+	if rcfg.CheckpointDir != "" {
+		ring = &md.CheckpointRing{Dir: rcfg.CheckpointDir, Keep: rcfg.KeepCheckpoints}
+		cp, meta, skipped, err := ring.LoadNewest()
+		switch {
+		case err == nil:
+			// Resume a killed run: the checkpoint fixes the dynamic state
+			// and the surviving rank count; the progress journal, when it
+			// reaches past the checkpoint, fixes what the killed process
+			// had additionally spent — that delta is Lost.
+			if len(meta.RankAcct)%clusterCfg.CPUsPerNode != 0 {
+				return nil, fmt.Errorf("pmd: checkpoint has %d ranks, not a multiple of %d CPUs/node",
+					len(meta.RankAcct), clusterCfg.CPUsPerNode)
+			}
+			if meta.Step >= totalSteps {
+				return nil, fmt.Errorf("pmd: checkpoint already at step %d of a %d-step run", meta.Step, totalSteps)
+			}
+			curCfg.Nodes = len(meta.RankAcct) / clusterCfg.CPUsPerNode
+			stepsDone = meta.Step
+			init = cp
+			carried = make([]mpi.Accounting, len(meta.RankAcct))
+			for i, q := range meta.RankAcct {
+				carried[i] = quadToAcct(q)
+			}
+			resumeWall := meta.Wall
+			var lostOnDisk float64
+			if prog, perr := ring.ReadProgress(); perr == nil &&
+				prog.Step >= meta.Step && len(prog.RankAcct) == len(meta.RankAcct) {
+				consumed = prog.ConsumedCrashes
+				resumeWall = prog.Wall
+				for i, q := range prog.RankAcct {
+					if lost := quadToAcct(q).Total() - carried[i].Total(); lost > 0 {
+						carried[i].Lost += lost
+						lostOnDisk += lost
+					}
+				}
+			}
+			out.Wall = resumeWall + rcfg.RestartCost
+			offset = out.Wall
+			out.Resumed = &ResumeInfo{Step: stepsDone, SkippedCheckpoints: skipped, LostOnDisk: lostOnDisk}
+		case errors.Is(err, md.ErrNoCheckpoint):
+			// Fresh run; the ring fills as steps complete.
+		default:
+			return nil, err
+		}
+	}
 
 	for {
 		var inj *fault.Injector
@@ -180,18 +385,35 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			}
 		}
 		p := curCfg.Nodes * curCfg.CPUsPerNode
-		rec := &recorder{every: rcfg.CheckpointEvery, hist: make([][]ckptEntry, p)}
+		base := carried
+		if base == nil {
+			base = make([]mpi.Accounting, p)
+		}
+		rec := &recorder{
+			every: rcfg.CheckpointEvery, p: p, hist: make([][]ckptEntry, p),
+			ring: ring, atomOff: blockPartition(rcfg.System.N(), p),
+			timestepFS: rcfg.MD.TimestepFS,
+			baseStep:   stepsDone, baseWall: offset, carried: base,
+			consumed: consumed, haltAfter: rcfg.HaltAfterStep,
+			acct: make([]mpi.Accounting, p), seen: map[int]int{},
+		}
 
 		attempt := rcfg.Config
 		attempt.Steps = totalSteps - stepsDone
 		attempt.Init = init
 		attempt.Watchdog = wd
 		attempt.onStep = rec.onStep
+		if exact {
+			attempt.MD.FF.ExactKernels = true
+		}
 		if inj != nil {
 			attempt.Faults = inj
 		}
 
 		res, accts, err := runAttempt(curCfg, cost, attempt)
+		if rec.persistErr != nil {
+			return nil, fmt.Errorf("pmd: durable checkpoint: %w", rec.persistErr)
+		}
 		if err == nil {
 			if carried == nil {
 				out.Acct = accts
@@ -205,88 +427,137 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			out.Ranks = p
 			out.Energies = append(out.Energies, res.Energies...)
 			out.Wall += res.Wall
+			out.GuardTrips = append(out.GuardTrips, res.GuardEvents...)
+			if rec.halted {
+				return out, ErrHalted
+			}
 			return out, nil
 		}
 
-		var ce *mpi.CrashError
-		if !errors.As(err, &ce) {
-			return nil, err
-		}
-		restarts++
-		if restarts > maxRestarts {
-			return nil, fmt.Errorf("pmd: restart budget (%d) exhausted: %w", maxRestarts, ce)
-		}
-		crashedNode := ce.Rank / curCfg.CPUsPerNode
-		if curCfg.Nodes < 2 {
-			return nil, fmt.Errorf("pmd: no surviving nodes after %w", ce)
-		}
-
 		// The failed attempt ran until the last rank stopped accruing
-		// time; the crash instant is a lower bound when survivors died
-		// waiting without fully accounted watchdog rounds.
-		detected := ce.At
+		// time; for a crash this is a lower bound refined below.
+		detected := 0.0
 		for _, a := range accts {
 			if t := a.Total(); t > detected {
 				detected = t
 			}
 		}
 
-		// Rewind point: the newest checkpoint every rank recorded.
-		idx := rec.rewindIndex()
-		var cp *md.Checkpoint
-		keep := 0
-		if idx >= 0 {
-			n := rcfg.System.N()
-			cp = rec.assemble(idx, blockPartition(n, p), rcfg.MD.TimestepFS)
-			keep = rec.hist[0][idx].step + 1
-		}
+		var te *guard.TripError
+		var ce *mpi.CrashError
+		switch {
+		case errors.As(err, &te):
+			if rcfg.Guard.Policy != guard.PolicyFallback || exact {
+				return nil, err
+			}
+			// Degrade to exact kernels: rewind to the newest checkpoint
+			// and redo from there on exact math. The exact flag is sticky,
+			// so this branch runs at most once.
+			exact = true
+			ev := te.Ev
+			ev.Recovered = true
+			out.GuardTrips = append(out.GuardTrips, ev)
 
-		// Merge kept state and book lost time, dropping the crashed node's
-		// ranks and renumbering the survivors.
-		if carried == nil {
-			carried = make([]mpi.Accounting, p)
-		}
-		survivors := make([]mpi.Accounting, 0, p-curCfg.CPUsPerNode)
-		var lost float64
-		for i := 0; i < p; i++ {
-			var keptAcct mpi.Accounting
+			idx := rec.rewindIndex()
+			var cp *md.Checkpoint
+			keep := 0
 			if idx >= 0 {
-				keptAcct = rec.hist[i][idx].acct
+				cp = rec.assemble(idx, rec.atomOff, rcfg.MD.TimestepFS)
+				keep = rec.hist[0][idx].step + 1
 			}
-			li := accts[i].Total() - keptAcct.Total()
-			lost += li
-			if i/curCfg.CPUsPerNode == crashedNode {
-				continue
+			if carried == nil {
+				carried = make([]mpi.Accounting, p)
 			}
-			a := carried[i]
-			a.Add(keptAcct)
-			a.Lost += li
-			survivors = append(survivors, a)
-		}
-		carried = survivors
+			for i := 0; i < p; i++ {
+				var keptAcct mpi.Accounting
+				if idx >= 0 {
+					keptAcct = rec.hist[i][idx].acct
+				}
+				carried[i].Add(keptAcct)
+				carried[i].Lost += accts[i].Total() - keptAcct.Total()
+			}
+			if keep > 0 {
+				out.Energies = append(out.Energies, res.Energies[:keep]...)
+			}
+			stepsDone += keep
+			if cp != nil {
+				init = cp
+			}
+			out.Wall += detected + rcfg.RestartCost
+			offset += detected + rcfg.RestartCost
 
-		if keep > 0 {
-			out.Energies = append(out.Energies, res.Energies[:keep]...)
-		}
-		out.Recoveries = append(out.Recoveries, RecoveryEvent{
-			CrashedRank: ce.Rank,
-			DetectedAt:  detected,
-			RewindStep:  stepsDone + keep,
-			Lost:        lost,
-			Checkpoint:  cp,
-		})
-		if inj != nil {
-			if spec, ok := inj.CrashSpecAt(ce.Rank); ok {
-				consumed = append(consumed, spec)
+		case errors.As(err, &ce):
+			restarts++
+			if restarts > maxRestarts {
+				return nil, fmt.Errorf("pmd: restart budget (%d) exhausted: %w", maxRestarts, ce)
 			}
-		}
+			crashedNode := ce.Rank / curCfg.CPUsPerNode
+			if curCfg.Nodes < 2 {
+				return nil, fmt.Errorf("pmd: no surviving nodes after %w", ce)
+			}
+			if ce.At > detected {
+				detected = ce.At
+			}
 
-		stepsDone += keep
-		if cp != nil {
-			init = cp
+			// Rewind point: the newest checkpoint every rank recorded.
+			idx := rec.rewindIndex()
+			var cp *md.Checkpoint
+			keep := 0
+			if idx >= 0 {
+				cp = rec.assemble(idx, rec.atomOff, rcfg.MD.TimestepFS)
+				keep = rec.hist[0][idx].step + 1
+			}
+
+			// Merge kept state and book lost time, dropping the crashed
+			// node's ranks and renumbering the survivors.
+			if carried == nil {
+				carried = make([]mpi.Accounting, p)
+			}
+			survivors := make([]mpi.Accounting, 0, p-curCfg.CPUsPerNode)
+			var lost float64
+			for i := 0; i < p; i++ {
+				var keptAcct mpi.Accounting
+				if idx >= 0 {
+					keptAcct = rec.hist[i][idx].acct
+				}
+				li := accts[i].Total() - keptAcct.Total()
+				lost += li
+				if i/curCfg.CPUsPerNode == crashedNode {
+					continue
+				}
+				a := carried[i]
+				a.Add(keptAcct)
+				a.Lost += li
+				survivors = append(survivors, a)
+			}
+			carried = survivors
+
+			if keep > 0 {
+				out.Energies = append(out.Energies, res.Energies[:keep]...)
+			}
+			out.Recoveries = append(out.Recoveries, RecoveryEvent{
+				CrashedRank: ce.Rank,
+				DetectedAt:  detected,
+				RewindStep:  stepsDone + keep,
+				Lost:        lost,
+				Checkpoint:  cp,
+			})
+			if inj != nil {
+				if spec, ok := inj.CrashSpecAt(ce.Rank); ok {
+					consumed = append(consumed, spec)
+				}
+			}
+
+			stepsDone += keep
+			if cp != nil {
+				init = cp
+			}
+			out.Wall += detected + rcfg.RestartCost
+			offset += detected + rcfg.RestartCost
+			curCfg.Nodes--
+
+		default:
+			return nil, err
 		}
-		out.Wall += detected + rcfg.RestartCost
-		offset += detected + rcfg.RestartCost
-		curCfg.Nodes--
 	}
 }

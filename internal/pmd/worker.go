@@ -8,6 +8,7 @@ import (
 	"repro/internal/ewald"
 	"repro/internal/ff"
 	"repro/internal/fft"
+	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/space"
@@ -48,6 +49,11 @@ type shared struct {
 	convSlabs [][]complex128   // final x-slabs of the convolved potential
 
 	lists listCache
+
+	// guardTrip is rank 0's record of the guard verdict that ended the
+	// attempt (every rank reaches the identical verdict independently).
+	// Written in inline (scheduler-thread) code only.
+	guardTrip *guard.Event
 }
 
 // listCache deduplicates neighbour-list construction across ranks: every
@@ -131,6 +137,16 @@ type worker struct {
 	replay    *Tape
 	replayPos int
 
+	// guard is this rank's numeric-guardrail monitor (nil when disabled).
+	// All ranks check identical replicated data, so the monitors stay in
+	// lockstep and a trip ends every rank's loop at the same step.
+	guard *guard.Monitor
+
+	// stop requests a graceful end of the step loop after the current
+	// step (guard trip, or the resilient driver's simulated kill point).
+	// Only touched from inline/onStep code on the scheduler thread.
+	stop bool
+
 	// Partitions.
 	p                       int
 	atomOff                 []int // atoms
@@ -181,6 +197,9 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 		w.c = mpiComms{r: r}
 	}
 	w.dtAKMA = dtAKMA(cfg.MD)
+	if cfg.Guard.Enabled && !tape.Complete() {
+		w.guard = guard.NewMonitor(cfg.Guard, cfg.MD.FF.ExactKernels)
+	}
 	pmeCfg := cfg.MD.PME
 
 	w.atomOff = blockPartition(n, p)
@@ -234,6 +253,17 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 	w.partial = make([]vec.V, n)
 	w.listOrigin = make([]vec.V, n)
 	w.listGen = -1 // no list yet; first build is generation 0
+	if init := cfg.Init; init != nil && len(init.ListOrigin) == n {
+		// Resume with the interrupted run's Verlet-list state: rebuild the
+		// pair list at the checkpointed origin (not the current positions)
+		// so the restarted trajectory stays bitwise identical. The build is
+		// shared across ranks and charges no work — the interrupted run
+		// already paid for it at the step where the list was built.
+		copy(w.listOrigin, init.ListOrigin)
+		w.listGen = 0
+		w.pairs, _ = w.sh.sharedList(0, seedEngine.FF, w.listOrigin)
+		w.pairOff = blockPartition(len(w.pairs), p)
+	}
 	w.invMass = make([]float64, n)
 	for i := range w.invMass {
 		w.invMass[i] = 1 / sys.Mass(i)
@@ -389,6 +419,32 @@ func (w *worker) run(res *Result) {
 		w.r.TraceSpan(trace.KindPhase, fmt.Sprintf("classic %d", step), tr.t0, tr.t0+st.Classic.Wall)
 		w.r.TraceSpan(trace.KindPhase, fmt.Sprintf("pme %d", step), stepEnd-st.PME.Wall, stepEnd)
 
+		// Numeric guardrails. frcTotal and rep are replicated bitwise
+		// identically on every rank, so every monitor reaches the same
+		// verdict and all loops end at the same step on a trip. The check
+		// charges no virtual time: an untripped guarded run keeps every
+		// figure byte-identical.
+		tripped := false
+		if w.guard.Enabled() {
+			w.inline(func() {
+				if ev, ok := w.guard.Check(w.me(), step+1, w.frcTotal, rep.Total()); ok {
+					w.guard.Record(ev)
+					tripped = true
+					if w.me() == 0 {
+						w.sh.guardTrip = &ev
+					}
+					w.r.TraceSpan(trace.KindGuard, "guard:"+string(ev.Cause), tr.t0, stepEnd)
+				} else {
+					w.guard.Observe(rep.Total())
+				}
+			})
+		}
+		if tripped {
+			// The tripped step's timings and energies are discarded — the
+			// step is suspect; recovery redoes it on exact math.
+			break
+		}
+
 		timings = append(timings, st)
 		if w.me() == 0 {
 			if w.replay != nil {
@@ -398,6 +454,9 @@ func (w *worker) run(res *Result) {
 		}
 		if w.cfg.onStep != nil {
 			w.cfg.onStep(w, step)
+		}
+		if w.stop {
+			break
 		}
 	}
 
@@ -409,5 +468,8 @@ func (w *worker) run(res *Result) {
 			res.FinalPos = append([]vec.V(nil), w.pos...)
 		}
 		res.Wall = w.r.Now()
+		if w.guard.Enabled() {
+			res.GuardEvents = w.guard.Events()
+		}
 	}
 }

@@ -25,6 +25,7 @@ const (
 	KindSync    Kind = "sync"
 	KindPhase   Kind = "phase"
 	KindFault   Kind = "fault" // injected fault window (topmost overlay)
+	KindGuard   Kind = "guard" // numeric guard trip (renders above faults)
 )
 
 // Event is one labelled interval on one rank's timeline.
@@ -105,6 +106,7 @@ var glyph = map[Kind]rune{
 	KindSync:    '.',
 	KindPhase:   '-',
 	KindFault:   'X',
+	KindGuard:   '!',
 }
 
 // RenderTimeline writes a per-rank ASCII gantt of the trace, `width`
@@ -136,7 +138,7 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 	}
 	// Order: phases first (background), then comm, then compute; fault
 	// windows are an overlay and render topmost so they stay visible.
-	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute, KindFault}
+	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute, KindFault, KindGuard}
 	for _, kind := range order {
 		for _, e := range c.events {
 			if e.Kind != kind {
@@ -153,7 +155,7 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 			}
 		}
 	}
-	fmt.Fprintf(w, "timeline %.6f .. %.6f s  (# compute, > send, < recv, . sync, X fault)\n", start, end)
+	fmt.Fprintf(w, "timeline %.6f .. %.6f s  (# compute, > send, < recv, . sync, X fault, ! guard)\n", start, end)
 	for _, r := range ids {
 		if _, err := fmt.Fprintf(w, "rank %2d |%s|\n", r, string(lanes[r])); err != nil {
 			return err
