@@ -1,0 +1,144 @@
+// The -check regression gate: compare two benchreport JSON reports and
+// decide whether the newer one regressed. It never runs a benchmark —
+// both sides were measured elsewhere (ideally with -count 5 medians).
+//
+// Exit codes:
+//
+//	0  every compared entry is within its gate
+//	1  at least one regression beyond the gate
+//	2  usage error (wrong arguments, unreadable or malformed report)
+//	3  the reports are not comparable: different hosts, suites, kernel
+//	   plans (exact_kernels), entry sets, CPU counts or GOMAXPROCS —
+//	   comparing them would gate on hardware, not on code
+//
+// CI treats 3 as "skip" rather than failure: a checked-in baseline from
+// one host cannot veto a change measured on another.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// gate returns the allowed fractional slowdown for a baseline cost.
+// Millisecond-and-up entries are stable enough for a 10% gate; faster
+// entries jitter with scheduling noise, so the gate widens to 25% rather
+// than flagging the weather.
+func gate(baselineNs float64) float64 {
+	if baselineNs >= 1e6 {
+		return 0.10
+	}
+	return 0.25
+}
+
+// wallGate is the allowed slowdown of the -figure all wall measurement,
+// wider than the per-op gates because a single wall sample is noisy.
+const wallGate = 0.15
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// provenanceMismatch reports a reason the two reports must not be gated
+// against each other, or "" when they may.
+func provenanceMismatch(old, cur *Report) string {
+	switch {
+	case old.GOOS != cur.GOOS || old.GOARCH != cur.GOARCH:
+		return fmt.Sprintf("platform differs: %s/%s vs %s/%s", old.GOOS, old.GOARCH, cur.GOOS, cur.GOARCH)
+	case old.NumCPU != cur.NumCPU:
+		return fmt.Sprintf("host CPU count differs: %d vs %d", old.NumCPU, cur.NumCPU)
+	case old.Suite != cur.Suite:
+		return fmt.Sprintf("suite differs: %q vs %q", old.Suite, cur.Suite)
+	case old.ExactKernels != cur.ExactKernels:
+		return fmt.Sprintf("exact_kernels differs: %v vs %v (different kernel plans measure different code)", old.ExactKernels, cur.ExactKernels)
+	}
+	byName := map[string]BenchEntry{}
+	for _, e := range cur.Benchmarks {
+		byName[e.Name] = e
+	}
+	if len(old.Benchmarks) != len(cur.Benchmarks) {
+		return fmt.Sprintf("entry sets differ: %d vs %d benchmarks", len(old.Benchmarks), len(cur.Benchmarks))
+	}
+	for _, oe := range old.Benchmarks {
+		ne, ok := byName[oe.Name]
+		if !ok {
+			return fmt.Sprintf("entry %s missing from the new report", oe.Name)
+		}
+		if oe.NumCPU != ne.NumCPU {
+			return fmt.Sprintf("entry %s: num_cpu differs: %d vs %d", oe.Name, oe.NumCPU, ne.NumCPU)
+		}
+		if oe.Workers != ne.Workers {
+			return fmt.Sprintf("entry %s: workers (GOMAXPROCS) differs: %d vs %d", oe.Name, oe.Workers, ne.Workers)
+		}
+	}
+	return ""
+}
+
+// runCheck implements `benchreport -check old.json new.json` and returns
+// the process exit code.
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "benchreport: -check needs exactly two arguments: old.json new.json")
+		return 2
+	}
+	old, err := loadReport(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 2
+	}
+	cur, err := loadReport(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 2
+	}
+	if reason := provenanceMismatch(old, cur); reason != "" {
+		fmt.Fprintf(stderr, "benchreport: reports not comparable: %s\n", reason)
+		return 3
+	}
+
+	byName := map[string]BenchEntry{}
+	for _, e := range cur.Benchmarks {
+		byName[e.Name] = e
+	}
+	regressions := 0
+	fmt.Fprintf(stdout, "%-32s %14s %14s %8s %6s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "gate", "verdict")
+	for _, oe := range old.Benchmarks {
+		ne := byName[oe.Name]
+		g := gate(oe.Current.NsPerOp)
+		delta := (ne.Current.NsPerOp - oe.Current.NsPerOp) / oe.Current.NsPerOp
+		verdict := "ok"
+		if delta > g {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-32s %14.0f %14.0f %+7.1f%% %5.0f%%  %s\n",
+			oe.Name, oe.Current.NsPerOp, ne.Current.NsPerOp, 100*delta, 100*g, verdict)
+	}
+	if old.FigureAllWallS > 0 && cur.FigureAllWallS > 0 {
+		delta := (cur.FigureAllWallS - old.FigureAllWallS) / old.FigureAllWallS
+		verdict := "ok"
+		if delta > wallGate {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-32s %13.2fs %13.2fs %+7.1f%% %5.0f%%  %s\n",
+			"figure-all wall", old.FigureAllWallS, cur.FigureAllWallS, 100*delta, 100*wallGate, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchreport: %d regression(s) beyond the gate\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchreport: no regressions")
+	return 0
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureReport builds a minimal comparable report with ms-scale entries
+// (so the 10% gate applies).
+func fixtureReport(scale float64) Report {
+	mk := func(ns float64) Measurement {
+		return Measurement{NsPerOp: ns, BytesPerOp: 1024, AllocsPerOp: 10}
+	}
+	return Report{
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 8, Suite: "quick", Samples: 5,
+		Benchmarks: []BenchEntry{
+			{Name: "BenchmarkFFT3D", NumCPU: 8, Workers: 8, Current: mk(20e6 * scale)},
+			{Name: "BenchmarkPMEReciprocal", NumCPU: 8, Workers: 8, Current: mk(30e6 * scale)},
+			{Name: "BenchmarkNonbondedKernel", NumCPU: 8, Workers: 8, Current: mk(10e6)},
+		},
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func check(t *testing.T, oldRep, newRep Report) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", newRep)
+	var stdout, stderr bytes.Buffer
+	code := runCheck([]string{oldPath, newPath}, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCheckIdenticalPasses(t *testing.T) {
+	code, out, _ := check(t, fixtureReport(1), fixtureReport(1))
+	if code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("missing pass line in output:\n%s", out)
+	}
+}
+
+func TestCheckTwentyPercentRegressionFails(t *testing.T) {
+	// The synthetic fixture: two entries 20% slower than the baseline.
+	// The 10% gate for ms-scale entries must trip.
+	code, out, errOut := check(t, fixtureReport(1), fixtureReport(1.2))
+	if code != 1 {
+		t.Fatalf("20%% regression: exit %d, want 1\n%s%s", code, out, errOut)
+	}
+	if n := strings.Count(out, "REGRESSION"); n != 2 {
+		t.Errorf("want 2 REGRESSION verdicts, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(errOut, "2 regression(s)") {
+		t.Errorf("stderr should count regressions, got: %s", errOut)
+	}
+}
+
+func TestCheckImprovementPasses(t *testing.T) {
+	if code, out, _ := check(t, fixtureReport(1.2), fixtureReport(1)); code != 0 {
+		t.Fatalf("improvement: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestCheckNoiseAwareGateForFastEntries(t *testing.T) {
+	// A microsecond-scale entry 15% slower is inside the widened 25%
+	// gate; the same slowdown on a ms-scale entry would trip the 10% one.
+	oldRep, newRep := fixtureReport(1), fixtureReport(1)
+	for i := range oldRep.Benchmarks {
+		oldRep.Benchmarks[i].Current.NsPerOp = 1e3
+		newRep.Benchmarks[i].Current.NsPerOp = 1.15e3
+	}
+	if code, out, _ := check(t, oldRep, newRep); code != 0 {
+		t.Fatalf("15%% on µs-scale entries: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestCheckProvenanceMismatch(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"num_cpu", func(r *Report) { r.NumCPU = 4 }, "CPU count"},
+		{"goarch", func(r *Report) { r.GOARCH = "arm64" }, "platform"},
+		{"suite", func(r *Report) { r.Suite = "full" }, "suite"},
+		{"exact_kernels", func(r *Report) { r.ExactKernels = true }, "exact_kernels"},
+		{"workers", func(r *Report) { r.Benchmarks[0].Workers = 2 }, "workers"},
+		{"entry_num_cpu", func(r *Report) { r.Benchmarks[1].NumCPU = 2 }, "num_cpu"},
+		{"missing_entry", func(r *Report) { r.Benchmarks = r.Benchmarks[:2] }, "entry sets"},
+		{"renamed_entry", func(r *Report) { r.Benchmarks[2].Name = "BenchmarkOther" }, "missing from the new report"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newRep := fixtureReport(1)
+			tc.mutate(&newRep)
+			code, _, errOut := check(t, fixtureReport(1), newRep)
+			if code != 3 {
+				t.Fatalf("exit %d, want 3 (stderr: %s)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Errorf("stderr %q should mention %q", errOut, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckWallRegression(t *testing.T) {
+	oldRep, newRep := fixtureReport(1), fixtureReport(1)
+	oldRep.FigureAllWallS, newRep.FigureAllWallS = 60, 75 // +25% > 15% gate
+	code, out, _ := check(t, oldRep, newRep)
+	if code != 1 {
+		t.Fatalf("wall regression: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "figure-all wall") {
+		t.Errorf("wall row missing:\n%s", out)
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runCheck([]string{"only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code := runCheck([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing files: exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeReport(t, dir, "good.json", fixtureReport(1))
+	if code := runCheck([]string{bad, good}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed JSON: exit %d, want 2", code)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}
+
+func TestParseBenchOutputStillMatches(t *testing.T) {
+	// The -check pipeline depends on the same parser the measuring path
+	// uses; pin the shape of a typical `go test -bench` line.
+	out, err := parseBenchOutput(strings.NewReader(
+		"BenchmarkFFT3D-8   50   21500000 ns/op   1024 B/op   10 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := out["BenchmarkFFT3D"]
+	if !ok {
+		t.Fatal("BenchmarkFFT3D not parsed")
+	}
+	if r.procs != 8 || r.m.NsPerOp != 21500000 || r.m.BytesPerOp != 1024 || r.m.AllocsPerOp != 10 {
+		t.Errorf("parsed %+v", r)
+	}
+}

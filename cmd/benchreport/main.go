@@ -10,12 +10,20 @@
 //	go run ./cmd/benchreport -out BENCH_host.json
 //	go run ./cmd/benchreport -baseline-bench bench/baseline_kernels.txt \
 //	    -baseline-wall 65.9 -out BENCH_host.json
-//	go run ./cmd/benchreport -cpu 4 -out BENCH_host.json
+//	go run ./cmd/benchreport -cpu 4 -count 5 -out BENCH_host.json
+//	go run ./cmd/benchreport -quick -out quick.json
+//	go run ./cmd/benchreport -check bench/baseline.json quick.json
 //
 // The baseline flags attach previously measured numbers (for example from
 // the commit before an optimization) so the report carries before/after
 // evidence; they never re-run anything. A baseline file that is missing
 // any required benchmark is rejected with the missing names listed.
+//
+// -count N repeats every benchmark run N times and reports per-entry
+// medians, which is what the -check regression gate expects to compare.
+// -check old.json new.json runs no benchmarks at all: it compares two
+// reports and exits 0 (ok), 1 (regression), 2 (usage) or 3 (the reports
+// are not comparable — see check.go).
 package main
 
 import (
@@ -29,11 +37,13 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Measurement is one benchmark's per-op cost.
@@ -61,13 +71,19 @@ type BenchEntry struct {
 	Baseline *Measurement `json:"baseline,omitempty"`
 }
 
-// Report is the BENCH_host.json schema.
+// Report is the BENCH_host.json schema. Suite, Samples and ExactKernels
+// are provenance: -check refuses to compare reports that disagree on them
+// (different kernel plans or suites measure different code).
 type Report struct {
 	GeneratedAt     string       `json:"generated_at"`
 	GoVersion       string       `json:"go_version"`
 	GOOS            string       `json:"goos"`
 	GOARCH          string       `json:"goarch"`
 	NumCPU          int          `json:"num_cpu"`
+	Suite           string       `json:"suite"`
+	Samples         int          `json:"samples"`
+	ExactKernels    bool         `json:"exact_kernels"`
+	ObsManifest     string       `json:"obs_manifest,omitempty"`
 	FigureAllWallS  float64      `json:"figure_all_wall_s"`
 	BaselineWallS   float64      `json:"baseline_figure_all_wall_s,omitempty"`
 	FigureAllRuns   int          `json:"figure_all_unique_runs"`
@@ -139,20 +155,61 @@ var requiredBenchmarks = []string{
 	"BenchmarkNonbondedKernel",
 }
 
+// quickBenchmarks is the -quick subset: just the kernel micro-benchmarks,
+// cheap enough to sample several times in a CI regression gate.
+var quickBenchmarks = []string{
+	"BenchmarkFFT3D",
+	"BenchmarkPMEReciprocal",
+	"BenchmarkNonbondedKernel",
+}
+
+// median destroys its argument's order and returns the middle sample.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
 func main() {
 	out := flag.String("out", "BENCH_host.json", "output path")
 	baseBench := flag.String("baseline-bench", "", "previously saved `go test -bench` output to attach as the baseline")
 	baseWall := flag.Float64("baseline-wall", 0, "previously measured -figure all wall seconds to attach as the baseline")
 	skipFigures := flag.Bool("skip-figures", false, "skip the -figure all wall measurement")
 	cpu := flag.String("cpu", "", "value passed to `go test -cpu` (GOMAXPROCS list); empty uses the go default")
+	count := flag.Int("count", 1, "benchmark repetitions; the report carries per-entry medians")
+	quick := flag.Bool("quick", false, "measure only the kernel micro-benchmarks and skip the -figure all wall (CI regression suite)")
+	check := flag.Bool("check", false, "compare two reports (old.json new.json) instead of measuring; exits 1 on regression, 3 when not comparable")
+	obsManifest := flag.String("obs-manifest", "", "write a JSON run manifest (provenance + measured medians as metrics) to this file")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus text snapshot of the measured medians to this file")
 	flag.Parse()
 
+	if *check {
+		os.Exit(runCheck(flag.Args(), os.Stdout, os.Stderr))
+	}
+	if *count < 1 {
+		fmt.Fprintf(os.Stderr, "benchreport: -count must be >= 1 (got %d)\n", *count)
+		os.Exit(2)
+	}
+
+	suite := "full"
+	required := requiredBenchmarks
+	if *quick {
+		suite = "quick"
+		required = quickBenchmarks
+		*skipFigures = true
+	}
 	rep := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Suite:        suite,
+		Samples:      *count,
+		ExactKernels: os.Getenv("REPRO_EXACT_KERNELS") == "1",
 	}
 
 	// Validate the baseline before the expensive measurements: a file
@@ -171,7 +228,7 @@ func main() {
 			os.Exit(1)
 		}
 		var missing []string
-		for _, name := range requiredBenchmarks {
+		for _, name := range required {
 			if _, ok := baseline[name]; !ok {
 				missing = append(missing, name)
 			}
@@ -189,33 +246,49 @@ func main() {
 	// cold caches and reach neighbour-list rebuilds; the whole-study
 	// benchmark once (it is tens of seconds of work on its own); the
 	// micro kernels at a higher count since each iteration is tens of ms.
-	current := map[string]benchResult{}
-	for _, group := range []struct{ pattern, benchtime string }{
+	groups := []struct{ pattern, benchtime string }{
 		{"BenchmarkSequentialMDStep|BenchmarkParallelStepSimulated", "20x"},
 		{"BenchmarkStudyAllFigures", "1x"},
 		{"BenchmarkFFT3D|BenchmarkPMEReciprocal|BenchmarkNonbondedKernel", "50x"},
-	} {
-		res, err := runBench(group.pattern, group.benchtime, *cpu)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for k, v := range res {
-			current[k] = v
+	}
+	if *quick {
+		groups = groups[2:]
+	}
+	samples := map[string][]benchResult{}
+	for round := 0; round < *count; round++ {
+		for _, group := range groups {
+			res, err := runBench(group.pattern, group.benchtime, *cpu)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for k, v := range res {
+				samples[k] = append(samples[k], v)
+			}
 		}
 	}
 
-	for _, name := range requiredBenchmarks {
-		cur, ok := current[name]
+	for _, name := range required {
+		ss, ok := samples[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchreport: benchmark %s missing from output\n", name)
 			os.Exit(1)
 		}
+		var ns, bs, as []float64
+		for _, s := range ss {
+			ns = append(ns, s.m.NsPerOp)
+			bs = append(bs, float64(s.m.BytesPerOp))
+			as = append(as, float64(s.m.AllocsPerOp))
+		}
 		e := BenchEntry{
 			Name:    name,
 			NumCPU:  runtime.NumCPU(),
-			Workers: cur.procs,
-			Current: cur.m,
+			Workers: ss[0].procs,
+			Current: Measurement{
+				NsPerOp:     median(ns),
+				BytesPerOp:  int64(median(bs)),
+				AllocsPerOp: int64(median(as)),
+			},
 		}
 		if b, ok := baseline[name]; ok {
 			bc := b.m
@@ -239,6 +312,42 @@ func main() {
 		rep.FigureAllReplay = st.TapeReplays
 	}
 	rep.BaselineWallS = *baseWall
+	rep.ObsManifest = *obsManifest
+
+	if *obsManifest != "" || *metricsOut != "" {
+		reg := obs.NewRegistry()
+		for _, e := range rep.Benchmarks {
+			bl := obs.L("bench", e.Name)
+			reg.Gauge("repro_bench_ns_per_op", "median benchmark cost", bl).Set(e.Current.NsPerOp)
+			reg.Gauge("repro_bench_bytes_per_op", "median benchmark allocation volume", bl).Set(float64(e.Current.BytesPerOp))
+			reg.Gauge("repro_bench_allocs_per_op", "median benchmark allocation count", bl).Set(float64(e.Current.AllocsPerOp))
+		}
+		if rep.FigureAllWallS > 0 {
+			reg.Gauge("repro_bench_figure_all_wall_seconds", "full -figure all regeneration wall").Set(rep.FigureAllWallS)
+		}
+		if *obsManifest != "" {
+			m := obs.NewManifest()
+			m.Config["suite"] = suite
+			m.Config["samples"] = *count
+			m.Config["exact_kernels"] = rep.ExactKernels
+			m.Attach(reg)
+			if err := m.WriteFile(*obsManifest); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			var buf bytes.Buffer
+			err := reg.WriteProm(&buf)
+			if err == nil {
+				err = os.WriteFile(*metricsOut, buf.Bytes(), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

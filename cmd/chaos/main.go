@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/pmd"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 2, "checkpoint cadence in steps")
 	failDir := flag.String("fail-dir", "", "write the failing scenario JSON here")
 	verbose := flag.Bool("v", false, "per-run progress")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
+	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
 	fail := func(format string, args ...interface{}) {
@@ -82,6 +85,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
 		}
 	}
+
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
+			Status: func() []string { return []string{fmt.Sprintf("chaos: soaking %d scenarios", *runs)} },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
+	}
+	writeManifest := func() {
+		if *obsManifest == "" {
+			return
+		}
+		m := obs.NewManifest()
+		m.Seeds["base"] = *seed
+		m.Config["runs"] = *runs
+		m.Config["steps"] = *steps
+		m.Config["procs"] = *procs
+		m.Config["net"] = *netName
+		m.Attach(reg)
+		if err := m.WriteFile(*obsManifest); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos: manifest:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
+	}
+
 	h, err := chaos.NewHarness(chaos.Config{
 		Seed:            *seed,
 		Steps:           *steps,
@@ -92,6 +126,7 @@ func main() {
 		Atoms:           *atoms,
 		Workers:         workers,
 		CheckpointEvery: *ckptEvery,
+		Obs:             reg,
 		Logf:            logf,
 	})
 	if err != nil {
@@ -114,6 +149,7 @@ func main() {
 		}
 		fmt.Printf("PASS: %d runs, %d faults injected, %d crash recoveries, 0 invariant violations\n",
 			len(reports), faults, recoveries)
+		writeManifest()
 		return
 	}
 
@@ -139,5 +175,6 @@ func main() {
 		}
 		fmt.Printf("  scenario JSON written to %s\n", path)
 	}
+	writeManifest()
 	os.Exit(1)
 }

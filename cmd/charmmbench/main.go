@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,9 +38,24 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	tracefile := flag.String("trace", "", "write a Go execution trace to this file")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
+	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
-	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed, Workers: *workers}
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
+			Status: func() []string { return []string{"charmmbench: figure " + *figure} },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
+	}
+
+	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed, Workers: *workers, Obs: reg}
 	if *procs != "" {
 		for _, tok := range strings.Split(*procs, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -134,6 +150,20 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"charmmbench: %s wall, %d unique runs simulated, %d cache hits, %d tapes recorded, %d tape replays\n",
 			time.Since(start).Round(time.Millisecond), st.Misses, st.Hits, st.TapeRecords, st.TapeReplays)
+	}
+	if *obsManifest != "" {
+		m := obs.NewManifest()
+		m.Seeds["system"] = *seed
+		m.Config["figure"] = *figure
+		m.Config["steps"] = *steps
+		m.Config["quick"] = *quick
+		m.Config["workers"] = *workers
+		m.Attach(reg)
+		if err := m.WriteFile(*obsManifest); err != nil {
+			fmt.Fprintln(os.Stderr, "charmmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
 	}
 	if *memprofile != "" {
 		mf, err := os.Create(*memprofile)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/pmd"
 	"repro/internal/report"
 	"repro/internal/topol"
@@ -48,6 +49,8 @@ func main() {
 	ckptKeep := flag.Int("ckpt-keep", 0, "on-disk checkpoint ring depth (0 = default)")
 	restartCost := flag.Float64("restart-cost", 10, "virtual seconds charged per recovery")
 	format := flag.String("format", "text", "output format: text or csv")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
+	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
 	fail := func(formatStr string, args ...interface{}) {
@@ -130,6 +133,26 @@ func main() {
 	wd := mpi.Watchdog{Timeout: *wdTimeout, Retries: *wdRetries, Backoff: *wdBackoff}
 	cost := cluster.PentiumIII1GHz()
 
+	// Observability is opt-in here: recording every transport interval of a
+	// severity sweep costs memory, so the recorder only exists when an
+	// introspection endpoint or manifest was asked for.
+	reg := obs.NewRegistry()
+	var rec *obs.Recorder
+	if *obsAddr != "" || *obsManifest != "" {
+		rec = obs.NewRecorder(reg)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
+			Status: func() []string { return []string{"faultbench: scenario " + sc.Name} },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
+	}
+
 	// The durable directory identifies ONE run's checkpoint ring, so it
 	// only applies to the single faulted run of a 1-severity invocation —
 	// the healthy baseline and severity sweeps stay in-memory.
@@ -144,6 +167,7 @@ func main() {
 				Steps:      *steps,
 				Middleware: mw,
 				Watchdog:   wd,
+				Obs:        rec,
 			},
 			Scenario:        scenario,
 			CheckpointEvery: *ckptEvery,
@@ -158,6 +182,9 @@ func main() {
 		if res.Resumed != nil {
 			fmt.Fprintf(os.Stderr, "faultbench: resumed from on-disk checkpoint at step %d (%d corrupt skipped, %.3gs lost)\n",
 				res.Resumed.Step, res.Resumed.SkippedCheckpoints, res.Resumed.LostOnDisk)
+		}
+		if rec != nil && res.Final != nil {
+			res.Final.RecordObs(reg)
 		}
 		return res
 	}
@@ -204,5 +231,22 @@ func main() {
 	if werr != nil {
 		fmt.Fprintln(os.Stderr, "faultbench:", werr)
 		os.Exit(1)
+	}
+
+	if *obsManifest != "" {
+		rec.Close()
+		m := obs.NewManifest()
+		m.Seeds["system"] = *seed
+		m.Config["scenario"] = sc.Name
+		m.Config["severities"] = sevs
+		m.Config["procs"] = *procs
+		m.Config["steps"] = *steps
+		m.Config["net"] = net.Name
+		m.Attach(reg)
+		if err := m.WriteFile(*obsManifest); err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
 	}
 }

@@ -9,6 +9,7 @@
 //	mdrun -steps 50 -minimize 100 -temp 300 -pme
 //	mdrun -steps 500 -ckpt-dir run1.ckpt -ckpt-every 25
 //	mdrun -steps 50 -guard -guard-drift 500
+//	mdrun -steps 200 -obs-addr 127.0.0.1:8077 -obs-manifest run.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/md"
+	"repro/internal/obs"
 	"repro/internal/topol"
 	"repro/internal/work"
 )
@@ -40,6 +42,8 @@ func main() {
 	guardDrift := flag.Float64("guard-drift", 0, "energy-drift tolerance in kcal/mol (0 disables drift checks)")
 	guardWindow := flag.Int("guard-window", 0, "drift window in steps (0 = default)")
 	guardInject := flag.Int("guard-inject", 0, "force a synthetic guard trip at this step (test hook)")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
+	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -79,6 +83,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
+	stepGauge := reg.Gauge("repro_run_step", "current MD step of the live run")
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
+			Status: func() []string {
+				return []string{fmt.Sprintf("mdrun: step %.0f of %d", stepGauge.Value(), *steps)}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
+	}
+
 	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: *seed})
 	var cfg md.Config
 	if *usePME {
@@ -102,6 +122,9 @@ func main() {
 	if *temp > 0 {
 		engine.InitVelocities(*temp, *seed)
 	}
+	// Attach the phase timers after minimization so the decomposition
+	// covers the measured dynamics only.
+	engine.SetObs(reg)
 
 	// Durable checkpoint ring: resume from the newest valid on-disk
 	// checkpoint if one exists (corrupt newer files are skipped), else
@@ -109,7 +132,7 @@ func main() {
 	var ring *md.CheckpointRing
 	startStep := 0
 	if *ckptDir != "" {
-		ring = &md.CheckpointRing{Dir: *ckptDir, Keep: *ckptKeep}
+		ring = &md.CheckpointRing{Dir: *ckptDir, Keep: *ckptKeep, Obs: reg}
 		cp, meta, skipped, err := ring.LoadNewest()
 		switch {
 		case err == nil:
@@ -154,6 +177,7 @@ func main() {
 	fmt.Printf("%6s %14s %14s %14s %14s %10s\n", "step", "potential", "classic", "pme", "total", "temp(K)")
 	engine.ComputeForces(&wc, &wp)
 	for s := startStep + 1; s <= *steps; s++ {
+		stepGauge.Set(float64(s))
 		rep, err := engine.StepGuarded(mon, s, &wc, &wp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mdrun:", err)
@@ -180,4 +204,29 @@ func main() {
 	}
 	fmt.Printf("work: %d pair evals, %d list dist evals, %d FFT flops\n",
 		wc.PairEvals, wc.ListDistEvals, wp.FFTOps)
+
+	// The printed decomposition reads the same registry /metrics serves,
+	// so the exposition sums match this report exactly.
+	decomp := func(phase, bucket string) float64 {
+		return reg.Value("repro_phase_seconds_total",
+			obs.L("rank", "0"), obs.L("phase", phase), obs.L("bucket", bucket))
+	}
+	fmt.Printf("wall decomposition (host s): classic compute %.3f comm %.3f sync %.3f | pme compute %.3f comm %.3f sync %.3f\n",
+		decomp("classic", "compute"), decomp("classic", "comm"), decomp("classic", "sync"),
+		decomp("pme", "compute"), decomp("pme", "comm"), decomp("pme", "sync"))
+
+	if *obsManifest != "" {
+		m := obs.NewManifest()
+		m.Seeds["system"] = *seed
+		m.Config["steps"] = *steps
+		m.Config["pme"] = *usePME
+		m.Config["dt_fs"] = *dt
+		m.Config["guard"] = *guardOn
+		m.Attach(reg)
+		if err := m.WriteFile(*obsManifest); err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun: manifest:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs: manifest written to %s\n", *obsManifest)
+	}
 }

@@ -8,12 +8,14 @@
 //
 //	tracer -net tcp -p 4 -steps 2 -width 140 -o trace.json
 //	tracer -net tcp -p 4 -steps 4 -faults 'straggler@0.1:0.4,node=1,slow=4'
+//	tracer -net tcp -p 4 -steps 2 -kinds compute,sync -min-dur 0.001
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
@@ -34,6 +36,8 @@ func main() {
 	width := flag.Int("width", 120, "timeline width in characters")
 	out := flag.String("o", "", "write Chrome trace JSON to this file")
 	faultSpec := flag.String("faults", "", "fault scenario DSL (see internal/fault.ParseSpec) or @file.json")
+	kindsFlag := flag.String("kinds", "", "comma-separated interval kinds to keep (compute,send,recv,sync,phase,fault,guard); empty keeps all")
+	minDur := flag.Float64("min-dur", 0, "drop intervals shorter than this (virtual seconds)")
 	flag.Parse()
 
 	fail := func(format string, args ...interface{}) {
@@ -59,6 +63,19 @@ func main() {
 	mw := pmd.MiddlewareMPI
 	if *useCMPI {
 		mw = pmd.MiddlewareCMPI
+	}
+	if *minDur < 0 {
+		fail("-min-dur must be >= 0 (got %g)", *minDur)
+	}
+	var kinds []trace.Kind
+	if *kindsFlag != "" {
+		for _, s := range strings.Split(*kindsFlag, ",") {
+			s = strings.TrimSpace(s)
+			if !trace.KnownKind(s) {
+				fail("unknown trace kind %q (known: compute,send,recv,sync,phase,fault,guard)", s)
+			}
+			kinds = append(kinds, trace.Kind(s))
+		}
 	}
 
 	var inj *fault.Injector
@@ -109,16 +126,23 @@ func main() {
 		}
 	}
 
+	// The filtered view (kinds, minimum duration) drives the rendering and
+	// the export; the unfiltered collector keeps the full recording.
+	view := col
+	if len(kinds) > 0 || *minDur > 0 {
+		view = col.Filter(kinds, *minDur)
+	}
+
 	c, pm := res.PhaseTotals()
 	fmt.Printf("%s, p=%d (%d CPU/node), %d steps, %s middleware: classic %.3f s, pme %.3f s\n\n",
 		net.Name, *procs, *cpus, *steps, mw, c.Wall, pm.Wall)
-	if err := col.RenderTimeline(os.Stdout, *width); err != nil {
+	if err := view.RenderTimeline(os.Stdout, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "tracer:", err)
 		os.Exit(1)
 	}
-	busy := col.Busy(trace.KindCompute)
-	fmt.Printf("\n%d events collected; rank-0 compute occupancy %.1f%%\n",
-		col.Len(), 100*busy[0]/res.Wall)
+	busy := view.Busy(trace.KindCompute)
+	fmt.Printf("\n%d of %d events shown; rank-0 compute occupancy %.1f%%\n",
+		view.Len(), col.Len(), 100*busy[0]/res.Wall)
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -127,7 +151,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := col.WriteChromeJSON(f); err != nil {
+		if err := view.WriteChromeJSON(f); err != nil {
 			fmt.Fprintln(os.Stderr, "tracer:", err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/md"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/pmd"
 	"repro/internal/topol"
 )
@@ -34,6 +35,12 @@ type Config struct {
 
 	CheckpointEvery int     // checkpoint cadence (default 2, exercising loss windows)
 	RestartCost     float64 // virtual seconds per recovery (default 5)
+
+	// Obs, when non-nil, receives soak counters (repro_chaos_*): scenarios
+	// checked, injected faults, recoveries, lost virtual seconds and
+	// invariant violations by name. Metrics never touch the simulated
+	// runs, so the determinism invariants are unaffected.
+	Obs *obs.Registry
 
 	Logf func(format string, args ...interface{}) // optional progress logger
 }
@@ -291,6 +298,11 @@ func (h *Harness) checkDurable(sc *fault.Scenario) (*InvariantError, error) {
 // first invariant violation, returning the shrunk failure; the error
 // return is reserved for infrastructure problems.
 func (h *Harness) Soak(runs int) ([]RunReport, *Failure, error) {
+	count := func(name, help string, v float64, labels ...obs.Label) {
+		if h.cfg.Obs != nil && v != 0 {
+			h.cfg.Obs.Counter(name, help, labels...).Add(v)
+		}
+	}
 	var reports []RunReport
 	for i := 0; i < runs; i++ {
 		seed := ScenarioSeed(h.cfg.Seed, i)
@@ -300,7 +312,12 @@ func (h *Harness) Soak(runs int) ([]RunReport, *Failure, error) {
 			return reports, nil, err
 		}
 		rep.Index = i
+		count("repro_chaos_runs_total", "soak scenarios checked", 1)
+		count("repro_chaos_faults_total", "faults injected across soak scenarios", float64(rep.Faults))
+		count("repro_chaos_recoveries_total", "crash recoveries across soak scenarios", float64(rep.Recoveries))
+		count("repro_chaos_lost_seconds_total", "virtual seconds lost to faults across soak scenarios", rep.Lost)
 		if inv != nil {
+			count("repro_chaos_violations_total", "invariant violations by name", 1, obs.L("invariant", inv.Name))
 			h.cfg.Logf("run %d seed %d FAILED %s — shrinking", i, seed, inv.Name)
 			minimal, serr := h.shrinkSameInvariant(sc, inv.Name)
 			if serr != nil {

@@ -43,6 +43,7 @@ func (m *Middleware) Sync() {
 	if p == 1 {
 		return
 	}
+	t0 := r.Now()
 	prev := r.SyncClass
 	r.SyncClass = true
 	defer func() { r.SyncClass = prev }()
@@ -56,6 +57,10 @@ func (m *Middleware) Sync() {
 		r.Recv(right, tag)
 		r.Wait(sr)
 		r.Wait(sl)
+	}
+	if reg := r.Metrics(); reg != nil {
+		reg.Counter("repro_cmpi_syncs_total", "CMPI neighbour-exchange synchronizations completed").Inc()
+		reg.Counter("repro_cmpi_sync_seconds_total", "virtual seconds spent inside CMPI Sync").Add(r.Now() - t0)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/md"
+	"repro/internal/obs"
 	"repro/internal/topol"
 )
 
@@ -47,6 +48,9 @@ type Options struct {
 	// Workers sizes the host worker pool (0 = one per host CPU, 1 =
 	// serial). Figure output is identical across settings.
 	Workers int
+	// Obs, when non-nil, receives the suite's cache/tape counters
+	// (repro_figures_*). Metrics never alter figure output.
+	Obs *obs.Registry
 }
 
 // Study owns a cached experiment suite.
@@ -73,6 +77,7 @@ func NewStudy(o Options) *Study {
 		cfg.ClusterSeed = o.ClusterSeed
 	}
 	cfg.Workers = o.Workers
+	cfg.Obs = o.Obs
 	return &Study{Suite: figures.NewSuite(cfg)}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/md"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/pmd"
 	"repro/internal/stats"
 	"repro/internal/topol"
@@ -57,6 +58,11 @@ type Config struct {
 	// every run of the suite (see internal/fault). It is part of the run
 	// cache key, so faulted and healthy results never mix.
 	FaultSpec string
+
+	// Obs, when non-nil, is the registry the suite publishes its cache and
+	// tape counters into (repro_figures_*). A nil Obs backs the counters
+	// with a private registry; Stats() reads whichever registry is active.
+	Obs *obs.Registry
 }
 
 // Default returns the paper's measurement protocol.
@@ -104,7 +110,9 @@ type Suite struct {
 	cache  map[string]*pmd.Result
 	tapes  map[int]*pmd.Tape
 	faults cluster.FaultModel
-	stats  RunStats
+
+	// Registry-backed run counters (the RunStats view reads these).
+	mHits, mMisses, mRecords, mReplays *obs.Counter
 }
 
 // NewSuite builds the molecular system once, relaxes the strained built
@@ -120,6 +128,14 @@ func NewSuite(cfg Config) *Suite {
 		cache: map[string]*pmd.Result{},
 		tapes: map[int]*pmd.Tape{},
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.mHits = reg.Counter("repro_figures_cache_hits_total", "experiment cells served from the run cache")
+	s.mMisses = reg.Counter("repro_figures_cache_misses_total", "unique experiment configurations simulated")
+	s.mRecords = reg.Counter("repro_figures_tape_records_total", "runs that recorded a physics tape")
+	s.mReplays = reg.Counter("repro_figures_tape_replays_total", "runs that replayed a tape instead of executing kernels")
 	if cfg.FaultSpec != "" {
 		sc, err := fault.ParseSpec(cfg.FaultSpec)
 		if err != nil {
@@ -137,8 +153,16 @@ func NewSuite(cfg Config) *Suite {
 // System exposes the workload (3552 atoms in the default configuration).
 func (s *Suite) System() *topol.System { return s.sys }
 
-// Stats returns the cache and tape counters accumulated so far.
-func (s *Suite) Stats() RunStats { return s.stats }
+// Stats returns the cache and tape counters accumulated so far — a view
+// over the registry-backed counters (shared with Config.Obs when set).
+func (s *Suite) Stats() RunStats {
+	return RunStats{
+		Misses:      int(s.mMisses.Value()),
+		Hits:        int(s.mHits.Value()),
+		TapeRecords: int(s.mRecords.Value()),
+		TapeReplays: int(s.mReplays.Value()),
+	}
+}
 
 // workers resolves the configured pool size (0 = one worker per host CPU).
 func (s *Suite) workers() int {
@@ -154,7 +178,7 @@ func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern
 	key := fmt.Sprintf("%s mw=%v modern=%t steps=%d fault=%q",
 		clusterCfg.Key(), mw, modern, s.Cfg.Steps, s.Cfg.FaultSpec)
 	if r, ok := s.cache[key]; ok {
-		s.stats.Hits++
+		s.mHits.Inc()
 		return r, nil
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
@@ -174,12 +198,12 @@ func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern
 	if err != nil {
 		return nil, err
 	}
-	s.stats.Misses++
+	s.mMisses.Inc()
 	switch {
 	case wasComplete:
-		s.stats.TapeReplays++
+		s.mReplays.Inc()
 	case tape.Complete():
-		s.stats.TapeRecords++
+		s.mRecords.Inc()
 	}
 	s.cache[key] = res
 	return res, nil

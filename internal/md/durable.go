@@ -37,7 +37,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -355,6 +357,19 @@ func atomicWrite(path string, data []byte) error {
 type CheckpointRing struct {
 	Dir  string
 	Keep int
+
+	// Obs, when non-nil, receives host-time durability metrics:
+	// repro_checkpoint_write_seconds / repro_checkpoint_restore_seconds
+	// histograms, repro_checkpoint_writes_total and
+	// repro_checkpoint_corrupt_skipped_total counters.
+	Obs *obs.Registry
+}
+
+func (r *CheckpointRing) observe(name, help string, d time.Duration) {
+	if r.Obs == nil {
+		return
+	}
+	r.Obs.Histogram(name, help, obs.ExpBuckets(1e-4, 4, 10)).Observe(d.Seconds())
 }
 
 func (r *CheckpointRing) keep() int {
@@ -403,11 +418,16 @@ func (r *CheckpointRing) steps() ([]int, error) {
 // Save writes the checkpoint for meta.Step and prunes the ring down to
 // the newest Keep files.
 func (r *CheckpointRing) Save(cp *Checkpoint, meta DurableMeta) error {
+	t0 := time.Now()
 	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
 		return err
 	}
 	if err := WriteDurable(r.Path(meta.Step), cp, meta); err != nil {
 		return err
+	}
+	r.observe("repro_checkpoint_write_seconds", "durable checkpoint write latency (host seconds)", time.Since(t0))
+	if r.Obs != nil {
+		r.Obs.Counter("repro_checkpoint_writes_total", "durable checkpoints written").Inc()
 	}
 	steps, err := r.steps()
 	if err != nil {
@@ -427,6 +447,16 @@ func (r *CheckpointRing) Save(cp *Checkpoint, meta DurableMeta) error {
 // passed over). ErrNoCheckpoint means the directory holds nothing
 // loadable at all.
 func (r *CheckpointRing) LoadNewest() (cp *Checkpoint, meta DurableMeta, skipped int, err error) {
+	t0 := time.Now()
+	defer func() {
+		if err == nil {
+			r.observe("repro_checkpoint_restore_seconds", "durable checkpoint restore latency (host seconds)", time.Since(t0))
+		}
+		if r.Obs != nil && skipped > 0 {
+			r.Obs.Counter("repro_checkpoint_corrupt_skipped_total",
+				"corrupt or torn checkpoints scanned past during restore").Add(float64(skipped))
+		}
+	}()
 	steps, err := r.steps()
 	if err != nil {
 		return nil, DurableMeta{}, 0, err

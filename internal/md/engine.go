@@ -6,9 +6,11 @@ package md
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ewald"
 	"repro/internal/ff"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/space"
 	"repro/internal/topol"
@@ -115,6 +117,13 @@ type Engine struct {
 
 	langevin *langevinState // lazily initialized by StepLangevin
 
+	// Host-time phase counters, installed by SetObs (nil otherwise). The
+	// sequential engine runs on the host clock, so its §3.2 decomposition
+	// is pure compute: classic and PME force-section seconds at rank 0.
+	mClassic *obs.Counter
+	mPME     *obs.Counter
+	mEvals   *obs.Counter
+
 	invMass []float64
 	dtAKMA  float64
 }
@@ -217,11 +226,41 @@ func (e *Engine) ListWasRebuilt() bool { return e.listFresh }
 // PairCount returns the current neighbour-list length.
 func (e *Engine) PairCount() int { return len(e.pairs) }
 
+// SetObs installs host-time phase counters into reg: every ComputeForces
+// call adds the wall-clock seconds of its classic and PME force sections
+// to repro_phase_seconds_total{rank="0",phase,bucket="compute"}. The comm
+// and sync series are created at zero so the exposition always carries the
+// full §3.2 decomposition for the single host rank. A nil reg detaches.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		e.mClassic, e.mPME, e.mEvals = nil, nil, nil
+		return
+	}
+	help := "virtual seconds per rank, phase and time class (§3.2 decomposition)"
+	rl := obs.L("rank", "0")
+	for _, phase := range []string{"classic", "pme"} {
+		pl := obs.L("phase", phase)
+		c := reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "compute"))
+		reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "comm"))
+		reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "sync"))
+		if phase == "classic" {
+			e.mClassic = c
+		} else {
+			e.mPME = c
+		}
+	}
+	e.mEvals = reg.Counter("repro_md_force_evals_total", "force evaluations performed")
+}
+
 // ComputeForces evaluates all forces and energies at the current
 // positions, managing the neighbour list. Work is recorded into w
 // (classic-phase work) and wPME (PME-phase work) when non-nil.
 func (e *Engine) ComputeForces(w, wPME *work.Counters) EnergyReport {
 	e.listFresh = false
+	var t0 time.Time
+	if e.mClassic != nil {
+		t0 = time.Now()
+	}
 	if !e.listValid() {
 		e.RefreshList(w)
 	}
@@ -230,12 +269,23 @@ func (e *Engine) ComputeForces(w, wPME *work.Counters) EnergyReport {
 	rep.FF = e.FF.Bonded(e.Pos, e.Frc, w)
 	rep.FF.Add(e.nbk.Compute(e.Pos, e.pairs, e.Frc, w))
 	rep.FF.Add(e.FF.Pairs14(e.Pos, e.Frc, w))
+	if e.mClassic != nil {
+		now := time.Now()
+		e.mClassic.Add(now.Sub(t0).Seconds())
+		t0 = now
+	}
 	if e.pme != nil {
 		charges := e.FF.Charges()
 		rep.Recip = e.pme.Recip(e.Pos, charges, e.Frc, wPME)
 		rep.Self = ewald.SelfEnergy(charges, e.Cfg.PME.Beta)
 		rep.ExclCorr = ewald.ExclusionCorrection(e.Sys.Box, e.Pos, charges, e.Sys.Excl, e.Cfg.PME.Beta, e.Frc, wPME)
 		rep.Background = ewald.BackgroundEnergy(charges, e.Cfg.PME.Beta, e.Sys.Box.Volume())
+		if e.mPME != nil {
+			e.mPME.Add(time.Since(t0).Seconds())
+		}
+	}
+	if e.mEvals != nil {
+		e.mEvals.Inc()
 	}
 	rep.Kinetic = e.KineticEnergy()
 	return rep

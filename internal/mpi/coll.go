@@ -23,6 +23,7 @@ func (r *Rank) Barrier() {
 	if p == 1 {
 		return
 	}
+	t0 := r.Now()
 	prev := r.SyncClass
 	r.SyncClass = true
 	for dist := 1; dist < p; dist *= 2 {
@@ -31,6 +32,7 @@ func (r *Rank) Barrier() {
 		r.Sendrecv(dst, tagBarrier+dist, 0, src, tagBarrier+dist)
 	}
 	r.SyncClass = prev
+	r.W.observeColl("barrier", r.Now()-t0)
 }
 
 // Bcast distributes bytes from root along a binomial tree. Returns the
@@ -96,8 +98,10 @@ func (r *Rank) Reduce(root, bytes int, reduceOp float64) {
 // Allreduce is MPICH-1's reduce-to-root plus broadcast — the inefficiency
 // the paper's reference platform actually ran.
 func (r *Rank) Allreduce(bytes int, reduceOp float64) {
+	t0 := r.Now()
 	r.Reduce(0, bytes, reduceOp)
 	r.Bcast(0, bytes)
+	r.W.observeColl("allreduce", r.Now()-t0)
 }
 
 // Gather collects per-rank blocks at root (linear algorithm: root receives
@@ -134,8 +138,10 @@ func (r *Rank) Allgatherv(blockBytes []int) {
 	for _, b := range blockBytes {
 		total += b
 	}
+	t0 := r.Now()
 	r.Gather(0, blockBytes[r.ID], blockBytes)
 	r.Bcast(0, total)
+	r.W.observeColl("allgatherv", r.Now()-t0)
 }
 
 // Alltoallv performs personalized all-to-all exchange: rank i sends
@@ -149,11 +155,13 @@ func (r *Rank) Alltoallv(sizes [][]int) {
 	if len(sizes) != p {
 		panic("mpi: Alltoallv needs a p×p size matrix")
 	}
+	t0 := r.Now()
 	for shift := 1; shift < p; shift++ {
 		dst := (r.ID + shift) % p
 		src := (r.ID - shift + p) % p
 		r.Sendrecv(dst, tagAlltoall+shift, sizes[r.ID][dst], src, tagAlltoall+shift)
 	}
+	r.W.observeColl("alltoallv", r.Now()-t0)
 }
 
 // AlltoallUniform is Alltoallv with the same block size to every partner.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/work"
@@ -60,9 +61,58 @@ func (a *Accounting) Add(b Accounting) {
 type World struct {
 	M      *cluster.Machine
 	Cost   cluster.CostModel
-	Tracer *trace.Collector // optional event collection
-	Wd     Watchdog         // zero value: blocking waits are unbounded
+	Tracer trace.Sink    // optional event collection (flat collector or obs recorder)
+	Obs    *obs.Recorder // optional metrics + hierarchical spans
+	Wd     Watchdog      // zero value: blocking waits are unbounded
 	ranks  []*Rank
+
+	// Registry-backed transport metrics, created once per job when Obs is
+	// attached (nil handles otherwise; every hook is nil-gated).
+	mMsgBytes *obs.Histogram
+	mMsgs     *obs.Counter
+	mColl     map[string]*obs.Histogram
+}
+
+// collOps are the instrumented collective operations, in the latency
+// histograms' op label.
+var collOps = []string{"barrier", "allreduce", "allgatherv", "alltoallv"}
+
+// initMetrics creates the world's transport metric handles on the
+// recorder's registry.
+func (w *World) initMetrics() {
+	if w.Obs == nil {
+		return
+	}
+	reg := w.Obs.Registry()
+	// Message sizes from 64 B to ~1 GB; collective latencies from 1 µs to
+	// ~1000 s of virtual time.
+	w.mMsgBytes = reg.Histogram("repro_mpi_message_bytes",
+		"point-to-point message payload sizes", obs.ExpBuckets(64, 4, 13))
+	w.mMsgs = reg.Counter("repro_mpi_messages_total",
+		"point-to-point messages initiated")
+	w.mColl = map[string]*obs.Histogram{}
+	for _, op := range collOps {
+		w.mColl[op] = reg.Histogram("repro_mpi_collective_seconds",
+			"per-rank collective latency (virtual seconds)",
+			obs.ExpBuckets(1e-6, 10, 10), obs.L("op", op))
+	}
+}
+
+// observeMsg books one initiated point-to-point message.
+func (w *World) observeMsg(bytes int) {
+	if w.mMsgs == nil {
+		return
+	}
+	w.mMsgs.Inc()
+	w.mMsgBytes.Observe(float64(bytes))
+}
+
+// observeColl books one rank's latency through a collective.
+func (w *World) observeColl(op string, d float64) {
+	if w.mColl == nil {
+		return
+	}
+	w.mColl[op].Observe(d)
 }
 
 // Size returns the number of ranks.
@@ -128,6 +178,19 @@ func (r *Rank) TraceSpan(kind trace.Kind, label string, start, end float64) {
 	_ = r.W.Tracer.Add(trace.Event{Rank: r.ID, Kind: kind, Label: label, Start: start, End: end})
 }
 
+// Recorder returns the world's observability recorder (nil when the job
+// runs without one). Layers above use it to open hierarchical spans that
+// the flat trace events nest under.
+func (r *Rank) Recorder() *obs.Recorder { return r.W.Obs }
+
+// Metrics returns the registry behind the observability recorder, or nil.
+func (r *Rank) Metrics() *obs.Registry {
+	if r.W.Obs == nil {
+		return nil
+	}
+	return r.W.Obs.Registry()
+}
+
 // ComputeWork charges the CPU time of the counted work through the world's
 // cost model.
 func (r *Rank) ComputeWork(w work.Counters) {
@@ -169,7 +232,13 @@ func (r *Rank) chargeMsg(d float64, sync bool) {
 
 // Options configures one simulated job beyond the machine and cost model.
 type Options struct {
-	Tracer   *trace.Collector   // optional event collection
+	Tracer trace.Sink // optional event collection
+
+	// Obs attaches the observability recorder: transport metrics (message
+	// sizes, collective latencies) land on its registry and, when Tracer
+	// is nil, it also becomes the event sink so spans nest hierarchically.
+	Obs *obs.Recorder
+
 	Faults   cluster.FaultModel // optional platform degradation
 	Watchdog Watchdog           // zero value: unbounded blocking waits
 
@@ -187,9 +256,9 @@ func Run(cfg cluster.Config, cost cluster.CostModel, fn func(*Rank)) ([]Accounti
 	return RunOpts(cfg, cost, Options{}, fn)
 }
 
-// RunTraced is Run with an optional event collector receiving every
+// RunTraced is Run with an optional event sink receiving every
 // compute/communication interval of every rank.
-func RunTraced(cfg cluster.Config, cost cluster.CostModel, tracer *trace.Collector, fn func(*Rank)) ([]Accounting, error) {
+func RunTraced(cfg cluster.Config, cost cluster.CostModel, tracer trace.Sink, fn func(*Rank)) ([]Accounting, error) {
 	return RunOpts(cfg, cost, Options{Tracer: tracer}, fn)
 }
 
@@ -206,7 +275,11 @@ func RunOpts(cfg cluster.Config, cost cluster.CostModel, opts Options, fn func(*
 	env.SetWorkers(opts.HostWorkers)
 	m := cluster.New(env, cfg)
 	m.Faults = opts.Faults
-	w := &World{M: m, Cost: cost, Tracer: opts.Tracer, Wd: opts.Watchdog}
+	w := &World{M: m, Cost: cost, Tracer: opts.Tracer, Obs: opts.Obs, Wd: opts.Watchdog}
+	if w.Tracer == nil && opts.Obs != nil {
+		w.Tracer = opts.Obs
+	}
+	w.initMetrics()
 	var panics []interface{}
 	for i := 0; i < m.Ranks(); i++ {
 		r := &Rank{W: w, ID: i}

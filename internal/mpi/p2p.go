@@ -72,6 +72,7 @@ func (r *Rank) Send(dst, tag, bytes int) {
 
 	r.transferPayload(msg)
 	r.acct.BytesSent += int64(bytes)
+	r.W.observeMsg(bytes)
 	r.chargeMsg(r.Now()-t0, false)
 	kind := trace.KindSend
 	if r.SyncClass {
@@ -330,6 +331,7 @@ func (r *Rank) Isend(dst, tag, bytes int) *Request {
 		}
 	})
 	r.acct.BytesSent += int64(bytes)
+	r.W.observeMsg(bytes)
 	return req
 }
 

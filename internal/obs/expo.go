@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// escapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double quote and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k="v",...} with keys sorted; extra pairs (used for
+// the histogram le label) are appended last.
+func formatLabels(labels []Label, extra ...Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	ls = append(ls, extra...)
+	if len(ls) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.K + `="` + escapeLabel(l.V) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, sorted families, sorted series,
+// escaped label values, cumulative histogram buckets with a +Inf bound.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		sigs := append([]string(nil), f.order...)
+		help, typ := f.help, f.typ
+		r.mu.Unlock()
+		sort.Strings(sigs)
+
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, sig := range sigs {
+			r.mu.Lock()
+			s := f.series[sig]
+			r.mu.Unlock()
+			switch typ {
+			case typeCounter, typeGauge:
+				var v float64
+				if s.c != nil {
+					v = s.c.Value()
+				} else {
+					v = s.g.Value()
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", name, formatLabels(s.labels), formatValue(v)); err != nil {
+					return err
+				}
+			case typeHistogram:
+				cum, sum, count := s.h.Snapshot()
+				bounds := s.h.Bounds()
+				for i, b := range bounds {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						name, formatLabels(s.labels, L("le", formatValue(b))), cum[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					name, formatLabels(s.labels, L("le", "+Inf")), cum[len(cum)-1]); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(s.labels), formatValue(sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.labels), count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

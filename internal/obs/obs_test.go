@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("repro_test_total", "a counter", L("k", "v"))
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	// Same (name, labels) returns the same handle.
+	if c2 := reg.Counter("repro_test_total", "a counter", L("k", "v")); c2 != c {
+		t.Fatal("re-request returned a different counter")
+	}
+	// Different labels: a new series.
+	if c3 := reg.Counter("repro_test_total", "a counter", L("k", "w")); c3 == c {
+		t.Fatal("different labels returned the same series")
+	}
+
+	g := reg.Gauge("repro_test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7", got)
+	}
+	if got := reg.Value("repro_test_gauge"); got != 7 {
+		t.Fatalf("Value lookup = %g, want 7", got)
+	}
+	if got := reg.Value("repro_missing"); got != 0 {
+		t.Fatalf("missing metric = %g, want 0", got)
+	}
+}
+
+func TestNegativeCounterPanics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("repro_down_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter delta did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestTypeRedeclarationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_typed_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("repro_typed_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	reg.Counter("repro bad name", "")
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("repro_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 0.01} {
+		h.Observe(v)
+	}
+	cum, sum, count := h.Snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-0.5655) > 1e-12 {
+		t.Fatalf("sum = %g, want 0.5655", sum)
+	}
+	// Cumulative: ≤0.001: 1; ≤0.01: 3 (0.01 lands in its own bound); ≤0.1: 4; +Inf: 5.
+	want := []uint64{1, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("repro_conc_total", "")
+			h := reg.Histogram("repro_conc_seconds", "", []float64{1, 2})
+			g := reg.Gauge("repro_conc_gauge", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Value("repro_conc_total"); got != 8000 {
+		t.Fatalf("concurrent counter = %g, want 8000", got)
+	}
+	_, _, count := reg.Histogram("repro_conc_seconds", "", []float64{1, 2}).Snapshot()
+	if count != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", count)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_b_total", "second family").Add(2)
+	reg.Counter("repro_a_total", "first family", L("rank", "1")).Add(1)
+	reg.Counter("repro_a_total", "first family", L("rank", "0")).Add(3)
+	reg.Gauge("repro_g", "a gauge").Set(-1.5)
+	reg.Histogram("repro_h_seconds", "hist", []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Families sorted by name, series sorted by labels.
+	if !(strings.Index(out, "repro_a_total") < strings.Index(out, "repro_b_total")) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	if !(strings.Index(out, `rank="0"`) < strings.Index(out, `rank="1"`)) {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP repro_a_total first family",
+		"# TYPE repro_a_total counter",
+		`repro_a_total{rank="0"} 3`,
+		"# TYPE repro_g gauge",
+		"repro_g -1.5",
+		`repro_h_seconds_bucket{le="0.1"} 0`,
+		`repro_h_seconds_bucket{le="1"} 1`,
+		`repro_h_seconds_bucket{le="+Inf"} 1`,
+		"repro_h_seconds_sum 0.5",
+		"repro_h_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Exposition-format escaping of label values (satellite: quotes,
+// backslashes and newlines must round-trip safely).
+func TestPromLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_esc_total", `help with \ backslash
+and newline`, L("lbl", "quote\" back\\slash\nnewline")).Inc()
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `lbl="quote\" back\\slash\nnewline"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP repro_esc_total help with \\ backslash\nand newline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	// Every exposition line must parse as comment or sample: no line may
+	// start mid-value because of an unescaped newline.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "repro_") {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_z_total", "", L("a", "2")).Inc()
+	reg.Counter("repro_z_total", "", L("a", "1")).Inc()
+	reg.Gauge("repro_a_gauge", "").Set(4)
+	s1 := reg.Snapshot()
+	s2 := reg.Snapshot()
+	if len(s1) != 3 || len(s2) != 3 {
+		t.Fatalf("snapshot lengths %d/%d, want 3", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].Value != s2[i].Value {
+			t.Fatalf("snapshot not deterministic: %v vs %v", s1[i], s2[i])
+		}
+	}
+	if s1[0].Name != "repro_a_gauge" {
+		t.Fatalf("snapshot not sorted by name: %v", s1[0])
+	}
+}

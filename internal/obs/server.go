@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Server is the opt-in live introspection endpoint (-obs-addr on the cmd
+// binaries). It serves:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/runz         live human-readable run state: uptime, status lines,
+//	              the per-rank classic/PME × compute/comm/sync table and
+//	              every gauge (current step, phase, cache occupancy, …)
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// The server runs on its own goroutine and never blocks the simulation:
+// handlers only read registry snapshots.
+type Server struct {
+	reg    *Registry
+	status func() []string // optional extra /runz lines
+	ln     net.Listener
+	srv    *http.Server
+	start  time.Time
+}
+
+// ServeOptions tunes NewServer.
+type ServeOptions struct {
+	// Status, when non-nil, contributes run-specific lines to /runz
+	// (e.g. "figure 5/13" or "step 42/500").
+	Status func() []string
+}
+
+// NewServer binds addr (host:port; an empty host binds all interfaces,
+// port 0 picks a free port) and starts serving. Addr() reports the bound
+// address; Close shuts the listener down.
+func NewServer(addr string, reg *Registry, opts ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, status: opts.Status, ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/runz", s.handleRunz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "repro observability endpoints:")
+	fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+	fmt.Fprintln(w, "  /runz         live run state")
+	fmt.Fprintln(w, "  /debug/pprof  Go profiling")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+}
+
+// phaseKey identifies one /runz decomposition row.
+type phaseKey struct {
+	rank  string
+	phase string
+}
+
+func (s *Server) handleRunz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "uptime %s\n", time.Since(s.start).Round(time.Millisecond))
+	if s.status != nil {
+		for _, line := range s.status() {
+			fmt.Fprintln(w, line)
+		}
+	}
+	points := s.reg.Snapshot()
+
+	// The paper's decomposition, pivoted rank × phase → bucket columns.
+	rows := map[phaseKey]map[string]float64{}
+	for _, p := range points {
+		if p.Name != "repro_phase_seconds_total" {
+			continue
+		}
+		k := phaseKey{rank: p.Labels["rank"], phase: p.Labels["phase"]}
+		if rows[k] == nil {
+			rows[k] = map[string]float64{}
+		}
+		rows[k][p.Labels["bucket"]] += p.Value
+	}
+	if len(rows) > 0 {
+		keys := make([]phaseKey, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].rank != keys[j].rank {
+				return keys[i].rank < keys[j].rank
+			}
+			return keys[i].phase < keys[j].phase
+		})
+		fmt.Fprintf(w, "\n%-6s %-8s %12s %12s %12s %12s %9s\n",
+			"rank", "phase", "compute(s)", "comm(s)", "sync(s)", "total(s)", "overhead")
+		for _, k := range keys {
+			b := rows[k]
+			total := b["compute"] + b["comm"] + b["sync"]
+			overhead := 0.0
+			if total > 0 {
+				overhead = 100 * (b["comm"] + b["sync"]) / total
+			}
+			fmt.Fprintf(w, "%-6s %-8s %12.6f %12.6f %12.6f %12.6f %8.1f%%\n",
+				k.rank, k.phase, b["compute"], b["comm"], b["sync"], total, overhead)
+		}
+	}
+
+	// Every gauge, then every non-decomposition counter, as name{labels}=v.
+	var lines []string
+	for _, p := range points {
+		if p.Name == "repro_phase_seconds_total" || p.Type == "histogram" {
+			continue
+		}
+		var lbl []Label
+		for k, v := range p.Labels {
+			lbl = append(lbl, L(k, v))
+		}
+		lines = append(lines, fmt.Sprintf("%s%s = %g", p.Name, formatLabels(lbl), p.Value))
+	}
+	if len(lines) > 0 {
+		fmt.Fprintln(w)
+		sort.Strings(lines)
+		fmt.Fprintln(w, strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	for rank := 0; rank < 2; rank++ {
+		rl := L("rank", fmt.Sprintf("%d", rank))
+		reg.Counter("repro_phase_seconds_total", "", rl, L("phase", "classic"), L("bucket", "compute")).Add(2)
+		reg.Counter("repro_phase_seconds_total", "", rl, L("phase", "classic"), L("bucket", "comm")).Add(1)
+		reg.Counter("repro_phase_seconds_total", "", rl, L("phase", "classic"), L("bucket", "sync")).Add(1)
+	}
+	reg.Gauge("repro_run_step", "current MD step").Set(7)
+
+	srv, err := NewServer("127.0.0.1:0", reg, ServeOptions{
+		Status: func() []string { return []string{"status: testing"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `repro_phase_seconds_total{bucket="compute",phase="classic",rank="0"} 2`) {
+		t.Fatalf("/metrics missing decomposition:\n%s", body)
+	}
+
+	code, body = get(t, base+"/runz")
+	if code != 200 {
+		t.Fatalf("/runz status %d", code)
+	}
+	for _, want := range []string{"status: testing", "uptime", "classic", "50.0%", "repro_run_step = 7"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/runz missing %q:\n%s", want, body)
+		}
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != 404 {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_x_total", "").Add(4)
+	m := NewManifest()
+	m.Seeds["system"] = 1
+	m.Config["steps"] = 10
+	m.Attach(reg)
+
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != "repro/obs/v1" {
+		t.Fatalf("schema = %q", got.Schema)
+	}
+	if got.Seeds["system"] != 1 || got.NumCPU < 1 || got.GoVersion == "" {
+		t.Fatalf("provenance not round-tripped: %+v", got)
+	}
+	if len(got.Metrics) != 1 || got.Metrics[0].Name != "repro_x_total" || got.Metrics[0].Value != 4 {
+		t.Fatalf("metrics not round-tripped: %+v", got.Metrics)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRecorder(nil)
+	step := r.Begin(0, trace.KindPhase, "step 0", 0)
+	classic := r.Begin(0, trace.KindPhase, "classic", 0)
+	_ = r.Add(trace.Event{Rank: 0, Kind: trace.KindCompute, Label: "compute", Start: 0, End: 1})
+	classic.End(1.5)
+	pme := r.Begin(0, trace.KindPhase, "pme", 1.5)
+	pme.End(2)
+	step.End(2)
+	r.Close()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	byLabel := map[string]SpanRecord{}
+	for _, s := range spans {
+		byLabel[s.Label] = s
+	}
+	if byLabel["step 0"].Depth != 0 || byLabel["step 0"].Parent != -1 {
+		t.Fatalf("step span not root: %+v", byLabel["step 0"])
+	}
+	if byLabel["classic"].Depth != 1 {
+		t.Fatalf("classic span depth = %d, want 1", byLabel["classic"].Depth)
+	}
+	if spans[byLabel["classic"].Parent].Label != "step 0" {
+		t.Fatalf("classic parent = %+v", spans[byLabel["classic"].Parent])
+	}
+	if byLabel["compute"].Depth != 2 || spans[byLabel["compute"].Parent].Label != "classic" {
+		t.Fatalf("leaf event not nested under classic: %+v", byLabel["compute"])
+	}
+
+	// Aggregate counters saw every interval.
+	reg := r.Registry()
+	if got := reg.Value("repro_trace_events_total", L("kind", "phase"), L("rank", "0")); got != 3 {
+		t.Fatalf("phase events = %g, want 3", got)
+	}
+	if got := reg.Value("repro_trace_seconds_total", L("kind", "compute"), L("rank", "0")); got != 1 {
+		t.Fatalf("compute seconds = %g, want 1", got)
+	}
+}
+
+// Zero-duration spans are legal and recorded.
+func TestZeroDurationSpan(t *testing.T) {
+	r := NewRecorder(nil)
+	s := r.Begin(1, trace.KindSync, "instant", 5)
+	s.End(5)
+	// End before start clamps to zero duration instead of going negative.
+	s2 := r.Begin(1, trace.KindSync, "clamped", 7)
+	s2.End(6)
+	r.Close()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Duration() != 0 {
+			t.Fatalf("span %q duration = %g, want 0", sp.Label, sp.Duration())
+		}
+	}
+	if spans[1].Start != 7 || spans[1].End != 7 {
+		t.Fatalf("clamped span = [%g, %g], want [7, 7]", spans[1].Start, spans[1].End)
+	}
+}
+
+// Out-of-order closes: ending an outer span force-ends its still-open
+// children at the same time; the child's own later End is a no-op.
+func TestOutOfOrderClose(t *testing.T) {
+	r := NewRecorder(nil)
+	outer := r.Begin(0, trace.KindPhase, "outer", 0)
+	inner := r.Begin(0, trace.KindPhase, "inner", 1)
+	outer.End(3) // closes inner implicitly at 3
+	inner.End(9) // stale close: must be ignored
+	r.Close()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	for _, sp := range spans {
+		if sp.End != 3 {
+			t.Fatalf("span %q end = %g, want 3", sp.Label, sp.End)
+		}
+	}
+	// Double-End is also a no-op.
+	if got := r.Registry().Value("repro_trace_events_total", L("kind", "phase"), L("rank", "0")); got != 2 {
+		t.Fatalf("phase events = %g, want 2 (double close must not double count)", got)
+	}
+}
+
+// Events after Close are dropped, not recorded and not fatal.
+func TestEmitAfterClose(t *testing.T) {
+	r := NewRecorder(nil)
+	open := r.Begin(0, trace.KindCompute, "unfinished", 0)
+	r.Close()
+
+	if err := r.Add(trace.Event{Rank: 0, Kind: trace.KindCompute, Label: "late", Start: 1, End: 2}); err != nil {
+		t.Fatalf("Add after Close errored: %v", err)
+	}
+	late := r.Begin(0, trace.KindCompute, "late-span", 1)
+	late.End(2)
+	open.End(9) // the span Close discarded
+
+	if got := len(r.Spans()); got != 0 {
+		t.Fatalf("spans after close = %d, want 0 (unfinished span discarded, late events dropped)", got)
+	}
+	if r.Dropped() < 2 {
+		t.Fatalf("dropped = %d, want >= 2", r.Dropped())
+	}
+	if got := r.Registry().Value("repro_trace_events_total", L("kind", "compute"), L("rank", "0")); got != 0 {
+		t.Fatalf("late events leaked into counters: %g", got)
+	}
+	if r.Collector().Len() != 0 {
+		t.Fatal("late events leaked into the flat collector")
+	}
+}
+
+func TestRecorderIsTraceSink(t *testing.T) {
+	var sink trace.Sink = NewRecorder(nil)
+	if err := sink.Add(trace.Event{Rank: 0, Kind: trace.KindSend, Label: "send", Start: 0, End: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Add(trace.Event{Rank: 0, Kind: trace.KindSend, Start: 2, End: 1}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+// The Chrome export — the sink cmd/tracer always had — survives through
+// the recorder.
+func TestRecorderChromeExport(t *testing.T) {
+	r := NewRecorder(nil)
+	_ = r.Add(trace.Event{Rank: 2, Kind: trace.KindRecv, Label: "recv", Start: 0.5, End: 1})
+	var b strings.Builder
+	if err := r.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"recv"`, `"cat":"recv"`, `"tid":2`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("chrome export missing %q: %s", want, b.String())
+		}
+	}
+}
+
+func TestCloseTwice(t *testing.T) {
+	r := NewRecorder(nil)
+	_ = r.Add(trace.Event{Rank: 0, Kind: trace.KindSync, Label: "s", Start: 0, End: 1})
+	r.Close()
+	r.Close()
+	if got := len(r.Spans()); got != 1 {
+		t.Fatalf("spans = %d, want 1", got)
+	}
+}

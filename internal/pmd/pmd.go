@@ -26,6 +26,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/topol"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -65,9 +66,16 @@ type Config struct {
 	// algorithms rather than network hardware. MPI middleware only.
 	ModernCollectives bool
 
-	// Tracer, when non-nil, collects every compute/communication interval
+	// Tracer, when non-nil, receives every compute/communication interval
 	// of every rank plus classic/PME phase spans for timeline rendering.
-	Tracer *trace.Collector
+	// Any trace.Sink works: a *trace.Collector for the flat view, or an
+	// *obs.Recorder for the hierarchical one.
+	Tracer trace.Sink
+
+	// Obs, when non-nil, receives hierarchical step spans and live metrics
+	// (current step, guard trips, per-rank transport counters). When Tracer
+	// is nil the recorder also doubles as the event sink.
+	Obs *obs.Recorder
 
 	// Init, when non-nil, starts the run from a checkpoint instead of the
 	// system's build-time state (same atom count and timestep required).
@@ -147,6 +155,50 @@ type Result struct {
 	// log; verdicts are identical on every rank). A trip also surfaces as
 	// a *guard.TripError from Run.
 	GuardEvents []guard.Event
+}
+
+// RecordObs publishes the run's measured decomposition into reg as
+// counters: repro_phase_seconds_total{rank,phase,bucket} (§3.2's
+// computation/communication/synchronization split per phase per rank),
+// repro_phase_bytes_total{rank,phase}, repro_run_wall_seconds,
+// repro_run_steps_total and repro_run_ranks. The per-rank sums equal the
+// run's reported wall decomposition exactly — the counters are built from
+// the same PhaseSamples the Result reports.
+func (r *Result) RecordObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for rank := range r.Timings {
+		var tot [2]PhaseSample
+		for _, st := range r.Timings[rank] {
+			tot[0].Add(st.Classic)
+			tot[1].Add(st.PME)
+		}
+		rl := obs.L("rank", fmt.Sprintf("%d", rank))
+		for i, phase := range []string{"classic", "pme"} {
+			pl := obs.L("phase", phase)
+			help := "virtual seconds per rank, phase and time class (§3.2 decomposition)"
+			reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "compute")).Add(tot[i].Comp)
+			reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "comm")).Add(tot[i].Comm)
+			reg.Counter("repro_phase_seconds_total", help, rl, pl, obs.L("bucket", "sync")).Add(tot[i].Sync)
+			reg.Counter("repro_phase_wall_seconds_total",
+				"virtual wall seconds per rank and phase", rl, pl).Add(tot[i].Wall)
+			reg.Counter("repro_phase_bytes_total",
+				"bytes sent per rank and phase", rl, pl).Add(float64(tot[i].Bytes))
+		}
+		if rank < len(r.Acct) {
+			a := r.Acct[rank]
+			reg.Counter("repro_mpi_bytes_sent_total", "transport bytes sent per rank", rl).Add(float64(a.BytesSent))
+			reg.Counter("repro_mpi_bytes_recv_total", "transport bytes received per rank", rl).Add(float64(a.BytesRecv))
+		}
+	}
+	reg.Gauge("repro_run_ranks", "ranks in the last recorded run").Set(float64(r.P))
+	reg.Counter("repro_run_wall_seconds_total", "virtual wall clock of recorded runs").Add(r.Wall)
+	steps := 0
+	if len(r.Timings) > 0 {
+		steps = len(r.Timings[0])
+	}
+	reg.Counter("repro_run_steps_total", "MD steps completed in recorded runs").Add(float64(steps))
 }
 
 // PhaseTotals sums a phase over steps and returns the per-rank maxima the
@@ -284,8 +336,8 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 	}
 
 	opts := mpi.Options{
-		Tracer: cfg.Tracer, Faults: cfg.Faults, Watchdog: cfg.Watchdog,
-		HostWorkers: cfg.HostWorkers,
+		Tracer: cfg.Tracer, Obs: cfg.Obs, Faults: cfg.Faults,
+		Watchdog: cfg.Watchdog, HostWorkers: cfg.HostWorkers,
 	}
 	accts, err := mpi.RunOpts(clusterCfg, cost, opts, func(r *mpi.Rank) {
 		w := newWorker(r, cfg, sh, seed, tape)

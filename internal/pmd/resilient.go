@@ -9,6 +9,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -317,6 +318,18 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 		wd = mpi.DefaultWatchdog()
 	}
 
+	// Resilience metrics (nil-gated: a run without an obs recorder pays
+	// nothing). Counters accumulate across attempts of this invocation.
+	var reg *obs.Registry
+	if rcfg.Obs != nil {
+		reg = rcfg.Obs.Registry()
+	}
+	obsCount := func(name, help string, v float64) {
+		if reg != nil {
+			reg.Counter(name, help).Add(v)
+		}
+	}
+
 	out := &ResilientResult{}
 	curCfg := clusterCfg
 	totalSteps := rcfg.Steps
@@ -330,7 +343,7 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 
 	var ring *md.CheckpointRing
 	if rcfg.CheckpointDir != "" {
-		ring = &md.CheckpointRing{Dir: rcfg.CheckpointDir, Keep: rcfg.KeepCheckpoints}
+		ring = &md.CheckpointRing{Dir: rcfg.CheckpointDir, Keep: rcfg.KeepCheckpoints, Obs: reg}
 		cp, meta, skipped, err := ring.LoadNewest()
 		switch {
 		case err == nil:
@@ -485,6 +498,7 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			}
 			out.Wall += detected + rcfg.RestartCost
 			offset += detected + rcfg.RestartCost
+			obsCount("repro_guard_fallbacks_total", "guard trips healed by the exact-kernel fallback", 1)
 
 		case errors.As(err, &ce):
 			restarts++
@@ -542,6 +556,8 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 				Lost:        lost,
 				Checkpoint:  cp,
 			})
+			obsCount("repro_recoveries_total", "crash-and-rewind recovery cycles", 1)
+			obsCount("repro_recovery_lost_seconds_total", "virtual seconds discarded by crash rewinds", lost)
 			if inj != nil {
 				if spec, ok := inj.CrashSpecAt(ce.Rank); ok {
 					consumed = append(consumed, spec)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/space"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -147,6 +148,12 @@ type worker struct {
 	// Only touched from inline/onStep code on the scheduler thread.
 	stop bool
 
+	// Cached live-metric handles (nil without an obs recorder). The step
+	// gauge is rank 0's; the trip counter fires on every attempt, including
+	// ones whose partial result is later discarded.
+	mStep       *obs.Gauge
+	mGuardTrips *obs.Counter
+
 	// Partitions.
 	p                       int
 	atomOff                 []int // atoms
@@ -197,6 +204,13 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 		w.c = mpiComms{r: r}
 	}
 	w.dtAKMA = dtAKMA(cfg.MD)
+	if reg := r.Metrics(); reg != nil {
+		if r.ID == 0 {
+			w.mStep = reg.Gauge("repro_run_step", "current MD step of the live run")
+		}
+		w.mGuardTrips = reg.Counter("repro_guard_trips_total",
+			"numeric guard trips, counted once per tripped attempt")
+	}
 	if cfg.Guard.Enabled && !tape.Complete() {
 		w.guard = guard.NewMonitor(cfg.Guard, cfg.MD.FF.ExactKernels)
 	}
@@ -364,6 +378,16 @@ func (w *worker) run(res *Result) {
 	for step := 0; step < w.cfg.Steps; step++ {
 		var st StepTiming
 
+		// Hierarchical step span: the flat intervals and phase lanes the
+		// step emits below nest under it in the recorder's view.
+		var stepSpan *obs.Span
+		if rec := w.r.Recorder(); rec != nil {
+			stepSpan = rec.Begin(w.me(), trace.KindPhase, fmt.Sprintf("step %d", step), w.r.Now())
+		}
+		if w.mStep != nil {
+			w.mStep.Set(float64(step))
+		}
+
 		// ---- Classic phase ---------------------------------------------
 		tr := w.beginPhase()
 
@@ -432,12 +456,18 @@ func (w *worker) run(res *Result) {
 					tripped = true
 					if w.me() == 0 {
 						w.sh.guardTrip = &ev
+						if w.mGuardTrips != nil {
+							w.mGuardTrips.Inc()
+						}
 					}
 					w.r.TraceSpan(trace.KindGuard, "guard:"+string(ev.Cause), tr.t0, stepEnd)
 				} else {
 					w.guard.Observe(rep.Total())
 				}
 			})
+		}
+		if stepSpan != nil {
+			stepSpan.End(stepEnd)
 		}
 		if tripped {
 			// The tripped step's timings and energies are discarded — the

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind classifies an interval.
@@ -40,9 +41,35 @@ type Event struct {
 // Duration returns End − Start.
 func (e Event) Duration() float64 { return e.End - e.Start }
 
-// Collector accumulates events. The zero value is ready to use. It is not
-// safe for concurrent use (the discrete-event simulation is sequential).
+// KnownKinds lists every interval kind a collector can receive, in render
+// order.
+func KnownKinds() []Kind {
+	return []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute, KindFault, KindGuard}
+}
+
+// KnownKind reports whether s names one of the emitted interval kinds.
+func KnownKind(s string) bool {
+	for _, k := range KnownKinds() {
+		if Kind(s) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Sink receives trace events. *Collector is the plain implementation; the
+// obs.Recorder is the richer one (hierarchical spans, metric aggregation)
+// — every layer that used to require a *Collector accepts a Sink.
+type Sink interface {
+	Add(Event) error
+}
+
+// Collector accumulates events. The zero value is ready to use. All
+// methods are safe for concurrent use: the discrete-event simulation is
+// sequential, but the host-parallel worker pool (-workers, see
+// internal/sim) may drive instrumented segments from several goroutines.
 type Collector struct {
+	mu     sync.Mutex
 	events []Event
 }
 
@@ -51,13 +78,22 @@ func (c *Collector) Add(e Event) error {
 	if e.End < e.Start {
 		return fmt.Errorf("trace: negative interval %+v", e)
 	}
+	c.mu.Lock()
 	c.events = append(c.events, e)
+	c.mu.Unlock()
 	return nil
+}
+
+// snapshot copies the current event slice under the lock.
+func (c *Collector) snapshot() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
 }
 
 // Events returns the recorded events sorted by (start, rank).
 func (c *Collector) Events() []Event {
-	out := append([]Event(nil), c.events...)
+	out := c.snapshot()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -68,15 +104,20 @@ func (c *Collector) Events() []Event {
 }
 
 // Len returns the number of recorded events.
-func (c *Collector) Len() int { return len(c.events) }
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
 
 // Span returns the overall [min start, max end] of the trace.
 func (c *Collector) Span() (start, end float64) {
-	if len(c.events) == 0 {
+	events := c.snapshot()
+	if len(events) == 0 {
 		return 0, 0
 	}
-	start, end = c.events[0].Start, c.events[0].End
-	for _, e := range c.events {
+	start, end = events[0].Start, events[0].End
+	for _, e := range events {
 		if e.Start < start {
 			start = e.Start
 		}
@@ -90,10 +131,32 @@ func (c *Collector) Span() (start, end float64) {
 // Busy sums, per rank, the time covered by events of the given kind.
 func (c *Collector) Busy(kind Kind) map[int]float64 {
 	out := map[int]float64{}
-	for _, e := range c.events {
+	for _, e := range c.snapshot() {
 		if e.Kind == kind {
 			out[e.Rank] += e.Duration()
 		}
+	}
+	return out
+}
+
+// Filter returns a new collector holding only events whose kind is in
+// kinds (nil/empty keeps every kind) and whose duration is at least
+// minDur. It is how cmd/tracer cuts huge timelines down to the lanes of
+// interest.
+func (c *Collector) Filter(kinds []Kind, minDur float64) *Collector {
+	keep := map[Kind]bool{}
+	for _, k := range kinds {
+		keep[k] = true
+	}
+	out := &Collector{}
+	for _, e := range c.snapshot() {
+		if len(keep) > 0 && !keep[e.Kind] {
+			continue
+		}
+		if e.Duration() < minDur {
+			continue
+		}
+		out.events = append(out.events, e)
 	}
 	return out
 }
@@ -116,13 +179,14 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 	if width < 10 {
 		width = 10
 	}
+	events := c.snapshot()
 	start, end := c.Span()
 	if end <= start {
 		_, err := fmt.Fprintln(w, "trace: empty")
 		return err
 	}
 	ranks := map[int]bool{}
-	for _, e := range c.events {
+	for _, e := range events {
 		ranks[e.Rank] = true
 	}
 	ids := make([]int, 0, len(ranks))
@@ -138,9 +202,9 @@ func (c *Collector) RenderTimeline(w io.Writer, width int) error {
 	}
 	// Order: phases first (background), then comm, then compute; fault
 	// windows are an overlay and render topmost so they stay visible.
-	order := []Kind{KindPhase, KindSync, KindSend, KindRecv, KindCompute, KindFault, KindGuard}
+	order := KnownKinds()
 	for _, kind := range order {
-		for _, e := range c.events {
+		for _, e := range events {
 			if e.Kind != kind {
 				continue
 			}
@@ -177,7 +241,7 @@ type chromeEvent struct {
 
 // WriteChromeJSON emits the trace in the Chrome trace-event array format.
 func (c *Collector) WriteChromeJSON(w io.Writer) error {
-	out := make([]chromeEvent, 0, len(c.events))
+	out := make([]chromeEvent, 0, c.Len())
 	for _, e := range c.Events() {
 		out = append(out, chromeEvent{
 			Name: e.Label,

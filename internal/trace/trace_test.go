@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -101,5 +102,34 @@ func TestChromeJSON(t *testing.T) {
 	}
 	if first["dur"].(float64) <= 0 {
 		t.Fatal("non-positive duration")
+	}
+}
+
+// The host-parallel worker pool can drive instrumented segments from
+// several goroutines; Add and the readers must tolerate that (run with
+// -race).
+func TestCollectorConcurrentAdd(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = c.Add(Event{Rank: g, Kind: KindCompute, Label: "w", Start: float64(i), End: float64(i) + 0.5})
+				// Interleave reads with writes: these must not race.
+				_ = c.Len()
+				_ = c.Busy(KindCompute)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got != writers*per {
+		t.Fatalf("events = %d, want %d", got, writers*per)
+	}
+	start, end := c.Span()
+	if start != 0 || end != per-1+0.5 {
+		t.Fatalf("span = [%g, %g]", start, end)
 	}
 }
