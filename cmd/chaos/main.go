@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,12 +21,17 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/pmd"
 )
+
+// obsDrainTimeout bounds how long exit paths wait for in-flight /metrics
+// and /runz scrapes to finish before force-closing the obs server.
+const obsDrainTimeout = 2 * time.Second
 
 func main() {
 	runs := flag.Int("runs", 20, "number of random scenarios to soak")
@@ -44,9 +50,18 @@ func main() {
 	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
+	obsDrain := func() {}
 	fail := func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		obsDrain()
 		os.Exit(2)
+	}
+	// die drains the obs server before exiting so a collector mid-scrape
+	// still gets a complete exposition of the failed soak.
+	die := func(args ...interface{}) {
+		fmt.Fprintln(os.Stderr, append([]interface{}{"chaos:"}, args...)...)
+		obsDrain()
+		os.Exit(1)
 	}
 	if *runs < 1 {
 		fail("-runs must be >= 1 (got %d)", *runs)
@@ -92,10 +107,14 @@ func main() {
 			Status: func() []string { return []string{fmt.Sprintf("chaos: soaking %d scenarios", *runs)} },
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
-			os.Exit(1)
+			die(err)
 		}
-		defer srv.Close()
+		obsDrain = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+			defer cancel()
+			_ = srv.Close(ctx)
+		}
+		defer obsDrain()
 		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
 	}
 	writeManifest := func() {
@@ -110,8 +129,7 @@ func main() {
 		m.Config["net"] = *netName
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
-			fmt.Fprintln(os.Stderr, "chaos: manifest:", err)
-			os.Exit(1)
+			die("manifest:", err)
 		}
 		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
 	}
@@ -130,16 +148,14 @@ func main() {
 		Logf:            logf,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chaos:", err)
-		os.Exit(1)
+		die(err)
 	}
 	fmt.Printf("soaking %d scenarios: p=%d (%d CPU/node) on %s, %d atoms, %d steps, workers %v, horizon %.3gs\n",
 		*runs, *procs, *cpus, net.Name, *atoms, *steps, workers, h.Horizon())
 
 	reports, failure, err := h.Soak(*runs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chaos: harness error:", err)
-		os.Exit(1)
+		die("harness error:", err)
 	}
 	if failure == nil {
 		var faults, recoveries int
@@ -161,8 +177,7 @@ func main() {
 		failure.Minimal.DSL(), failure.Seed, *procs, *cpus, *netName, *steps, *atoms)
 	if *failDir != "" {
 		if err := os.MkdirAll(*failDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
-			os.Exit(1)
+			die(err)
 		}
 		path := filepath.Join(*failDir, fmt.Sprintf("scenario-%d.json", failure.Seed))
 		buf, err := json.MarshalIndent(failure.Scenario, "", "  ")
@@ -170,11 +185,13 @@ func main() {
 			err = os.WriteFile(path, buf, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("  scenario JSON written to %s\n", path)
 	}
 	writeManifest()
+	// A FAIL exit still drains the obs endpoint: the final counters cover
+	// the run that violated the invariant, exactly what a collector wants.
+	obsDrain()
 	os.Exit(1)
 }

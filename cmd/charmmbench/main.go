@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 )
+
+// obsDrainTimeout bounds how long exit paths wait for in-flight /metrics
+// and /runz scrapes to finish before force-closing the obs server.
+const obsDrainTimeout = 2 * time.Second
 
 func main() {
 	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, or all")
@@ -43,15 +48,27 @@ func main() {
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	obsDrain := func() {}
+	// die drains the obs server before exiting so a collector mid-scrape
+	// still gets a complete exposition of the failed run.
+	die := func(args ...interface{}) {
+		fmt.Fprintln(os.Stderr, append([]interface{}{"charmmbench:"}, args...)...)
+		obsDrain()
+		os.Exit(1)
+	}
 	if *obsAddr != "" {
 		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
 			Status: func() []string { return []string{"charmmbench: figure " + *figure} },
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
-		defer srv.Close()
+		obsDrain = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+			defer cancel()
+			_ = srv.Close(ctx)
+		}
+		defer obsDrain()
 		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
 	}
 
@@ -61,6 +78,7 @@ func main() {
 			v, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || v < 1 {
 				fmt.Fprintf(os.Stderr, "charmmbench: bad -procs entry %q\n", tok)
+				obsDrain()
 				os.Exit(2)
 			}
 			opts.Procs = append(opts.Procs, v)
@@ -74,30 +92,27 @@ func main() {
 		f = core.FormatCSV
 	default:
 		fmt.Fprintf(os.Stderr, "charmmbench: unknown format %q\n", *format)
+		obsDrain()
 		os.Exit(2)
 	}
 
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := pprof.StartCPUProfile(pf); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *tracefile != "" {
 		tf, err := os.Create(*tracefile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := trace.Start(tf); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer trace.Stop()
 	}
@@ -106,8 +121,7 @@ func main() {
 	study := core.NewStudy(opts)
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		for _, id := range core.FigureIDs() {
 			if id == "1" || id == "2" {
@@ -116,16 +130,13 @@ func main() {
 			path := filepath.Join(*outdir, "figure_"+id+".csv")
 			out, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "charmmbench:", err)
-				os.Exit(1)
+				die(err)
 			}
 			if err := study.Figure(id, out, core.FormatCSV); err != nil {
-				fmt.Fprintln(os.Stderr, "charmmbench:", err)
-				os.Exit(1)
+				die(err)
 			}
 			if err := out.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "charmmbench:", err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Fprintln(os.Stderr, "wrote", path)
 		}
@@ -134,6 +145,7 @@ func main() {
 	if *figure == "all" {
 		if f == core.FormatCSV {
 			fmt.Fprintln(os.Stderr, "charmmbench: -format csv needs a single -figure")
+			obsDrain()
 			os.Exit(2)
 		}
 		err = study.All(os.Stdout)
@@ -141,8 +153,7 @@ func main() {
 		err = study.Figure(*figure, os.Stdout, f)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charmmbench:", err)
-		os.Exit(1)
+		die(err)
 	}
 
 	if *verbose {
@@ -160,25 +171,21 @@ func main() {
 		m.Config["workers"] = *workers
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
 	}
 	if *memprofile != "" {
 		mf, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(mf); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := mf.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "charmmbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 }

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
@@ -29,6 +31,10 @@ import (
 	"repro/internal/report"
 	"repro/internal/topol"
 )
+
+// obsDrainTimeout bounds how long exit paths wait for in-flight /metrics
+// and /runz scrapes to finish before force-closing the obs server.
+const obsDrainTimeout = 2 * time.Second
 
 func main() {
 	scenarioFile := flag.String("scenario", "", "JSON fault scenario file")
@@ -53,9 +59,18 @@ func main() {
 	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
 	flag.Parse()
 
+	obsDrain := func() {}
 	fail := func(formatStr string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "faultbench: "+formatStr+"\n", args...)
+		obsDrain()
 		os.Exit(2)
+	}
+	// die drains the obs server before exiting so a collector mid-scrape
+	// still gets a complete exposition of the failed run.
+	die := func(args ...interface{}) {
+		fmt.Fprintln(os.Stderr, append([]interface{}{"faultbench:"}, args...)...)
+		obsDrain()
+		os.Exit(1)
 	}
 	net, ok := netmodel.ByName(*netName)
 	if !ok {
@@ -146,10 +161,14 @@ func main() {
 			Status: func() []string { return []string{"faultbench: scenario " + sc.Name} },
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultbench:", err)
-			os.Exit(1)
+			die(err)
 		}
-		defer srv.Close()
+		obsDrain = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+			defer cancel()
+			_ = srv.Close(ctx)
+		}
+		defer obsDrain()
 		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
 	}
 
@@ -176,8 +195,7 @@ func main() {
 			RestartCost:     *restartCost,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if res.Resumed != nil {
 			fmt.Fprintf(os.Stderr, "faultbench: resumed from on-disk checkpoint at step %d (%d corrupt skipped, %.3gs lost)\n",
@@ -209,7 +227,7 @@ func main() {
 				fmt.Sprintf("%.2g", sev),
 				report.Seconds(res.Wall),
 				fmt.Sprintf("%.2fx", res.Wall/healthy.Wall),
-				report.Seconds(res.Wall-healthy.Wall),
+				report.Seconds(res.Wall - healthy.Wall),
 				report.Pct(compPct),
 				report.Pct(commPct),
 				report.Pct(syncPct),
@@ -229,8 +247,7 @@ func main() {
 		werr = report.Table(os.Stdout, headers, rows)
 	}
 	if werr != nil {
-		fmt.Fprintln(os.Stderr, "faultbench:", werr)
-		os.Exit(1)
+		die(werr)
 	}
 
 	if *obsManifest != "" {
@@ -244,8 +261,7 @@ func main() {
 		m.Config["net"] = net.Name
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
-			fmt.Fprintln(os.Stderr, "faultbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Fprintln(os.Stderr, "obs: manifest written to", *obsManifest)
 	}

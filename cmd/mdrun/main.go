@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/guard"
 	"repro/internal/md"
@@ -24,6 +26,10 @@ import (
 	"repro/internal/topol"
 	"repro/internal/work"
 )
+
+// obsDrainTimeout bounds how long exit paths wait for in-flight /metrics
+// and /runz scrapes to finish before force-closing the obs server.
+const obsDrainTimeout = 2 * time.Second
 
 func main() {
 	steps := flag.Int("steps", 10, "dynamics steps")
@@ -85,6 +91,14 @@ func main() {
 
 	reg := obs.NewRegistry()
 	stepGauge := reg.Gauge("repro_run_step", "current MD step of the live run")
+	obsDrain := func() {}
+	// die drains the obs server before exiting so a collector mid-scrape
+	// still gets a complete exposition of the failed run.
+	die := func(args ...interface{}) {
+		fmt.Fprintln(os.Stderr, append([]interface{}{"mdrun:"}, args...)...)
+		obsDrain()
+		os.Exit(1)
+	}
 	if *obsAddr != "" {
 		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
 			Status: func() []string {
@@ -92,10 +106,14 @@ func main() {
 			},
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdrun:", err)
-			os.Exit(1)
+			die(err)
 		}
-		defer srv.Close()
+		obsDrain = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+			defer cancel()
+			_ = srv.Close(ctx)
+		}
+		defer obsDrain()
 		fmt.Printf("obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
 	}
 
@@ -137,16 +155,14 @@ func main() {
 		switch {
 		case err == nil:
 			if err := engine.Restore(cp); err != nil {
-				fmt.Fprintln(os.Stderr, "mdrun:", err)
-				os.Exit(1)
+				die(err)
 			}
 			startStep = meta.Step
 			fmt.Printf("resumed from checkpoint at step %d (%d corrupt file(s) skipped)\n", startStep, skipped)
 		case errors.Is(err, md.ErrNoCheckpoint):
 			// fresh run
 		default:
-			fmt.Fprintln(os.Stderr, "mdrun:", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 	if startStep >= *steps && *steps > 0 {
@@ -167,8 +183,7 @@ func main() {
 		var err error
 		traj, err = os.Create(*xyz)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdrun:", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer traj.Close()
 	}
@@ -180,22 +195,19 @@ func main() {
 		stepGauge.Set(float64(s))
 		rep, err := engine.StepGuarded(mon, s, &wc, &wp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdrun:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("%6d %14.3f %14.3f %14.3f %14.3f %10.1f\n",
 			s, rep.Potential(), rep.Classic(), rep.PME(), rep.Total(), engine.Temperature())
 		if traj != nil && s%*every == 0 {
 			if err := sys.WriteXYZ(traj, engine.Pos, fmt.Sprintf("step %d E=%.3f", s, rep.Total())); err != nil {
-				fmt.Fprintln(os.Stderr, "mdrun:", err)
-				os.Exit(1)
+				die(err)
 			}
 		}
 		if ring != nil && s%*ckptEvery == 0 {
 			meta := md.DurableMeta{Step: s, RankAcct: make([][4]float64, 1)}
 			if err := ring.Save(engine.Snapshot(), meta); err != nil {
-				fmt.Fprintln(os.Stderr, "mdrun: checkpoint:", err)
-				os.Exit(1)
+				die("checkpoint:", err)
 			}
 		}
 	}
@@ -224,8 +236,7 @@ func main() {
 		m.Config["guard"] = *guardOn
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
-			fmt.Fprintln(os.Stderr, "mdrun: manifest:", err)
-			os.Exit(1)
+			die("manifest:", err)
 		}
 		fmt.Printf("obs: manifest written to %s\n", *obsManifest)
 	}

@@ -39,7 +39,12 @@ func RDF(box space.Box, pos []vec.V, selA, selB []int32, rmax, dr float64) (r, g
 			if d >= rmax {
 				continue
 			}
-			counts[int(d/dr)]++
+			// When rmax is not a whole number of bins, distances in the
+			// partial last interval [nbins*dr, rmax) have no bin: the
+			// histogram's effective range is nbins*dr.
+			if b := int(d / dr); b < nbins {
+				counts[b]++
+			}
 		}
 	}
 	if pairs == 0 {

@@ -175,8 +175,10 @@ func (s *Suite) workers() int {
 // runCase simulates one fully specified configuration, memoized on its
 // content key.
 func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern bool) (*pmd.Result, error) {
-	key := fmt.Sprintf("%s mw=%v modern=%t steps=%d fault=%q",
-		clusterCfg.Key(), mw, modern, s.Cfg.Steps, s.Cfg.FaultSpec)
+	key := CellKey{
+		Cluster: clusterCfg, Middleware: mw, Modern: modern,
+		Steps: s.Cfg.Steps, FaultSpec: s.Cfg.FaultSpec,
+	}.String()
 	if r, ok := s.cache[key]; ok {
 		s.mHits.Inc()
 		return r, nil

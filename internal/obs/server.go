@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -62,8 +63,23 @@ func NewServer(addr string, reg *Registry, opts ServeOptions) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: it stops accepting new
+// connections immediately, then waits for in-flight scrapes (/metrics,
+// /runz, profile downloads) to complete before returning — a collector
+// mid-scrape at exit gets its full exposition instead of a torn read.
+// When ctx expires first the remaining connections are force-closed and
+// ctx's error is returned. A finished program typically calls
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	srv.Close(ctx)
+func (s *Server) Close(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
+}
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -38,7 +40,7 @@ func TestServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	base := "http://" + srv.Addr()
 
 	code, body := get(t, base+"/metrics")
@@ -68,6 +70,104 @@ func TestServerEndpoints(t *testing.T) {
 	if code != 404 {
 		t.Fatalf("unknown path status %d, want 404", code)
 	}
+}
+
+// Close must wait for an in-flight scrape: a handler blocked mid-response
+// when shutdown starts still delivers its full body before Close returns.
+func TestServerCloseDrainsInflightScrape(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := NewServer("127.0.0.1:0", reg, ServeOptions{
+		Status: func() []string {
+			close(entered)
+			<-release // hold the scrape open across Close
+			return []string{"status: drained"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/runz")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{code: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-entered // the scrape is inside the handler
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closed <- srv.Close(ctx)
+	}()
+
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned before the in-flight scrape finished (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// still draining, as it should be
+	}
+	close(release)
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("scrape: %v", s.err)
+	}
+	if s.code != 200 || !strings.Contains(s.body, "status: drained") {
+		t.Fatalf("drained scrape got %d %q", s.code, s.body)
+	}
+}
+
+// An expired drain deadline must not hang Close: remaining connections
+// are force-closed and the context error is surfaced.
+func TestServerCloseTimeoutForceCloses(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := NewServer("127.0.0.1:0", reg, ServeOptions{
+		Status: func() []string {
+			close(entered)
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/runz")
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Close(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Close with expired deadline = %v, want context.DeadlineExceeded", err)
+	}
+	<-errc // the scrape goroutine observed the forced close and exited
 }
 
 func TestManifestRoundTrip(t *testing.T) {

@@ -52,6 +52,17 @@ type ResilientConfig struct {
 	// current up to it, nothing later reaches disk) and RunResilient
 	// returns the partial result with ErrHalted. Requires CheckpointDir.
 	HaltAfterStep int
+
+	// Preempt, when non-nil, is polled once per globally completed step
+	// on the scheduler thread (it must not block). The first time it
+	// returns true the run latches the NEXT step boundary as the
+	// preemption point: every rank checkpoints there, the checkpoint is
+	// persisted to CheckpointDir, and RunResilient returns the completed
+	// prefix with ErrPreempted. A later invocation with the same
+	// CheckpointDir resumes from that checkpoint with zero lost work —
+	// this is the graceful-preemption hook the serve layer uses to yield
+	// a long run to waiting tenants. Requires CheckpointDir.
+	Preempt func() bool
 }
 
 // ConfigError reports an invalid ResilientConfig field.
@@ -66,6 +77,13 @@ func (e *ConfigError) Error() string { return fmt.Sprintf("pmd: invalid %s: %s",
 // point. The result returned alongside it holds the completed prefix; a
 // follow-up RunResilient with the same CheckpointDir resumes from disk.
 var ErrHalted = errors.New("pmd: run halted at the simulated kill point")
+
+// ErrPreempted marks a run stopped at a Preempt-requested checkpoint
+// boundary. Unlike ErrHalted (a simulated crash that loses the work past
+// the last periodic checkpoint), a preempted run checkpoints the exact
+// boundary it stops at: resuming with the same CheckpointDir loses
+// nothing. The result alongside holds the completed prefix.
+var ErrPreempted = errors.New("pmd: run preempted at a checkpoint boundary")
 
 // RecoveryEvent records one crash-and-rewind cycle.
 type RecoveryEvent struct {
@@ -142,6 +160,9 @@ type recorder struct {
 	consumed   []int            // crash spec indices already recovered
 	haltAfter  int              // global step to stop at (simulated kill); 0 = never
 	halted     bool
+	preempt    func() bool // polled at globally consistent step boundaries
+	preemptAt  int         // global step every rank stops after; 0 = none latched
+	preempted  bool
 	nowMax     float64
 	acct       []mpi.Accounting // current attempt accounting, refreshed every onStep
 	seen       map[int]int      // local step -> ranks that completed it
@@ -150,7 +171,11 @@ type recorder struct {
 
 func (rec *recorder) onStep(w *worker, step int) {
 	me := w.me()
-	ckptStep := (step+1)%rec.every == 0
+	global := rec.baseStep + step + 1
+	// A preemption boundary forces a checkpoint regardless of cadence:
+	// preemptAt was latched before any rank started this step (see below),
+	// so every rank agrees on the forced entry.
+	ckptStep := (step+1)%rec.every == 0 || (rec.preemptAt > 0 && global == rec.preemptAt)
 	if ckptStep {
 		lo, hi := w.myAtoms()
 		e := ckptEntry{
@@ -170,7 +195,6 @@ func (rec *recorder) onStep(w *worker, step int) {
 	// The halt step itself still persists: every rank completes it (each
 	// sets only its own stop flag), so its checkpoint must reach disk
 	// before the simulated kill — that is the state the restart resumes.
-	global := rec.baseStep + step + 1
 	if rec.ring != nil && (rec.haltAfter == 0 || global <= rec.haltAfter) {
 		rec.acct[me] = w.r.Acct()
 		if now := w.r.Now(); now > rec.nowMax {
@@ -183,10 +207,22 @@ func (rec *recorder) onStep(w *worker, step int) {
 			// across ranks is globally consistent here.
 			delete(rec.seen, step)
 			rec.persist(step, ckptStep)
+			if rec.preempt != nil && rec.preemptAt == 0 && rec.preempt() {
+				// Latch the stop point one boundary ahead: the other ranks
+				// already passed their stop check for this step, so the next
+				// boundary is the earliest one all ranks still observe. No
+				// rank has started the next step yet (same ordering as the
+				// persist above), so they all see the latched value.
+				rec.preemptAt = global + 1
+			}
 		}
 	}
 	if rec.haltAfter > 0 && global >= rec.haltAfter {
 		rec.halted = true
+		w.stop = true
+	}
+	if rec.preemptAt > 0 && global >= rec.preemptAt {
+		rec.preempted = true
 		w.stop = true
 	}
 }
@@ -274,6 +310,8 @@ func (rcfg *ResilientConfig) validate() error {
 		return &ConfigError{"HaltAfterStep", fmt.Sprintf("must be >= 0, got %d", rcfg.HaltAfterStep)}
 	case rcfg.HaltAfterStep > 0 && rcfg.CheckpointDir == "":
 		return &ConfigError{"HaltAfterStep", "simulated kill needs CheckpointDir to resume from"}
+	case rcfg.Preempt != nil && rcfg.CheckpointDir == "":
+		return &ConfigError{"Preempt", "graceful preemption needs CheckpointDir to park the run in"}
 	}
 	if rcfg.CheckpointEvery == 0 {
 		rcfg.CheckpointEvery = 1
@@ -408,7 +446,8 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			timestepFS: rcfg.MD.TimestepFS,
 			baseStep:   stepsDone, baseWall: offset, carried: base,
 			consumed: consumed, haltAfter: rcfg.HaltAfterStep,
-			acct: make([]mpi.Accounting, p), seen: map[int]int{},
+			preempt: rcfg.Preempt,
+			acct:    make([]mpi.Accounting, p), seen: map[int]int{},
 		}
 
 		attempt := rcfg.Config
@@ -443,6 +482,12 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			out.GuardTrips = append(out.GuardTrips, res.GuardEvents...)
 			if rec.halted {
 				return out, ErrHalted
+			}
+			// Preemption at the final boundary is indistinguishable from
+			// finishing — only an actually shortened run reports it.
+			if rec.preempted && stepsDone+len(res.Energies) < totalSteps {
+				obsCount("repro_preemptions_total", "graceful checkpoint preemptions", 1)
+				return out, ErrPreempted
 			}
 			return out, nil
 		}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"math"
+	"sync"
+)
+
+// fairQueue implements weighted fair queueing over per-tenant FIFO
+// queues: each accepted job gets a virtual finish tag
+//
+//	tag = max(tenant.vtime, queue.vnow) + cost/weight
+//
+// and dequeue always picks the tenant whose head job holds the smallest
+// tag. A tenant bursting far ahead of its service rate accumulates vtime
+// far past vnow, so its backlog waits while light tenants' fresh jobs
+// (tagged near vnow) go first — proportional sharing without starvation.
+//
+// Each tenant's queue is depth-bounded; enqueue past the bound is
+// load-shedding and returns errShed with a Retry-After hint derived from
+// the backlog the tenant would have to wait behind anyway.
+type fairQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantQueue
+	weights map[string]float64
+	depth   int
+	vnow    float64
+	queued  int
+	closed  bool
+}
+
+// tenantQueue is one tenant's FIFO backlog plus its virtual clock.
+type tenantQueue struct {
+	name   string
+	weight float64
+	jobs   []*jobState // jobs[0] is the head
+	vtime  float64     // finish tag of the last job tagged for this tenant
+}
+
+// errShed signals admission refused a submission for lack of queue room.
+type errShed struct {
+	retryAfterSec int
+}
+
+func (e *errShed) Error() string { return "serve: overloaded, queue full" }
+
+func newFairQueue(depth int, weights map[string]float64) *fairQueue {
+	q := &fairQueue{
+		tenants: map[string]*tenantQueue{},
+		weights: weights,
+		depth:   depth,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fairQueue) tenant(name string) *tenantQueue {
+	t, ok := q.tenants[name]
+	if !ok {
+		w := q.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantQueue{name: name, weight: w}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// enqueue admits j for tenant, or sheds with *errShed when the tenant's
+// queue is full. force bypasses both the depth bound and the closed check
+// — used for journal replay (the job was already accepted in a previous
+// life; shedding it now would lose it) — but not the tagging, so replayed
+// backlogs still share fairly.
+func (q *fairQueue) enqueue(tenant string, j *jobState, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed && !force {
+		return Errf(KindOverloaded, "server shutting down")
+	}
+	t := q.tenant(tenant)
+	if !force && len(t.jobs) >= q.depth {
+		// The hint scales with the backlog the tenant is behind: each
+		// queued job is one service slot away at best.
+		return &errShed{retryAfterSec: 1 + len(t.jobs)/2}
+	}
+	start := math.Max(t.vtime, q.vnow)
+	j.vtag = start + j.spec.Cost()/t.weight
+	t.vtime = j.vtag
+	t.jobs = append(t.jobs, j)
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// requeueFront puts a preempted job back at the head of its tenant's
+// queue, keeping its original virtual tag: it already paid its wait, and
+// the depth bound does not apply to work the server previously admitted.
+func (q *fairQueue) requeueFront(tenant string, j *jobState) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenant)
+	t.jobs = append([]*jobState{j}, t.jobs...)
+	q.queued++
+	q.cond.Signal()
+}
+
+// next blocks until a job is available (returning the fair pick) or the
+// queue is closed (returning false). Closing drains nothing: jobs still
+// queued stay queued for inspection or parking.
+func (q *fairQueue) next() (*jobState, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.queued > 0 {
+			var best *tenantQueue
+			for _, t := range q.tenants {
+				if len(t.jobs) == 0 {
+					continue
+				}
+				if best == nil || t.jobs[0].vtag < best.jobs[0].vtag ||
+					(t.jobs[0].vtag == best.jobs[0].vtag && t.name < best.name) {
+					best = t
+				}
+			}
+			j := best.jobs[0]
+			best.jobs = best.jobs[1:]
+			q.queued--
+			if j.vtag > q.vnow {
+				q.vnow = j.vtag
+			}
+			return j, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops admission and wakes every blocked worker. Queued jobs are
+// left in place; drain() collects them.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain removes and returns every queued job (shutdown parking).
+func (q *fairQueue) drain() []*jobState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*jobState
+	for _, t := range q.tenants {
+		out = append(out, t.jobs...)
+		t.jobs = nil
+	}
+	q.queued = 0
+	return out
+}
+
+// depths snapshots per-tenant backlog sizes (/statz and metrics).
+func (q *fairQueue) depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.tenants))
+	for name, t := range q.tenants {
+		out[name] = len(t.jobs)
+	}
+	return out
+}

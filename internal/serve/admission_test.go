@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qJob(tenant string, cost float64) *jobState {
+	// Analysis cost = atoms*steps/1e3; pick atoms to land the wanted cost.
+	spec := JobSpec{Kind: KindAnalysis, Atoms: int(cost * 1e3), Steps: 1, Seed: 1, Observable: "rdf"}
+	return &jobState{id: tenant + "-j", tenant: tenant, spec: spec}
+}
+
+// TestFairQueueWeightedSharing: a tenant that bursts ten jobs ahead of a
+// light tenant must not starve it — the light tenant's single later job
+// is tagged near vnow and dequeues before the burst drains.
+func TestFairQueueWeightedSharing(t *testing.T) {
+	q := newFairQueue(100, nil)
+	for i := 0; i < 10; i++ {
+		if err := q.enqueue("heavy", qJob("heavy", 1), false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if err := q.enqueue("light", qJob("light", 1), false); err != nil {
+		t.Fatalf("enqueue light: %v", err)
+	}
+	var order []string
+	for i := 0; i < 11; i++ {
+		j, ok := q.next()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		order = append(order, j.tenant)
+	}
+	pos := -1
+	for i, tn := range order {
+		if tn == "light" {
+			pos = i
+		}
+	}
+	// heavy's first job may have dequeued first (it was tagged when vnow
+	// was 0) but light must beat the bulk of the backlog.
+	if pos < 0 || pos > 2 {
+		t.Fatalf("light tenant served at position %d of %v, want within the first 3", pos, order)
+	}
+}
+
+// TestFairQueueWeights: with weight 2 vs 1 and equal-cost backlogs, the
+// heavier-weighted tenant gets roughly two slots for every one.
+func TestFairQueueWeights(t *testing.T) {
+	q := newFairQueue(100, map[string]float64{"gold": 2, "bronze": 1})
+	for i := 0; i < 8; i++ {
+		if err := q.enqueue("gold", qJob("gold", 1), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.enqueue("bronze", qJob("bronze", 1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gold := 0
+	for i := 0; i < 6; i++ {
+		j, _ := q.next()
+		if j.tenant == "gold" {
+			gold++
+		}
+	}
+	if gold < 4 {
+		t.Fatalf("gold got %d of the first 6 slots, want >= 4 (weight 2:1)", gold)
+	}
+}
+
+func TestFairQueueShedAndForce(t *testing.T) {
+	q := newFairQueue(2, nil)
+	if err := q.enqueue("t", qJob("t", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.enqueue("t", qJob("t", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	err := q.enqueue("t", qJob("t", 1), false)
+	var shed *errShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("third enqueue err = %v, want *errShed", err)
+	}
+	if shed.retryAfterSec < 1 {
+		t.Fatalf("Retry-After hint %d, want >= 1", shed.retryAfterSec)
+	}
+	// Depth bounds are per-tenant: another tenant still gets in.
+	if err := q.enqueue("other", qJob("other", 1), false); err != nil {
+		t.Fatalf("other tenant shed by t's backlog: %v", err)
+	}
+	// force (journal replay) bypasses both the bound and closed.
+	if err := q.enqueue("t", qJob("t", 1), true); err != nil {
+		t.Fatalf("forced enqueue: %v", err)
+	}
+	q.close()
+	if err := q.enqueue("t", qJob("t", 1), false); err == nil {
+		t.Fatal("enqueue after close accepted")
+	}
+	if err := q.enqueue("t", qJob("t", 1), true); err != nil {
+		t.Fatalf("forced enqueue after close: %v", err)
+	}
+}
+
+func TestFairQueueRequeueFrontAndDrain(t *testing.T) {
+	q := newFairQueue(10, nil)
+	a, b := qJob("t", 1), qJob("t", 1)
+	a.id, b.id = "a", "b"
+	if err := q.enqueue("t", a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.enqueue("t", b, false); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.next()
+	if got.id != "a" {
+		t.Fatalf("first dequeue %s, want a", got.id)
+	}
+	q.requeueFront("t", got)
+	got2, _ := q.next()
+	if got2.id != "a" {
+		t.Fatalf("after requeueFront dequeue %s, want a (head of line)", got2.id)
+	}
+	q.close()
+	left := q.drain()
+	if len(left) != 1 || left[0].id != "b" {
+		t.Fatalf("drain = %v, want [b]", left)
+	}
+	if d := q.depths()["t"]; d != 0 {
+		t.Fatalf("depth after drain = %d, want 0", d)
+	}
+	// Workers see closure once the backlog is gone.
+	done := make(chan struct{})
+	go func() {
+		if _, ok := q.next(); ok {
+			t.Error("next returned a job after close+drain")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("next did not observe close")
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s := JobSpec{Kind: KindRun}
+	if err := s.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if s.Atoms != 120 || s.Steps != 4 || s.Seed != 1 || s.Procs != 4 || s.CPUs != 1 || s.Net != "tcp" || s.MW != "mpi" {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+
+	sw := JobSpec{Kind: KindSweep}
+	if err := sw.Normalize(); err != nil {
+		t.Fatalf("Normalize sweep: %v", err)
+	}
+	if len(sw.Nets) < 2 {
+		t.Fatalf("sweep nets not defaulted: %v", sw.Nets)
+	}
+
+	an := JobSpec{Kind: KindAnalysis}
+	if err := an.Normalize(); err != nil {
+		t.Fatalf("Normalize analysis: %v", err)
+	}
+	if an.Observable != "rdf" {
+		t.Fatalf("observable = %q, want rdf", an.Observable)
+	}
+}
+
+func TestSpecNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		frag string
+	}{
+		{"unknown-kind", JobSpec{Kind: "banana"}, "kind must be"},
+		{"atoms-low", JobSpec{Kind: KindRun, Atoms: 5}, "atoms must be"},
+		{"steps-high", JobSpec{Kind: KindRun, Steps: 10_000}, "steps must be"},
+		{"bad-cpus", JobSpec{Kind: KindRun, CPUs: 3, Procs: 6}, "cpus must be"},
+		{"procs-odd", JobSpec{Kind: KindRun, CPUs: 2, Procs: 7}, "procs must be"},
+		{"bad-net", JobSpec{Kind: KindRun, Net: "carrier-pigeon"}, "unknown net"},
+		{"bad-mw", JobSpec{Kind: KindRun, MW: "smoke-signals"}, "mw must be"},
+		{"bad-sweep-net", JobSpec{Kind: KindSweep, Nets: []string{"tcp", "nope"}}, "unknown net"},
+		{"bad-observable", JobSpec{Kind: KindAnalysis, Observable: "vibes"}, "observable must be"},
+		{"figure-missing", JobSpec{Kind: KindFigure}, "figure id is required"},
+		{"figure-diagram", JobSpec{Kind: KindFigure, Figure: "1"}, "minus the diagrams"},
+		{"figure-unknown", JobSpec{Kind: KindFigure, Figure: "99"}, "figure must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize(%+v) accepted", tc.spec)
+			}
+			var je *JobError
+			if !errors.As(err, &je) || je.Kind != KindBadRequest {
+				t.Fatalf("error = %v, want KindBadRequest JobError", err)
+			}
+			if !strings.Contains(je.Msg, tc.frag) {
+				t.Fatalf("message %q missing %q", je.Msg, tc.frag)
+			}
+		})
+	}
+}
+
+// TestSpecKeyGolden pins the canonical key renderings: any change here is
+// a format break that must come with a SpecKeyVersion bump, or stored
+// results from the old scheme could be served for new-scheme requests.
+func TestSpecKeyGolden(t *testing.T) {
+	cases := []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{Kind: KindRun}, "serve/v1 run atoms=120 steps=4 seed=1 p=4 cpus=1 net=tcp mw=mpi"},
+		{JobSpec{Kind: KindAnalysis, Atoms: 48, Steps: 2, Observable: "msd"},
+			"serve/v1 analysis atoms=48 steps=2 seed=1 obs=msd"},
+		{JobSpec{Kind: KindFigure, Figure: "3", Quick: true, Steps: 2, Seed: 7},
+			"serve/v1 figure id=3 quick=true steps=2 seed=7"},
+	}
+	for _, tc := range cases {
+		s := tc.spec
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("Normalize: %v", err)
+		}
+		if got := s.Key(); got != tc.want {
+			t.Errorf("Key(%+v)\n got  %q\n want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+// TestSpecKeyExcludesHostKnobs: tenant, deadline and other host-side
+// settings live outside JobSpec entirely, so two tenants asking for the
+// same physics share one key — the property that makes cross-tenant
+// coalescing and the shared store sound. Differing physics must differ.
+func TestSpecKeyDiscriminates(t *testing.T) {
+	base := JobSpec{Kind: KindRun, Atoms: 48, Steps: 2}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*JobSpec){
+		func(s *JobSpec) { s.Atoms = 72 },
+		func(s *JobSpec) { s.Steps = 3 },
+		func(s *JobSpec) { s.Seed = 2 },
+		func(s *JobSpec) { s.Procs = 8 },
+		func(s *JobSpec) { s.Net = "myrinet" },
+		func(s *JobSpec) { s.MW = "cmpi" },
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, mod := range variants {
+		s := base
+		mod(&s)
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		k := s.Key()
+		if seen[k] {
+			t.Errorf("variant %d collides: %q", i, k)
+		}
+		seen[k] = true
+	}
+	if id := JobID(base.Key()); len(id) != 64 {
+		t.Fatalf("JobID length = %d, want 64 hex chars", len(id))
+	}
+}
+
+func TestErrorKindRetryable(t *testing.T) {
+	retryable := map[ErrorKind]bool{
+		KindBadRequest: false, KindOverloaded: false, KindCanceled: false,
+		KindDeadline: false, KindWorkerCrash: true, KindTransient: true,
+		KindInternal: false,
+	}
+	for kind, want := range retryable {
+		if got := kind.Retryable(); got != want {
+			t.Errorf("%s.Retryable() = %v, want %v", kind, got, want)
+		}
+	}
+}

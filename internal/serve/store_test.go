@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestStore(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), maxBytes, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := newTestStore(t, 1<<20)
+	key := "serve/v1 run atoms=48 steps=2 seed=1 p=4 cpus=1 net=tcp mw=mpi"
+	payload := []byte(`{"hello":"world"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if _, ok := s.Get("serve/v1 run atoms=49 steps=2 seed=1 p=4 cpus=1 net=tcp mw=mpi"); ok {
+		t.Fatal("Get of absent key hit")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 1<<20, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s2, err := OpenStore(dir, 1<<20, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok := s2.Get("k1")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("after reopen Get = %q, %v; want v1, true", got, ok)
+	}
+}
+
+// mutateStoredFile applies mutate to key's on-disk entry.
+func mutateStoredFile(t *testing.T, s *Store, key string, mutate func([]byte) []byte) {
+	t.Helper()
+	path := s.path(JobID(key))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read stored file: %v", err)
+	}
+	if err := os.WriteFile(path, mutate(buf), 0o644); err != nil {
+		t.Fatalf("write mutated file: %v", err)
+	}
+}
+
+// TestStoreCorruptionMatrix is the satellite corruption matrix: every way
+// an entry can be damaged must read as a miss (with the damaged file
+// deleted so recomputation heals it) — never as wrong bytes.
+func TestStoreCorruptionMatrix(t *testing.T) {
+	key := "serve/v1 analysis atoms=48 steps=2 seed=1 obs=rdf"
+	payload := []byte(`{"kind":"analysis","g":[1,2,3]}`)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:8] }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"flipped-payload-bit", func(b []byte) []byte {
+			b[len(b)-8] ^= 0x10 // inside the payload region
+			return b
+		}},
+		{"flipped-crc", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			copy(b, "NOPE")
+			return b
+		}},
+		{"future-version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], storeVersion+1)
+			return b
+		}},
+		{"trailing-garbage", func(b []byte) []byte { return append(b, 0xAB, 0xCD) }},
+		{"empty-file", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestStore(t, 1<<20)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			mutateStoredFile(t, s, key, tc.mutate)
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(s.path(JobID(key))); !os.IsNotExist(err) {
+				t.Fatalf("damaged file not deleted: stat err = %v", err)
+			}
+			// The slot heals: a fresh Put round-trips again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("re-Put: %v", err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("healed Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestStoreKeyMismatch plants a validly-encoded entry for key A under key
+// B's filename (a renamed or mixed-up file): it must miss, not serve A's
+// payload as B's.
+func TestStoreKeyMismatch(t *testing.T) {
+	s := newTestStore(t, 1<<20)
+	keyA, keyB := "serve/v1 figure id=3 steps=2 seed=1 quick=true", "serve/v1 figure id=4 steps=2 seed=1 quick=true"
+	if err := s.Put(keyA, []byte("payload-A")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	buf, err := os.ReadFile(s.path(JobID(keyA)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(s.path(JobID(keyB)), buf, 0o644); err != nil {
+		t.Fatalf("plant: %v", err)
+	}
+	if got, ok := s.Get(keyB); ok {
+		t.Fatalf("key-mismatched file served: %q", got)
+	}
+	if got, ok := s.Get(keyA); !ok || string(got) != "payload-A" {
+		t.Fatalf("original entry damaged: %q, %v", got, ok)
+	}
+}
+
+// TestStorePartialRename models a crash between temp-write and rename:
+// the .tmp debris must be swept on reopen and never served.
+func TestStorePartialRename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 1<<20, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	key := "serve/v1 sweep atoms=48 steps=2 seed=1 p=4 cpus=1 nets=tcp mw=mpi"
+	id := JobID(key)
+	debris := filepath.Join(dir, id+"-12345.tmp")
+	if err := os.WriteFile(debris, encode(key, []byte("half-written"))[:10], 0o644); err != nil {
+		t.Fatalf("plant debris: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("tmp debris served as a result")
+	}
+	s2, err := OpenStore(dir, 1<<20, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatalf("reopen did not sweep tmp debris: %v", err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("swept debris served as a result")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	// Each entry is ~4+4+4+3+8+64+4 = 91 bytes; cap at 3 entries' worth.
+	s := newTestStore(t, 280)
+	pay := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), pay); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Touch k00 so k01 becomes the LRU victim.
+	if _, ok := s.Get("k00"); !ok {
+		t.Fatal("k00 missing before eviction")
+	}
+	if err := s.Put("k03", pay); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, ok := s.Get("k01"); ok {
+		t.Fatal("LRU victim k01 still resident")
+	}
+	for _, k := range []string{"k00", "k02", "k03"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	if s.Bytes() > 280 {
+		t.Fatalf("store over budget: %d bytes", s.Bytes())
+	}
+}
+
+// TestStoreEvictionRacingReads hammers a tiny store with concurrent
+// writers and readers: under constant eviction every Get must return
+// either the exact payload for its key or a miss — never another key's
+// bytes and never a partial write.
+func TestStoreEvictionRacingReads(t *testing.T) {
+	s := newTestStore(t, 600) // room for only a handful of entries
+	payloadFor := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i%16)}, 48+i%7)
+	}
+	keyFor := func(i int) string { return fmt.Sprintf("race-key-%02d", i%24) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				n := (w*150 + i) % 24
+				if err := s.Put(keyFor(n), payloadFor(n)); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+			}
+		}(w)
+	}
+	errs := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n := (r*300 + i) % 24
+				got, ok := s.Get(keyFor(n))
+				if ok && !bytes.Equal(got, payloadFor(n)) {
+					select {
+					case errs <- fmt.Sprintf("key %s served wrong bytes %q", keyFor(n), got):
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if s.Bytes() > 600 {
+		t.Fatalf("store over budget after race: %d bytes", s.Bytes())
+	}
+}
