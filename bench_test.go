@@ -3,6 +3,7 @@ package repro
 import (
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/fft"
 	"repro/internal/figures"
+	"repro/internal/kernels"
 	"repro/internal/md"
 	"repro/internal/netmodel"
 	"repro/internal/pmd"
@@ -292,6 +294,92 @@ func BenchmarkNonbondedKernel(b *testing.B) {
 	f := ff.New(sys, opts)
 	pairs := f.BuildPairs(sys.Pos, nil)
 	k := f.NewNonbondedKernel()
+	frc := make([]vec.V, sys.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Compute(sys.Pos, pairs, frc, nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pooled-kernel variants: the same workloads with the physics kernels
+// spread over GOMAXPROCS host cores (kernels.Pool). Run them with
+// `-cpu 1,4` to get 1-worker and 4-worker entries under one name — the
+// pool is sized per iteration-independent setup from the GOMAXPROCS the
+// benchmark harness set, so the -cpu list directly sets the worker count.
+
+// benchPoolWorkers is the kernel pool width for the *Parallel
+// benchmarks: the GOMAXPROCS of this benchmark invocation.
+func benchPoolWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// BenchmarkSequentialMDStepParallel measures one real MD step of the full
+// 3552-atom PME workload with the pooled multi-core kernels.
+func BenchmarkSequentialMDStepParallel(b *testing.B) {
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
+	md.Relax(sys, 40)
+	cfg := md.PMEDefaultConfig()
+	cfg.Temperature = 300
+	cfg.KernelWorkers = benchPoolWorkers()
+	e := md.NewEngine(sys, cfg)
+	e.ComputeForces(nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(nil, nil)
+	}
+}
+
+// BenchmarkFFT3DParallel measures the pooled half-spectrum 3-D transform
+// on the paper's PME grid.
+func BenchmarkFFT3DParallel(b *testing.B) {
+	const nx, ny, nz = 80, 36, 48
+	r := rng.New(9)
+	p, err := fft.NewRealPlan3D(nx, ny, nz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetPool(kernels.NewPool(benchPoolWorkers()))
+	x := make([]float64, nx*ny*nz)
+	for i := range x {
+		x[i] = r.Range(-1, 1)
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, spec)
+		p.Inverse(spec, x)
+	}
+}
+
+// BenchmarkPMEReciprocalParallel measures the pooled reciprocal-space
+// evaluation (chunked spread → pooled FFT → pooled interpolate).
+func BenchmarkPMEReciprocalParallel(b *testing.B) {
+	box := space.NewBox(56.702, 25.181, 33.575)
+	r := rng.New(10)
+	const n = 3552
+	pos := make([]vec.V, n)
+	charges := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.New(r.Range(0, box.L.X), r.Range(0, box.L.Y), r.Range(0, box.L.Z))
+		charges[i] = r.Range(-0.8, 0.8)
+	}
+	p := ewald.NewPME(box, 0.34, 80, 36, 48, 4)
+	p.SetPool(kernels.NewPool(benchPoolWorkers()))
+	frc := make([]vec.V, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Recip(pos, charges, frc, nil)
+	}
+}
+
+// BenchmarkNonbondedKernelParallel measures the sharded short-range pair
+// loop over the relaxed myoglobin neighbour list.
+func BenchmarkNonbondedKernelParallel(b *testing.B) {
+	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
+	md.Relax(sys, 40)
+	f := ff.New(sys, ff.PMEOptions())
+	pairs := f.BuildPairs(sys.Pos, nil)
+	k := f.NewNonbondedKernel()
+	k.SetPool(kernels.NewPool(benchPoolWorkers()))
 	frc := make([]vec.V, sys.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

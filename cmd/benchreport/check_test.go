@@ -171,11 +171,92 @@ func TestParseBenchOutputStillMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, ok := out["BenchmarkFFT3D"]
+	r, ok := out[benchKey{"BenchmarkFFT3D", 8}]
 	if !ok {
-		t.Fatal("BenchmarkFFT3D not parsed")
+		t.Fatal("BenchmarkFFT3D not parsed under its GOMAXPROCS key")
 	}
-	if r.procs != 8 || r.m.NsPerOp != 21500000 || r.m.BytesPerOp != 1024 || r.m.AllocsPerOp != 10 {
+	if r.NsPerOp != 21500000 || r.BytesPerOp != 1024 || r.AllocsPerOp != 10 {
 		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseBenchOutputMultiCPU(t *testing.T) {
+	// `go test -cpu 1,4` emits the same name at two GOMAXPROCS values;
+	// both must survive as distinct entries (a name-only key would let the
+	// last line win).
+	out, err := parseBenchOutput(strings.NewReader(
+		"BenchmarkFFT3D     50   40000000 ns/op   0 B/op   0 allocs/op\n" +
+			"BenchmarkFFT3D-4   50   12000000 ns/op   0 B/op   0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(out), out)
+	}
+	if out[benchKey{"BenchmarkFFT3D", 1}].NsPerOp != 40000000 {
+		t.Errorf("procs=1 entry: %+v", out[benchKey{"BenchmarkFFT3D", 1}])
+	}
+	if out[benchKey{"BenchmarkFFT3D", 4}].NsPerOp != 12000000 {
+		t.Errorf("procs=4 entry: %+v", out[benchKey{"BenchmarkFFT3D", 4}])
+	}
+}
+
+func TestBaselineFallsBackToSerialLine(t *testing.T) {
+	baseline := map[benchKey]Measurement{
+		{"BenchmarkFFT3D", 1}: {NsPerOp: 100},
+		{"BenchmarkFFT3D", 4}: {NsPerOp: 40},
+	}
+	if m, ok := baselineFor(baseline, benchKey{"BenchmarkFFT3D", 4}); !ok || m.NsPerOp != 40 {
+		t.Errorf("exact procs match: %v %v", m, ok)
+	}
+	// procs=2 not captured: fall back to the serial line.
+	if m, ok := baselineFor(baseline, benchKey{"BenchmarkFFT3D", 2}); !ok || m.NsPerOp != 100 {
+		t.Errorf("fallback: %v %v", m, ok)
+	}
+	if _, ok := baselineFor(baseline, benchKey{"BenchmarkOther", 1}); ok {
+		t.Error("unknown name should not resolve")
+	}
+}
+
+func TestCheckServeSuiteUsesWideGate(t *testing.T) {
+	serveRep := func(scale float64) Report {
+		return Report{
+			GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, Suite: "serve", Samples: 1,
+			Benchmarks: []BenchEntry{
+				{Name: "Serve/run/p99latency", NumCPU: 8, Workers: 2,
+					Current: Measurement{NsPerOp: 10e6 * scale}},
+			},
+		}
+	}
+	// +150% is routine queueing noise for single-sample percentiles.
+	if code, out, _ := check(t, serveRep(1), serveRep(2.5)); code != 0 {
+		t.Fatalf("+150%% serve latency: exit %d, want 0\n%s", code, out)
+	}
+	// +250% is beyond even the wide gate.
+	if code, out, _ := check(t, serveRep(1), serveRep(3.6)); code != 1 {
+		t.Fatalf("+250%% serve latency: exit %d, want 1\n%s", code, out)
+	}
+}
+
+func TestCheckMultiWorkerEntriesGateIndependently(t *testing.T) {
+	multi := func(ns1, ns4 float64) Report {
+		rep := fixtureReport(1)
+		rep.Benchmarks = []BenchEntry{
+			{Name: "BenchmarkFFT3D", NumCPU: 8, Workers: 1, Current: Measurement{NsPerOp: ns1}},
+			{Name: "BenchmarkFFT3D", NumCPU: 8, Workers: 4, Current: Measurement{NsPerOp: ns4}},
+		}
+		return rep
+	}
+	// Only the 4-worker entry regresses.
+	code, out, _ := check(t, multi(20e6, 6e6), multi(20e6, 9e6))
+	if code != 1 {
+		t.Fatalf("multi-worker regression: exit %d, want 1\n%s", code, out)
+	}
+	if n := strings.Count(out, "REGRESSION"); n != 1 {
+		t.Errorf("want exactly 1 REGRESSION verdict, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "BenchmarkFFT3D-4") {
+		t.Errorf("4-worker entry should render with its workers suffix:\n%s", out)
 	}
 }

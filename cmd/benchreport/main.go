@@ -42,61 +42,30 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
-// Measurement is one benchmark's per-op cost.
-type Measurement struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
+// The report schema lives in internal/benchfmt so cmd/loadgen can emit
+// serve-latency reports gated by the same -check.
+type (
+	Measurement = benchfmt.Measurement
+	BenchEntry  = benchfmt.BenchEntry
+	Report      = benchfmt.Report
+)
 
-// benchResult is a parsed benchmark line: the measurement plus the
-// GOMAXPROCS the run actually used (the -N name suffix; 1 when absent).
-type benchResult struct {
-	m     Measurement
+// benchKey identifies one measured entry: `-cpu 1,4` runs the same
+// benchmark name at several GOMAXPROCS values, each its own entry.
+type benchKey struct {
+	name  string
 	procs int
-}
-
-// BenchEntry pairs a current measurement with an optional baseline, and
-// records the execution environment of this specific entry: the host CPU
-// count and the GOMAXPROCS (workers) the benchmark actually ran with.
-type BenchEntry struct {
-	Name     string       `json:"name"`
-	NumCPU   int          `json:"num_cpu"`
-	Workers  int          `json:"workers"`
-	Current  Measurement  `json:"current"`
-	Baseline *Measurement `json:"baseline,omitempty"`
-}
-
-// Report is the BENCH_host.json schema. Suite, Samples and ExactKernels
-// are provenance: -check refuses to compare reports that disagree on them
-// (different kernel plans or suites measure different code).
-type Report struct {
-	GeneratedAt     string       `json:"generated_at"`
-	GoVersion       string       `json:"go_version"`
-	GOOS            string       `json:"goos"`
-	GOARCH          string       `json:"goarch"`
-	NumCPU          int          `json:"num_cpu"`
-	Suite           string       `json:"suite"`
-	Samples         int          `json:"samples"`
-	ExactKernels    bool         `json:"exact_kernels"`
-	ObsManifest     string       `json:"obs_manifest,omitempty"`
-	FigureAllWallS  float64      `json:"figure_all_wall_s"`
-	BaselineWallS   float64      `json:"baseline_figure_all_wall_s,omitempty"`
-	FigureAllRuns   int          `json:"figure_all_unique_runs"`
-	FigureAllHits   int          `json:"figure_all_cache_hits"`
-	FigureAllTapes  int          `json:"figure_all_tape_records"`
-	FigureAllReplay int          `json:"figure_all_tape_replays"`
-	Benchmarks      []BenchEntry `json:"benchmarks"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func parseBenchOutput(r io.Reader) (map[string]benchResult, error) {
-	out := map[string]benchResult{}
+func parseBenchOutput(r io.Reader) (map[benchKey]Measurement, error) {
+	out := map[benchKey]Measurement{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
@@ -118,15 +87,23 @@ func parseBenchOutput(r io.Reader) (map[string]benchResult, error) {
 		if m[5] != "" {
 			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		out[m[1]] = benchResult{
-			m:     Measurement{NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp},
-			procs: procs,
-		}
+		out[benchKey{m[1], procs}] = Measurement{NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
 	}
 	return out, sc.Err()
 }
 
-func runBench(pattern, benchtime, cpu string) (map[string]benchResult, error) {
+// baselineFor looks up a baseline measurement for an entry, falling back
+// to the procs=1 line: historical baseline files were captured without
+// -cpu and carry one line per name.
+func baselineFor(baseline map[benchKey]Measurement, k benchKey) (Measurement, bool) {
+	if m, ok := baseline[k]; ok {
+		return m, true
+	}
+	m, ok := baseline[benchKey{k.name, 1}]
+	return m, ok
+}
+
+func runBench(pattern, benchtime, cpu string) (map[benchKey]Measurement, error) {
 	args := []string{"test", "-run", "^$",
 		"-bench", pattern, "-benchmem", "-benchtime", benchtime}
 	if cpu != "" {
@@ -148,6 +125,33 @@ func runBench(pattern, benchtime, cpu string) (map[string]benchResult, error) {
 // is supplied) or the report is refused.
 var requiredBenchmarks = []string{
 	"BenchmarkSequentialMDStep",
+	"BenchmarkSequentialMDStepParallel",
+	"BenchmarkParallelStepSimulated",
+	"BenchmarkStudyAllFigures",
+	"BenchmarkFFT3D",
+	"BenchmarkFFT3DParallel",
+	"BenchmarkPMEReciprocal",
+	"BenchmarkPMEReciprocalParallel",
+	"BenchmarkNonbondedKernel",
+	"BenchmarkNonbondedKernelParallel",
+}
+
+// quickBenchmarks is the -quick subset: just the kernel micro-benchmarks,
+// cheap enough to sample several times in a CI regression gate.
+var quickBenchmarks = []string{
+	"BenchmarkFFT3D",
+	"BenchmarkFFT3DParallel",
+	"BenchmarkPMEReciprocal",
+	"BenchmarkPMEReciprocalParallel",
+	"BenchmarkNonbondedKernel",
+	"BenchmarkNonbondedKernelParallel",
+}
+
+// baselineRequired is the subset a -baseline-bench file must cover: the
+// serial entries that existed before the pooled kernels landed, so the
+// checked-in bench/baseline_kernels.txt capture stays valid.
+var baselineRequired = []string{
+	"BenchmarkSequentialMDStep",
 	"BenchmarkParallelStepSimulated",
 	"BenchmarkStudyAllFigures",
 	"BenchmarkFFT3D",
@@ -155,12 +159,13 @@ var requiredBenchmarks = []string{
 	"BenchmarkNonbondedKernel",
 }
 
-// quickBenchmarks is the -quick subset: just the kernel micro-benchmarks,
-// cheap enough to sample several times in a CI regression gate.
-var quickBenchmarks = []string{
-	"BenchmarkFFT3D",
-	"BenchmarkPMEReciprocal",
-	"BenchmarkNonbondedKernel",
+func inSet(set []string, name string) bool {
+	for _, s := range set {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // median destroys its argument's order and returns the middle sample.
@@ -214,7 +219,7 @@ func main() {
 
 	// Validate the baseline before the expensive measurements: a file
 	// missing a required benchmark is a hard error, not a partial report.
-	baseline := map[string]benchResult{}
+	baseline := map[benchKey]Measurement{}
 	if *baseBench != "" {
 		f, err := os.Open(*baseBench)
 		if err != nil {
@@ -228,8 +233,11 @@ func main() {
 			os.Exit(1)
 		}
 		var missing []string
-		for _, name := range required {
-			if _, ok := baseline[name]; !ok {
+		for _, name := range baselineRequired {
+			if !inSet(required, name) {
+				continue
+			}
+			if _, ok := baselineFor(baseline, benchKey{name, 1}); !ok {
 				missing = append(missing, name)
 			}
 		}
@@ -254,7 +262,7 @@ func main() {
 	if *quick {
 		groups = groups[2:]
 	}
-	samples := map[string][]benchResult{}
+	samples := map[benchKey][]Measurement{}
 	for round := 0; round < *count; round++ {
 		for _, group := range groups {
 			res, err := runBench(group.pattern, group.benchtime, *cpu)
@@ -268,33 +276,43 @@ func main() {
 		}
 	}
 
+	// Emit one entry per (name, GOMAXPROCS) pair, names in required order,
+	// procs ascending within a name.
 	for _, name := range required {
-		ss, ok := samples[name]
-		if !ok {
+		var procsSeen []int
+		for k := range samples {
+			if k.name == name {
+				procsSeen = append(procsSeen, k.procs)
+			}
+		}
+		if len(procsSeen) == 0 {
 			fmt.Fprintf(os.Stderr, "benchreport: benchmark %s missing from output\n", name)
 			os.Exit(1)
 		}
-		var ns, bs, as []float64
-		for _, s := range ss {
-			ns = append(ns, s.m.NsPerOp)
-			bs = append(bs, float64(s.m.BytesPerOp))
-			as = append(as, float64(s.m.AllocsPerOp))
+		sort.Ints(procsSeen)
+		for _, procs := range procsSeen {
+			ss := samples[benchKey{name, procs}]
+			var ns, bs, as []float64
+			for _, s := range ss {
+				ns = append(ns, s.NsPerOp)
+				bs = append(bs, float64(s.BytesPerOp))
+				as = append(as, float64(s.AllocsPerOp))
+			}
+			e := BenchEntry{
+				Name:    name,
+				NumCPU:  runtime.NumCPU(),
+				Workers: procs,
+				Current: Measurement{
+					NsPerOp:     median(ns),
+					BytesPerOp:  int64(median(bs)),
+					AllocsPerOp: int64(median(as)),
+				},
+			}
+			if b, ok := baselineFor(baseline, benchKey{name, procs}); ok {
+				e.Baseline = &b
+			}
+			rep.Benchmarks = append(rep.Benchmarks, e)
 		}
-		e := BenchEntry{
-			Name:    name,
-			NumCPU:  runtime.NumCPU(),
-			Workers: ss[0].procs,
-			Current: Measurement{
-				NsPerOp:     median(ns),
-				BytesPerOp:  int64(median(bs)),
-				AllocsPerOp: int64(median(as)),
-			},
-		}
-		if b, ok := baseline[name]; ok {
-			bc := b.m
-			e.Baseline = &bc
-		}
-		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 
 	if !*skipFigures {
@@ -318,9 +336,10 @@ func main() {
 		reg := obs.NewRegistry()
 		for _, e := range rep.Benchmarks {
 			bl := obs.L("bench", e.Name)
-			reg.Gauge("repro_bench_ns_per_op", "median benchmark cost", bl).Set(e.Current.NsPerOp)
-			reg.Gauge("repro_bench_bytes_per_op", "median benchmark allocation volume", bl).Set(float64(e.Current.BytesPerOp))
-			reg.Gauge("repro_bench_allocs_per_op", "median benchmark allocation count", bl).Set(float64(e.Current.AllocsPerOp))
+			wl := obs.L("workers", strconv.Itoa(e.Workers))
+			reg.Gauge("repro_bench_ns_per_op", "median benchmark cost", bl, wl).Set(e.Current.NsPerOp)
+			reg.Gauge("repro_bench_bytes_per_op", "median benchmark allocation volume", bl, wl).Set(float64(e.Current.BytesPerOp))
+			reg.Gauge("repro_bench_allocs_per_op", "median benchmark allocation count", bl, wl).Set(float64(e.Current.AllocsPerOp))
 		}
 		if rep.FigureAllWallS > 0 {
 			reg.Gauge("repro_bench_figure_all_wall_seconds", "full -figure all regeneration wall").Set(rep.FigureAllWallS)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/md"
 	"repro/internal/obs"
 )
 
@@ -39,6 +40,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the deterministic seeds")
 	outdir := flag.String("outdir", "", "also write every figure as CSV into this directory")
 	workers := flag.Int("workers", 0, "host worker goroutines for compute segments (0 = one per CPU, 1 = serial; output is identical)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "spread the physics kernels over this many host cores (0 = legacy serial; figure bytes identical for any value >= 1)")
+	skin := flag.Float64("skin", 0, "pin the neighbour-list skin width in Å (0 = config default; exclusive with -tune-skin)")
+	tuneSkin := flag.Bool("tune-skin", false, "auto-tune the neighbour-list skin on the study workload before any figure runs")
+	tuneWindow := flag.Int("tune-window", 0, "timed steps per skin-tuner candidate (0 = default 20)")
 	verbose := flag.Bool("v", false, "print run-cache and physics-tape statistics to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -72,7 +77,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "obs: http://%s/{metrics,runz,debug/pprof}\n", srv.Addr())
 	}
 
-	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed, Workers: *workers, Obs: reg}
+	if *kernelWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "charmmbench: -kernel-workers must be >= 0 (got %d)\n", *kernelWorkers)
+		obsDrain()
+		os.Exit(2)
+	}
+	if *skin < 0 || (*skin > 0 && *tuneSkin) {
+		fmt.Fprintln(os.Stderr, "charmmbench: -skin must be >= 0 and exclusive with -tune-skin")
+		obsDrain()
+		os.Exit(2)
+	}
+	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed,
+		Workers: *workers, KernelWorkers: *kernelWorkers, Obs: reg}
 	if *procs != "" {
 		for _, tok := range strings.Split(*procs, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -119,6 +135,16 @@ func main() {
 
 	start := time.Now()
 	study := core.NewStudy(opts)
+	// Skin pinning / tuning mutate the suite's MD config before the first
+	// figure triggers a simulation; the choice applies to every run.
+	if *skin > 0 {
+		study.Suite.Cfg.MD.FF.ListCutoff = study.Suite.Cfg.MD.FF.CutOff + *skin
+	}
+	if *tuneSkin {
+		tuning := md.TuneSkin(study.System(), study.Suite.Cfg.MD, md.TuneOptions{Window: *tuneWindow, Log: os.Stderr})
+		study.Suite.Cfg.MD = tuning.Apply(study.Suite.Cfg.MD)
+		fmt.Fprintf(os.Stderr, "tune-skin: chose %.1f Å (replay with -skin %.1f)\n", tuning.Chosen, tuning.Chosen)
+	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			die(err)
@@ -169,6 +195,9 @@ func main() {
 		m.Config["steps"] = *steps
 		m.Config["quick"] = *quick
 		m.Config["workers"] = *workers
+		m.Config["kernel_workers"] = *kernelWorkers
+		m.Config["skin_angstrom"] = study.Suite.Cfg.MD.FF.ListCutoff - study.Suite.Cfg.MD.FF.CutOff
+		m.Config["skin_tuned"] = *tuneSkin
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
 			die(err)

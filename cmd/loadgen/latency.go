@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// latencyTracker measures the submit-to-done latency of every accepted
+// job, bucketed by job kind, plus completion throughput. Submission time
+// is stamped at the FIRST acceptance of an id (chaos-mode resubmissions
+// of the same id do not reset the clock — the contract is "accepted work
+// finishes", so the outage time counts) and completion at the first
+// "done" observation.
+type latencyTracker struct {
+	mu     sync.Mutex
+	start  map[string]time.Time
+	done   map[string]bool
+	byKind map[string][]time.Duration
+
+	firstSubmit time.Time
+	lastDone    time.Time
+}
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{
+		start:  map[string]time.Time{},
+		done:   map[string]bool{},
+		byKind: map[string][]time.Duration{},
+	}
+}
+
+// submitted stamps id's acceptance; repeat calls for the same id keep the
+// first stamp.
+func (l *latencyTracker) submitted(id string) {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.start[id]; ok {
+		return
+	}
+	l.start[id] = now
+	if l.firstSubmit.IsZero() {
+		l.firstSubmit = now
+	}
+}
+
+// completed records id's first observed completion under the given kind.
+func (l *latencyTracker) completed(id, kind string) {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done[id] {
+		return
+	}
+	t0, ok := l.start[id]
+	if !ok {
+		return // never saw the acceptance (e.g. pre-restart journal replay)
+	}
+	l.done[id] = true
+	l.byKind[kind] = append(l.byKind[kind], now.Sub(t0))
+	l.lastDone = now
+}
+
+// percentile returns the q-th percentile (0 ≤ q ≤ 1) of xs by the
+// nearest-rank method. xs need not be sorted; it is not modified.
+func percentile(xs []time.Duration, q float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// summary renders one human-readable line per kind for the PASS/FAIL
+// report.
+func (l *latencyTracker) summary() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	span := l.lastDone.Sub(l.firstSubmit).Seconds()
+	kinds := make([]string, 0, len(l.byKind))
+	for k := range l.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var out []string
+	for _, kind := range kinds {
+		ls := l.byKind[kind]
+		thr := 0.0
+		if span > 0 {
+			thr = float64(len(ls)) / span
+		}
+		out = append(out, fmt.Sprintf("latency %s: n=%d p50=%v p99=%v throughput=%.1f jobs/s",
+			kind, len(ls), percentile(ls, 0.50).Round(time.Microsecond),
+			percentile(ls, 0.99).Round(time.Microsecond), thr))
+	}
+	return out
+}
+
+// report renders the measured latencies in benchreport's JSON shape so
+// `benchreport -check bench/baseline_serve.json new.json` gates serve
+// latency exactly like kernel cost. Per kind with ≥ 1 completion:
+//
+//	Serve/<kind>/p50latency   ns/op = median submit-to-done latency
+//	Serve/<kind>/p99latency   ns/op = p99 submit-to-done latency
+//	Serve/<kind>/throughput   ns/op = measured span / completions
+//
+// Workers records the server's executor count (the serve analogue of
+// GOMAXPROCS). Samples is 1: one load phase, one sample per statistic.
+func (l *latencyTracker) report(serveWorkers int) benchfmt.Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := benchfmt.Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Suite:       "serve",
+		Samples:     1,
+	}
+	span := l.lastDone.Sub(l.firstSubmit)
+	kinds := make([]string, 0, len(l.byKind))
+	for k := range l.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	add := func(name string, ns float64) {
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.BenchEntry{
+			Name:    name,
+			NumCPU:  runtime.NumCPU(),
+			Workers: serveWorkers,
+			Current: benchfmt.Measurement{NsPerOp: ns},
+		})
+	}
+	total := 0
+	for _, kind := range kinds {
+		ls := l.byKind[kind]
+		total += len(ls)
+		add("Serve/"+kind+"/p50latency", float64(percentile(ls, 0.50)))
+		add("Serve/"+kind+"/p99latency", float64(percentile(ls, 0.99)))
+		add("Serve/"+kind+"/throughput", float64(span)/float64(len(ls)))
+	}
+	if total > 0 && span > 0 {
+		add("Serve/all/throughput", float64(span)/float64(total))
+	}
+	return rep
+}

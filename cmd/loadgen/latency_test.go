@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 3},
+		{0.99, 5},
+		{0.0, 1},
+		{1.0, 5},
+	}
+	for _, tc := range cases {
+		if got := percentile(xs, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+	// percentile must not reorder its input.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestLatencyTrackerFirstStampWins(t *testing.T) {
+	l := newLatencyTracker()
+	l.submitted("a")
+	first := l.start["a"]
+	time.Sleep(2 * time.Millisecond)
+	l.submitted("a") // chaos resubmission: clock must not reset
+	if l.start["a"] != first {
+		t.Error("resubmission reset the acceptance stamp")
+	}
+	l.completed("a", "run")
+	n := len(l.byKind["run"])
+	l.completed("a", "run") // second done observation: no double count
+	if len(l.byKind["run"]) != n {
+		t.Error("repeat completion double-counted")
+	}
+	l.completed("ghost", "run") // never accepted: ignored
+	if len(l.byKind["run"]) != 1 {
+		t.Errorf("ghost completion recorded; byKind=%v", l.byKind)
+	}
+}
+
+func TestLatencyReportShape(t *testing.T) {
+	l := newLatencyTracker()
+	for _, id := range []string{"r1", "r2", "s1"} {
+		l.submitted(id)
+	}
+	l.completed("r1", "run")
+	l.completed("r2", "run")
+	l.completed("s1", "sweep")
+	rep := l.report(2)
+	if rep.Suite != "serve" || rep.Samples != 1 {
+		t.Errorf("suite/samples: %q/%d", rep.Suite, rep.Samples)
+	}
+	// Two kinds × three stats + the aggregate throughput row.
+	want := []string{
+		"Serve/run/p50latency", "Serve/run/p99latency", "Serve/run/throughput",
+		"Serve/sweep/p50latency", "Serve/sweep/p99latency", "Serve/sweep/throughput",
+		"Serve/all/throughput",
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for i, e := range rep.Benchmarks {
+		if e.Name != want[i] {
+			t.Errorf("entry %d: %q, want %q", i, e.Name, want[i])
+		}
+		if e.Workers != 2 {
+			t.Errorf("entry %s: workers %d, want 2", e.Name, e.Workers)
+		}
+		if e.Current.NsPerOp < 0 {
+			t.Errorf("entry %s: negative ns/op", e.Name)
+		}
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload randomization seed")
 		state    = flag.String("state", "", "state directory (default: a temp dir)")
 		quantum  = flag.Duration("quantum", 5*time.Millisecond, "server preemption quantum (0 disables; >0 required for the resume check)")
+		benchOut = flag.String("bench-out", "", "write per-kind p50/p99 latency + throughput as a benchreport JSON report (gate with benchreport -check)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		refs:     map[string][]byte{},
 		accepted: map[string]serve.JobSpec{},
 		verified: map[string]bool{},
+		lat:      newLatencyTracker(),
 	}
 	if err := h.start(); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -111,9 +113,28 @@ func main() {
 	// is actually proven.
 	ok := h.settle(2 * time.Minute)
 	h.shutdown()
-	if !h.report(ok, *chaos, *quantum) {
+	passed := h.report(ok, *chaos, *quantum)
+	if *benchOut != "" {
+		if err := h.writeBenchReport(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			passed = false
+		}
+	}
+	if !passed {
 		os.Exit(1)
 	}
+}
+
+// writeBenchReport renders the measured latencies in benchreport's JSON
+// shape so serve latency can be gated against bench/baseline_serve.json
+// with the same -check machinery as the kernel benchmarks.
+func (h *harness) writeBenchReport(path string) error {
+	rep := h.lat.report(h.cfg().Workers)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // harness owns the server lifecycle, the reference results and the
@@ -130,6 +151,7 @@ type harness struct {
 	accepted map[string]serve.JobSpec // job id -> spec, every 202/200 ever seen
 	verified map[string]bool          // job id -> bytes matched reference
 	failures []string
+	lat      *latencyTracker // submit-to-done latency per job kind
 
 	submitted, sheds, coalesced, resumes, restarts, corrupted, badShed int64
 }
@@ -290,6 +312,7 @@ func (h *harness) submit(tenant string, spec serve.JobSpec) (string, bool) {
 		if jr.Coalesced {
 			atomic.AddInt64(&h.coalesced, 1)
 		}
+		h.lat.submitted(jr.ID)
 		return jr.ID, true
 	case http.StatusTooManyRequests:
 		atomic.AddInt64(&h.sheds, 1)
@@ -333,6 +356,7 @@ func (h *harness) verify(id string, spec serve.JobSpec, stop <-chan struct{}) bo
 			if st.ResumeStep > 0 {
 				atomic.AddInt64(&h.resumes, 1)
 			}
+			h.lat.completed(id, string(spec.Kind))
 			return h.check(id, spec)
 		case st.Status == "failed":
 			h.fail("accepted job %s failed: %+v", id, st.Error)
@@ -511,6 +535,9 @@ func (h *harness) report(ok bool, chaos bool, quantum time.Duration) bool {
 	fmt.Printf("loadgen: submitted=%d accepted=%d verified=%d sheds=%d coalesced=%d resumes=%d restarts=%d corrupted=%d\n",
 		h.submitted, len(h.accepted), len(h.verified), h.sheds, h.coalesced,
 		h.resumes, h.restarts, h.corrupted)
+	for _, line := range h.lat.summary() {
+		fmt.Println("loadgen:", line)
+	}
 	// Contract checks that require the load to have actually exercised the
 	// machinery, not just survived it.
 	if len(h.accepted) == 0 {

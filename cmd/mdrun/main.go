@@ -10,6 +10,7 @@
 //	mdrun -steps 500 -ckpt-dir run1.ckpt -ckpt-every 25
 //	mdrun -steps 50 -guard -guard-drift 500
 //	mdrun -steps 200 -obs-addr 127.0.0.1:8077 -obs-manifest run.json
+//	mdrun -steps 100 -kernel-workers 4 -tune-skin
 package main
 
 import (
@@ -50,6 +51,10 @@ func main() {
 	guardInject := flag.Int("guard-inject", 0, "force a synthetic guard trip at this step (test hook)")
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
 	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
+	kernelWorkers := flag.Int("kernel-workers", 0, "spread the physics kernels over this many host cores (0 = legacy serial; results identical for any value >= 1)")
+	skin := flag.Float64("skin", 0, "pin the neighbour-list skin width in Å (0 = config default; exclusive with -tune-skin)")
+	tuneSkin := flag.Bool("tune-skin", false, "auto-tune the neighbour-list skin before the run (choice recorded in the manifest; replay it with -skin)")
+	tuneWindow := flag.Int("tune-window", 0, "timed steps per skin-tuner candidate (0 = default 20)")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -74,6 +79,26 @@ func main() {
 	}
 	if *ckptKeep < 0 {
 		fmt.Fprintf(os.Stderr, "mdrun: -ckpt-keep must be >= 0 (got %d)\n", *ckptKeep)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *kernelWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -kernel-workers must be >= 0 (got %d)\n", *kernelWorkers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *skin < 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -skin must be >= 0 (got %g)\n", *skin)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *skin > 0 && *tuneSkin {
+		fmt.Fprintln(os.Stderr, "mdrun: -skin and -tune-skin are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tuneWindow < 0 {
+		fmt.Fprintf(os.Stderr, "mdrun: -tune-window must be >= 0 (got %d)\n", *tuneWindow)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,9 +152,20 @@ func main() {
 	cfg.Temperature = 0 // heat after minimization
 	cfg.TimestepFS = *dt
 	cfg.Seed = *seed
+	cfg.KernelWorkers = *kernelWorkers
+	if *skin > 0 {
+		cfg.FF.ListCutoff = cfg.FF.CutOff + *skin
+	}
 
 	fmt.Printf("system: %d atoms, %d bonds, box %.0f×%.0f×%.0f Å, net charge %+.1f\n",
 		sys.N(), len(sys.Bonds), sys.Box.L.X, sys.Box.L.Y, sys.Box.L.Z, sys.TotalCharge())
+
+	if *tuneSkin {
+		tuning := md.TuneSkin(sys, cfg, md.TuneOptions{Window: *tuneWindow, Log: os.Stdout})
+		cfg = tuning.Apply(cfg)
+		fmt.Printf("tune-skin: chose %.1f Å (list cutoff %.1f Å, %d-step windows)\n",
+			tuning.Chosen, cfg.FF.ListCutoff, tuning.Window)
+	}
 
 	engine := md.NewEngine(sys, cfg)
 	if *minimize > 0 {
@@ -234,6 +270,9 @@ func main() {
 		m.Config["pme"] = *usePME
 		m.Config["dt_fs"] = *dt
 		m.Config["guard"] = *guardOn
+		m.Config["kernel_workers"] = *kernelWorkers
+		m.Config["skin_angstrom"] = cfg.FF.ListCutoff - cfg.FF.CutOff
+		m.Config["skin_tuned"] = *tuneSkin
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
 			die("manifest:", err)

@@ -44,6 +44,7 @@ func main() {
 		quantum    = flag.Duration("quantum", 0, "preempt long runs at their next checkpoint boundary after this much execution (0 disables)")
 		weights    = flag.String("weights", "", "fair-queue tenant weights, e.g. alice=2,bob=1")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before force-close")
+		kernelW    = flag.Int("kernel-workers", 0, "spread each job's physics kernels over this many host cores (0 = legacy serial; results identical for any value >= 1, but differ at roundoff from 0 — use a fresh -state when changing)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxRetries:      *retries,
 		PreemptQuantum:  *quantum,
+		KernelWorkers:   *kernelW,
 		Obs:             obs.NewRegistry(),
 	})
 	if err != nil {

@@ -1,0 +1,49 @@
+// Package benchfmt holds the benchreport JSON schema (BENCH_host.json).
+// It is shared by cmd/benchreport (which writes and gates kernel reports)
+// and cmd/loadgen (which emits serve-latency reports in the same shape so
+// one -check gate covers both).
+package benchfmt
+
+// Measurement is one benchmark's per-op cost. For latency entries the
+// ns/op field carries the measured latency percentile and the allocation
+// fields are zero.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchEntry pairs a current measurement with an optional baseline, and
+// records the execution environment of this specific entry: the host CPU
+// count and the GOMAXPROCS (workers) the benchmark actually ran with.
+// One benchmark measured at several -cpu values appears as several
+// entries sharing a Name and differing in Workers.
+type BenchEntry struct {
+	Name     string       `json:"name"`
+	NumCPU   int          `json:"num_cpu"`
+	Workers  int          `json:"workers"`
+	Current  Measurement  `json:"current"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+}
+
+// Report is the BENCH_host.json schema. Suite, Samples and ExactKernels
+// are provenance: -check refuses to compare reports that disagree on them
+// (different kernel plans or suites measure different code).
+type Report struct {
+	GeneratedAt     string       `json:"generated_at"`
+	GoVersion       string       `json:"go_version"`
+	GOOS            string       `json:"goos"`
+	GOARCH          string       `json:"goarch"`
+	NumCPU          int          `json:"num_cpu"`
+	Suite           string       `json:"suite"`
+	Samples         int          `json:"samples"`
+	ExactKernels    bool         `json:"exact_kernels"`
+	ObsManifest     string       `json:"obs_manifest,omitempty"`
+	FigureAllWallS  float64      `json:"figure_all_wall_s"`
+	BaselineWallS   float64      `json:"baseline_figure_all_wall_s,omitempty"`
+	FigureAllRuns   int          `json:"figure_all_unique_runs"`
+	FigureAllHits   int          `json:"figure_all_cache_hits"`
+	FigureAllTapes  int          `json:"figure_all_tape_records"`
+	FigureAllReplay int          `json:"figure_all_tape_replays"`
+	Benchmarks      []BenchEntry `json:"benchmarks"`
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// Workers sizes the host worker pool (0 = one per host CPU, 1 =
 	// serial). Figure output is identical across settings.
 	Workers int
+	// KernelWorkers spreads the physics kernels (pair loop, FFT, PME
+	// spread/interpolate) over host cores. 0 keeps the legacy serial
+	// kernels; any value ≥ 1 uses the pooled deterministic reduction, so
+	// figure output is identical for every KernelWorkers ≥ 1.
+	KernelWorkers int
 	// Obs, when non-nil, receives the suite's cache/tape counters
 	// (repro_figures_*). Metrics never alter figure output.
 	Obs *obs.Registry
@@ -77,6 +82,7 @@ func NewStudy(o Options) *Study {
 		cfg.ClusterSeed = o.ClusterSeed
 	}
 	cfg.Workers = o.Workers
+	cfg.MD.KernelWorkers = o.KernelWorkers
 	cfg.Obs = o.Obs
 	return &Study{Suite: figures.NewSuite(cfg)}
 }

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/fft"
+	"repro/internal/kernels"
 	"repro/internal/space"
 	"repro/internal/units"
 	"repro/internal/vec"
@@ -44,6 +45,43 @@ type PME struct {
 
 	w1, w2, w3    []float64 // spline weight scratch
 	dw1, dw2, dw3 []float64
+
+	// Pooled-kernel state (SetPool). The parallel spread decomposes the x
+	// dimension into nChunks fixed even-count chunks of width ≥ Order and
+	// runs two barrier passes — even chunks, then odd chunks. An atom's
+	// order-wide support starting in chunk c stays inside chunks {c, c+1}
+	// (cyclically), so chunks of equal parity never touch the same grid
+	// point concurrently, and every grid point receives its deposits in a
+	// fixed order (even-pass chunk first, bucketed atoms in index order).
+	// The decomposition depends only on the mesh, so spread results are
+	// byte-identical at every worker count.
+	pool    *kernels.Pool
+	nChunks int       // even x-chunk count; 0 → serial spread fallback
+	chunkOf []int32   // wrapped x base index → owning chunk
+	buckets [][]int32 // per-chunk atom lists, rebuilt per spread call
+
+	// Per-shard spline scratch (index max(nChunks, ShardCount)) plus
+	// cached partition offsets and energy partials, all pre-sized by
+	// SetPool so the pooled hot path never allocates and never races on
+	// first touch.
+	sw1, sw2, sw3    [][]float64
+	sdw1, sdw2, sdw3 [][]float64
+	gridOff, specOff []int
+	atomOff          []int
+	eParts           []float64
+
+	// Shard closures are bound once at SetPool (a per-call closure would
+	// allocate on every Recip); the per-call arguments travel through the
+	// c* fields below, set immediately before each pool.Run.
+	zeroFn, enerFn           func(int)
+	spreadEvenR, spreadOddR  func(int)
+	spreadEvenC, spreadOddC  func(int)
+	interpRFn, interpCFn     func(int)
+	cPos                     []vec.V
+	cQ                       []float64
+	cFrc                     []vec.V
+	cGrid, cConv             []complex128
+	cLo                      int
 }
 
 // NewPME builds a PME engine for the given box, splitting parameter β
@@ -78,6 +116,113 @@ func NewPME(box space.Box, beta float64, k1, k2, k3, order int) *PME {
 	p.dw2 = make([]float64, order)
 	p.dw3 = make([]float64, order)
 	return p
+}
+
+// SetPool attaches a kernel pool: Recip's real pipeline, Spread and
+// Interpolate shard their work across it with worker-count-independent
+// decompositions (see the field comment). Everything the pooled path
+// touches — the real grid, convolution and spectrum buffers, the
+// half-spectrum influence tables, per-shard spline scratch and the chunk
+// map — is allocated here, up front, so the parallel path cannot race on
+// a lazy first-touch allocation and the steady-state step stays
+// allocation-free. The reference paths are exempt: ExactFFT keeps the
+// bit-for-bit serial complex pipeline at any worker count.
+// SetPool(nil) restores the legacy serial kernels and their exact bytes.
+func (p *PME) SetPool(pool *kernels.Pool) {
+	p.pool = pool
+	if p.rplan != nil {
+		p.rplan.SetPool(pool)
+	}
+	if pool == nil {
+		p.nChunks = 0
+		return
+	}
+	// X-chunk spread decomposition: the largest even chunk count whose
+	// blocks are at least Order wide. Meshes too small for four chunks
+	// keep the serial spread (the FFT and interpolation still pool).
+	c := p.K1 / p.Order
+	c -= c % 2
+	if c >= 4 {
+		p.nChunks = c
+		off := kernels.Partition(p.K1, c, nil)
+		p.chunkOf = make([]int32, p.K1)
+		for i := 0; i < c; i++ {
+			for x := off[i]; x < off[i+1]; x++ {
+				p.chunkOf[x] = int32(i)
+			}
+		}
+		p.buckets = make([][]int32, c)
+	} else {
+		p.nChunks = 0
+	}
+	shards := kernels.ShardCount
+	if p.nChunks > shards {
+		shards = p.nChunks
+	}
+	alloc := func() [][]float64 {
+		s := make([][]float64, shards)
+		for i := range s {
+			s[i] = make([]float64, p.Order)
+		}
+		return s
+	}
+	p.sw1, p.sw2, p.sw3 = alloc(), alloc(), alloc()
+	p.sdw1, p.sdw2, p.sdw3 = alloc(), alloc(), alloc()
+	p.eParts = make([]float64, kernels.ShardCount)
+	if p.rplan != nil {
+		p.ensureRealBuffers()
+		p.gridOff = kernels.Partition(len(p.rgrid), kernels.ShardCount, p.gridOff)
+		p.specOff = kernels.Partition(len(p.spec), kernels.ShardCount, p.specOff)
+	}
+	p.prebindPooled()
+}
+
+// prebindPooled builds the shard closures once so the pooled hot path
+// hands Run reusable funcs instead of allocating a capture per call.
+func (p *PME) prebindPooled() {
+	p.zeroFn = func(s int) {
+		z := p.rgrid[p.gridOff[s]:p.gridOff[s+1]]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	p.enerFn = func(s int) {
+		var e float64
+		for i := p.specOff[s]; i < p.specOff[s+1]; i++ {
+			re, im := real(p.spec[i]), imag(p.spec[i])
+			e += p.eCoefH[i] * (re*re + im*im)
+			p.spec[i] = complex(re*p.cCoefH[i], im*p.cCoefH[i])
+		}
+		p.eParts[s] = e
+	}
+	p.spreadEvenR = func(s int) { p.spreadChunkReal(2*s, p.cPos, p.cQ, p.rgrid) }
+	p.spreadOddR = func(s int) { p.spreadChunkReal(2*s+1, p.cPos, p.cQ, p.rgrid) }
+	p.spreadEvenC = func(s int) { p.spreadChunkCmplx(2*s, p.cPos, p.cQ, p.cGrid) }
+	p.spreadOddC = func(s int) { p.spreadChunkCmplx(2*s+1, p.cPos, p.cQ, p.cGrid) }
+	p.interpRFn = func(s int) {
+		p.interpolateRealRange(p.rconv, p.cPos, p.cQ, p.atomOff[s], p.atomOff[s+1], p.cFrc,
+			p.sw1[s], p.sw2[s], p.sw3[s], p.sdw1[s], p.sdw2[s], p.sdw3[s])
+	}
+	p.interpCFn = func(s int) {
+		p.eParts[s] = p.interpolateRange(p.cConv, p.cPos, p.cQ, p.cLo+p.atomOff[s], p.cLo+p.atomOff[s+1], p.cFrc,
+			p.sw1[s], p.sw2[s], p.sw3[s], p.sdw1[s], p.sdw2[s], p.sdw3[s])
+	}
+}
+
+// ensureRealBuffers allocates the real-pipeline grid, convolution and
+// spectrum buffers and the precomputed influence tables. The serial path
+// calls it lazily on first Recip (PME instances that only ever serve the
+// distributed Spread/Interpolate never pay for them); SetPool calls it
+// eagerly so the pooled path starts fully pre-sized.
+func (p *PME) ensureRealBuffers() {
+	if p.rgrid == nil {
+		p.rgrid = make([]float64, p.GridLen())
+		p.rconv = make([]float64, p.GridLen())
+		p.spec = make([]complex128, p.rplan.SpectrumLen())
+	}
+	if p.eCoefH == nil {
+		p.buildHalfInfluence()
+	}
 }
 
 // bsplineModuli returns |b(m)|² for m = 0..K−1:
@@ -164,15 +309,11 @@ func (p *PME) recipComplex(pos []vec.V, charges []float64, frc []vec.V) float64 
 // signedFreq is odd and the moduli are even — the same ψ) and weight 1 on
 // the self-conjugate kx = 0 and kx = K1/2 planes.
 func (p *PME) recipReal(pos []vec.V, charges []float64, frc []vec.V) float64 {
-	if p.rgrid == nil {
-		p.rgrid = make([]float64, p.GridLen())
-		p.rconv = make([]float64, p.GridLen())
-		p.spec = make([]complex128, p.rplan.SpectrumLen())
-	}
-	if p.eCoefH == nil {
-		p.buildHalfInfluence()
-	}
+	p.ensureRealBuffers()
 	p.lastReal = true
+	if p.pool != nil {
+		return p.recipRealPooled(pos, charges, frc)
+	}
 	for i := range p.rgrid {
 		p.rgrid[i] = 0
 	}
@@ -187,6 +328,135 @@ func (p *PME) recipReal(pos []vec.V, charges []float64, frc []vec.V) float64 {
 	p.rplan.Inverse(p.spec, p.rconv)
 	p.interpolateReal(p.rconv, pos, charges, frc)
 	return energy
+}
+
+// recipRealPooled is the sharded real pipeline: fixed-range grid zeroing,
+// parity-chunked spread, pooled half-spectrum transforms, a fixed-range
+// energy/convolution pass with per-shard partials merged in shard order,
+// and interpolation over fixed atom ranges. Every decomposition depends
+// only on the problem shape, so the result is byte-identical at any
+// worker count (but, like any regrouped floating-point reduction, not to
+// the serial path — that is what KernelWorkers = 0 preserves).
+func (p *PME) recipRealPooled(pos []vec.V, charges []float64, frc []vec.V) float64 {
+	s16 := kernels.ShardCount
+	p.pool.Run(s16, p.zeroFn)
+	if p.nChunks > 0 {
+		p.spreadRealChunked(pos, charges)
+	} else {
+		p.spreadReal(pos, charges, p.rgrid)
+	}
+	p.rplan.Forward(p.rgrid, p.spec)
+	p.pool.Run(s16, p.enerFn)
+	var energy float64
+	for _, e := range p.eParts {
+		energy += e
+	}
+	p.rplan.Inverse(p.spec, p.rconv)
+	p.interpolateRealPooled(pos, charges, frc)
+	return energy
+}
+
+// bucketByChunk fills p.buckets with the atoms of [lo, hi) keyed by the
+// x chunk owning their B-spline support base, in ascending atom order.
+// The base index replicates splineWeights' k0 exactly.
+func (p *PME) bucketByChunk(pos []vec.V, charges []float64, lo, hi int) {
+	for c := range p.buckets {
+		p.buckets[c] = p.buckets[c][:0]
+	}
+	k1f := float64(p.K1)
+	for i := lo; i < hi; i++ {
+		if charges[i] == 0 {
+			continue
+		}
+		u1 := p.Box.Frac(pos[i]).X * k1f
+		k01 := int(floor(u1)) - p.Order + 1
+		c := p.chunkOf[mod(k01, p.K1)]
+		p.buckets[c] = append(p.buckets[c], int32(i))
+	}
+}
+
+// spreadRealChunked deposits charges onto p.rgrid in two parity passes
+// over the x chunks; chunks in the same pass touch disjoint grid regions.
+func (p *PME) spreadRealChunked(pos []vec.V, charges []float64) {
+	p.bucketByChunk(pos, charges, 0, len(pos))
+	p.cPos, p.cQ = pos, charges
+	half := p.nChunks / 2
+	p.pool.Run(half, p.spreadEvenR)
+	p.pool.Run(half, p.spreadOddR)
+}
+
+// spreadChunkReal deposits one chunk's bucketed atoms using the chunk's
+// private spline scratch.
+func (p *PME) spreadChunkReal(c int, pos []vec.V, charges []float64, grid []float64) {
+	order := p.Order
+	w1, w2, w3 := p.sw1[c], p.sw2[c], p.sw3[c]
+	dw1, dw2, dw3 := p.sdw1[c], p.sdw2[c], p.sdw3[c]
+	var i1, i2, i3 [maxOrder]int
+	for _, ii := range p.buckets[c] {
+		i := int(ii)
+		q := charges[i]
+		f := p.Box.Frac(pos[i])
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, w1, dw1)
+		k02 := splineWeights(order, u2, w2, dw2)
+		k03 := splineWeights(order, u3, w3, dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
+		for a := 0; a < order; a++ {
+			row := i1[a] * p.K2
+			qa := q * w1[a]
+			for b := 0; b < order; b++ {
+				qab := qa * w2[b]
+				base := (row + i2[b]) * p.K3
+				for c3 := 0; c3 < order; c3++ {
+					grid[base+i3[c3]] += qab * w3[c3]
+				}
+			}
+		}
+	}
+}
+
+// spreadChunkCmplx is spreadChunkReal onto a complex grid (the
+// distributed PME's local accumulation buffers).
+func (p *PME) spreadChunkCmplx(c int, pos []vec.V, charges []float64, grid []complex128) {
+	order := p.Order
+	w1, w2, w3 := p.sw1[c], p.sw2[c], p.sw3[c]
+	dw1, dw2, dw3 := p.sdw1[c], p.sdw2[c], p.sdw3[c]
+	var i1, i2, i3 [maxOrder]int
+	for _, ii := range p.buckets[c] {
+		i := int(ii)
+		q := charges[i]
+		f := p.Box.Frac(pos[i])
+		u1 := f.X * float64(p.K1)
+		u2 := f.Y * float64(p.K2)
+		u3 := f.Z * float64(p.K3)
+		k01 := splineWeights(order, u1, w1, dw1)
+		k02 := splineWeights(order, u2, w2, dw2)
+		k03 := splineWeights(order, u3, w3, dw3)
+		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
+		for a := 0; a < order; a++ {
+			row := i1[a] * p.K2
+			qa := q * w1[a]
+			for b := 0; b < order; b++ {
+				qab := qa * w2[b]
+				base := (row + i2[b]) * p.K3
+				for c3 := 0; c3 < order; c3++ {
+					grid[base+i3[c3]] += complex(qab*w3[c3], 0)
+				}
+			}
+		}
+	}
+}
+
+// interpolateRealPooled shards interpolateReal over fixed atom ranges of
+// p.rconv; each atom's force is written by exactly one shard, so the
+// result is bitwise identical to the serial interpolation.
+func (p *PME) interpolateRealPooled(pos []vec.V, charges []float64, frc []vec.V) {
+	s16 := kernels.ShardCount
+	p.atomOff = kernels.Partition(len(pos), s16, p.atomOff)
+	p.cPos, p.cQ, p.cFrc = pos, charges, frc
+	p.pool.Run(s16, p.interpRFn)
 }
 
 // buildHalfInfluence precomputes the influence coefficients over the
@@ -233,6 +503,14 @@ func (p *PME) RecipEnergyGridDot() float64 {
 // K1×K2×K3, not zeroed here) with B-spline weights. The distributed PME
 // uses it per atom block; grid may be any rank's local accumulation buffer.
 func (p *PME) Spread(pos []vec.V, charges []float64, lo, hi int, grid []complex128) {
+	if p.pool != nil && !p.ExactFFT && p.nChunks > 0 {
+		p.bucketByChunk(pos, charges, lo, hi)
+		p.cPos, p.cQ, p.cGrid = pos, charges, grid
+		half := p.nChunks / 2
+		p.pool.Run(half, p.spreadEvenC)
+		p.pool.Run(half, p.spreadOddC)
+		return
+	}
 	order := p.Order
 	var i1, i2, i3 [maxOrder]int
 	for i := lo; i < hi; i++ {
@@ -370,6 +648,24 @@ func signedFreq(m, k int) float64 {
 // consistency cross-check. The distributed PME calls it per atom block
 // with the allgathered conv grid.
 func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo, hi int, frc []vec.V) float64 {
+	if p.pool != nil && !p.ExactFFT {
+		s16 := kernels.ShardCount
+		p.atomOff = kernels.Partition(hi-lo, s16, p.atomOff)
+		p.cConv, p.cPos, p.cQ, p.cFrc, p.cLo = conv, pos, charges, frc, lo
+		p.pool.Run(s16, p.interpCFn)
+		var e float64
+		for _, part := range p.eParts {
+			e += part
+		}
+		return e
+	}
+	return p.interpolateRange(conv, pos, charges, lo, hi, frc,
+		p.w1, p.w2, p.w3, p.dw1, p.dw2, p.dw3)
+}
+
+// interpolateRange is Interpolate over atoms [lo, hi) with the caller's
+// spline scratch (the pooled path hands every shard its own).
+func (p *PME) interpolateRange(conv []complex128, pos []vec.V, charges []float64, lo, hi int, frc []vec.V, w1, w2, w3, dw1, dw2, dw3 []float64) float64 {
 	order := p.Order
 	s1 := float64(p.K1) / p.Box.L.X
 	s2 := float64(p.K2) / p.Box.L.Y
@@ -386,9 +682,9 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 		u1 := f.X * float64(p.K1)
 		u2 := f.Y * float64(p.K2)
 		u3 := f.Z * float64(p.K3)
-		k01 := splineWeights(order, u1, p.w1, p.dw1)
-		k02 := splineWeights(order, u2, p.w2, p.dw2)
-		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		k01 := splineWeights(order, u1, w1, dw1)
+		k02 := splineWeights(order, u2, w2, dw2)
+		k03 := splineWeights(order, u3, w3, dw3)
 		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
 		var gx, gy, gz, pot float64
 		for a := 0; a < order; a++ {
@@ -396,10 +692,10 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 				base := (i1[a]*p.K2 + i2[b]) * p.K3
 				for c := 0; c < order; c++ {
 					t := real(conv[base+i3[c]])
-					pot += p.w1[a] * p.w2[b] * p.w3[c] * t
-					gx += p.dw1[a] * p.w2[b] * p.w3[c] * t
-					gy += p.w1[a] * p.dw2[b] * p.w3[c] * t
-					gz += p.w1[a] * p.w2[b] * p.dw3[c] * t
+					pot += w1[a] * w2[b] * w3[c] * t
+					gx += dw1[a] * w2[b] * w3[c] * t
+					gy += w1[a] * dw2[b] * w3[c] * t
+					gz += w1[a] * w2[b] * dw3[c] * t
 				}
 			}
 		}
@@ -415,12 +711,19 @@ func (p *PME) Interpolate(conv []complex128, pos []vec.V, charges []float64, lo,
 // pipeline, with the products regrouped to hoist the a/b spline factors
 // out of the inner loop.
 func (p *PME) interpolateReal(conv []float64, pos []vec.V, charges []float64, frc []vec.V) {
+	p.interpolateRealRange(conv, pos, charges, 0, len(pos), frc,
+		p.w1, p.w2, p.w3, p.dw1, p.dw2, p.dw3)
+}
+
+// interpolateRealRange interpolates forces for atoms [lo, hi) using the
+// caller's spline scratch (the pooled path hands every shard its own).
+func (p *PME) interpolateRealRange(conv []float64, pos []vec.V, charges []float64, lo, hi int, frc []vec.V, w1, w2, w3, dw1, dw2, dw3 []float64) {
 	order := p.Order
 	s1 := float64(p.K1) / p.Box.L.X
 	s2 := float64(p.K2) / p.Box.L.Y
 	s3 := float64(p.K3) / p.Box.L.Z
 	var i1, i2, i3 [maxOrder]int
-	for i := range pos {
+	for i := lo; i < hi; i++ {
 		q := charges[i]
 		if q == 0 {
 			continue
@@ -429,13 +732,13 @@ func (p *PME) interpolateReal(conv []float64, pos []vec.V, charges []float64, fr
 		u1 := f.X * float64(p.K1)
 		u2 := f.Y * float64(p.K2)
 		u3 := f.Z * float64(p.K3)
-		k01 := splineWeights(order, u1, p.w1, p.dw1)
-		k02 := splineWeights(order, u2, p.w2, p.dw2)
-		k03 := splineWeights(order, u3, p.w3, p.dw3)
+		k01 := splineWeights(order, u1, w1, dw1)
+		k02 := splineWeights(order, u2, w2, dw2)
+		k03 := splineWeights(order, u3, w3, dw3)
 		p.wrapIndices(k01, k02, k03, &i1, &i2, &i3)
 		var gx, gy, gz float64
 		for a := 0; a < order; a++ {
-			w1a, dw1a := p.w1[a], p.dw1[a]
+			w1a, dw1a := w1[a], dw1[a]
 			row := i1[a] * p.K2
 			for b := 0; b < order; b++ {
 				base := (row + i2[b]) * p.K3
@@ -443,10 +746,10 @@ func (p *PME) interpolateReal(conv []float64, pos []vec.V, charges []float64, fr
 				var s, sz float64
 				for c := 0; c < order; c++ {
 					t := conv[base+i3[c]]
-					s += p.w3[c] * t
-					sz += p.dw3[c] * t
+					s += w3[c] * t
+					sz += dw3[c] * t
 				}
-				w2b, dw2b := p.w2[b], p.dw2[b]
+				w2b, dw2b := w2[b], dw2[b]
 				gx += dw1a * w2b * s
 				gy += w1a * dw2b * s
 				gz += w1a * w2b * sz

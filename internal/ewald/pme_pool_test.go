@@ -1,0 +1,155 @@
+package ewald
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/space"
+	"repro/internal/vec"
+)
+
+func poolTestSystem(n int, box space.Box) (pos []vec.V, charges []float64) {
+	rng := rand.New(rand.NewSource(7))
+	pos = make([]vec.V, n)
+	charges = make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*box.L.X, rng.Float64()*box.L.Y, rng.Float64()*box.L.Z)
+		charges[i] = rng.Float64() - 0.5
+	}
+	// A few zero charges exercise the skip paths.
+	charges[0], charges[n/2] = 0, 0
+	return pos, charges
+}
+
+func recipOnce(t *testing.T, workers int, pos []vec.V, charges []float64, box space.Box) (float64, []vec.V) {
+	t.Helper()
+	p := NewPME(box, 0.34, 40, 18, 24, 4)
+	if workers > 0 {
+		p.SetPool(kernels.NewPool(workers))
+	}
+	frc := make([]vec.V, len(pos))
+	e := p.Recip(pos, charges, frc, nil)
+	return e, frc
+}
+
+// The pooled reciprocal pipeline must produce byte-identical energies and
+// forces at every worker count: the shard decomposition is fixed, shards
+// merge in fixed order, and the parity-chunked spread gives every grid
+// point a fixed deposit order.
+func TestRecipPooledBitwiseStableAcrossWorkers(t *testing.T) {
+	box := space.NewBox(20, 18, 22)
+	pos, charges := poolTestSystem(600, box)
+	wantE, wantF := recipOnce(t, 1, pos, charges, box)
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0) + 1, 19} {
+		e, frc := recipOnce(t, workers, pos, charges, box)
+		if e != wantE {
+			t.Fatalf("workers=%d: energy %x != 1-worker %x", workers, e, wantE)
+		}
+		for i := range frc {
+			if frc[i] != wantF[i] {
+				t.Fatalf("workers=%d: frc[%d] = %v != %v", workers, i, frc[i], wantF[i])
+			}
+		}
+	}
+}
+
+// The pooled path is a different deterministic association of the same
+// sums; it must agree with the serial path to roundoff.
+func TestRecipPooledMatchesSerialToRoundoff(t *testing.T) {
+	box := space.NewBox(20, 18, 22)
+	pos, charges := poolTestSystem(600, box)
+	serialE, serialF := recipOnce(t, 0, pos, charges, box)
+	pooledE, pooledF := recipOnce(t, 4, pos, charges, box)
+	if d := math.Abs(pooledE-serialE) / math.Abs(serialE); d > 1e-10 {
+		t.Fatalf("pooled energy %v vs serial %v (rel %g)", pooledE, serialE, d)
+	}
+	for i := range serialF {
+		if d := pooledF[i].Sub(serialF[i]).Norm(); d > 1e-8 {
+			t.Fatalf("frc[%d] pooled %v vs serial %v (|Δ| %g)", i, pooledF[i], serialF[i], d)
+		}
+	}
+}
+
+// The parity-chunked spread must deposit exactly the same per-atom
+// contributions as the serial spread: the total charge on the grid and
+// each grid point's value agree to roundoff, and repeated pooled runs are
+// bitwise identical.
+func TestSpreadChunkedMatchesSerial(t *testing.T) {
+	box := space.NewBox(20, 18, 22)
+	pos, charges := poolTestSystem(400, box)
+	serial := NewPME(box, 0.34, 40, 18, 24, 4)
+	pooled := NewPME(box, 0.34, 40, 18, 24, 4)
+	pooled.SetPool(kernels.NewPool(4))
+	if pooled.nChunks == 0 {
+		t.Fatal("paper-scale mesh should enable chunked spread")
+	}
+	gs := make([]complex128, serial.GridLen())
+	gp := make([]complex128, pooled.GridLen())
+	serial.Spread(pos, charges, 0, len(pos), gs)
+	pooled.Spread(pos, charges, 0, len(pos), gp)
+	var sumS, sumP float64
+	for i := range gs {
+		sumS += real(gs[i])
+		sumP += real(gp[i])
+		if d := real(gs[i]) - real(gp[i]); math.Abs(d) > 1e-12 {
+			t.Fatalf("grid[%d]: serial %v pooled %v", i, gs[i], gp[i])
+		}
+	}
+	if math.Abs(sumS-sumP) > 1e-10 {
+		t.Fatalf("grid charge sums differ: %v vs %v", sumS, sumP)
+	}
+	// Bitwise repeatability of the pooled spread itself.
+	gp2 := make([]complex128, pooled.GridLen())
+	pooled.Spread(pos, charges, 0, len(pos), gp2)
+	for i := range gp {
+		if gp[i] != gp2[i] {
+			t.Fatalf("pooled spread not repeatable at grid[%d]", i)
+		}
+	}
+}
+
+// ExactFFT is the bit-for-bit reference path; attaching a pool must not
+// change a single bit of it at any worker count.
+func TestExactFFTUnaffectedByPool(t *testing.T) {
+	box := space.NewBox(20, 18, 22)
+	pos, charges := poolTestSystem(300, box)
+	ref := NewPME(box, 0.34, 40, 18, 24, 4)
+	ref.ExactFFT = true
+	frcRef := make([]vec.V, len(pos))
+	eRef := ref.Recip(pos, charges, frcRef, nil)
+	for _, workers := range []int{1, 4} {
+		p := NewPME(box, 0.34, 40, 18, 24, 4)
+		p.ExactFFT = true
+		p.SetPool(kernels.NewPool(workers))
+		frc := make([]vec.V, len(pos))
+		e := p.Recip(pos, charges, frc, nil)
+		if e != eRef {
+			t.Fatalf("workers=%d: exact energy %x != reference %x", workers, e, eRef)
+		}
+		for i := range frc {
+			if frc[i] != frcRef[i] {
+				t.Fatalf("workers=%d: exact frc[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// SetPool pre-sizes every buffer the pooled path touches; the steady
+// state must not allocate.
+func TestPooledRecipDoesNotAllocateSteadyState(t *testing.T) {
+	box := space.NewBox(20, 18, 22)
+	pos, charges := poolTestSystem(400, box)
+	p := NewPME(box, 0.34, 40, 18, 24, 4)
+	p.SetPool(kernels.NewPool(1)) // 1 worker: pooled numerics, inline execution
+	frc := make([]vec.V, len(pos))
+	p.Recip(pos, charges, frc, nil) // warm the chunk buckets
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Recip(pos, charges, frc, nil)
+	})
+	if allocs > 0 {
+		t.Fatalf("pooled Recip allocates %v per call in steady state", allocs)
+	}
+}

@@ -1,0 +1,115 @@
+package ff
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// The pooled pair loop must be byte-identical at every worker count: the
+// shard decomposition is fixed by the pair count, and the per-shard
+// forces and energies merge in ascending shard order.
+func TestKernelPooledBitwiseStableAcrossWorkers(t *testing.T) {
+	sys, pos := smallSystem(4)
+	f := New(sys, PMEOptions())
+	pairs := f.BuildPairs(pos, nil)
+
+	run := func(workers int) (Energies, []vec.V, work.Counters) {
+		k := f.NewNonbondedKernel()
+		k.SetPool(kernels.NewPool(workers))
+		frc := make([]vec.V, len(pos))
+		var w work.Counters
+		e := k.Compute(pos, pairs, frc, &w)
+		return e, frc, w
+	}
+	wantE, wantF, wantW := run(1)
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0) + 1, kernels.ShardCount + 2} {
+		e, frc, w := run(workers)
+		if e != wantE {
+			t.Fatalf("workers=%d: energies %+v != 1-worker %+v", workers, e, wantE)
+		}
+		if w != wantW {
+			t.Fatalf("workers=%d: counters %+v != %+v", workers, w, wantW)
+		}
+		for i := range frc {
+			if frc[i] != wantF[i] {
+				t.Fatalf("workers=%d: frc[%d] = %v != %v", workers, i, frc[i], wantF[i])
+			}
+		}
+	}
+}
+
+// The pooled path is the same arithmetic with regrouped accumulation; it
+// must agree with the serial kernel to roundoff.
+func TestKernelPooledMatchesSerialToRoundoff(t *testing.T) {
+	sys, pos := smallSystem(4)
+	f := New(sys, PMEOptions())
+	pairs := f.BuildPairs(pos, nil)
+
+	serial := f.NewNonbondedKernel()
+	frcS := make([]vec.V, len(pos))
+	eS := serial.Compute(pos, pairs, frcS, nil)
+
+	pooled := f.NewNonbondedKernel()
+	pooled.SetPool(kernels.NewPool(4))
+	frcP := make([]vec.V, len(pos))
+	eP := pooled.Compute(pos, pairs, frcP, nil)
+
+	scale := math.Abs(eS.LJ) + math.Abs(eS.Elec) + 1
+	if math.Abs(eP.LJ-eS.LJ) > 1e-9*scale || math.Abs(eP.Elec-eS.Elec) > 1e-9*scale {
+		t.Fatalf("pooled %+v vs serial %+v", eP, eS)
+	}
+	for i := range frcS {
+		if frcP[i].Sub(frcS[i]).Norm() > 1e-9*(1+frcS[i].Norm()) {
+			t.Fatalf("atom %d: pooled %v vs serial %v", i, frcP[i], frcS[i])
+		}
+	}
+}
+
+// With ExactKernels the kernel delegates to the reference loop; a pool
+// must not change a bit of it.
+func TestKernelPoolIgnoredInExactMode(t *testing.T) {
+	sys, pos := smallSystem(4)
+	o := PMEOptions()
+	o.ExactKernels = true
+	f := New(sys, o)
+	pairs := f.BuildPairs(pos, nil)
+
+	frcRef := make([]vec.V, len(pos))
+	eRef := f.Nonbonded(pos, pairs, frcRef, nil)
+
+	k := f.NewNonbondedKernel()
+	k.SetPool(kernels.NewPool(4))
+	frc := make([]vec.V, len(pos))
+	e := k.Compute(pos, pairs, frc, nil)
+	if e != eRef {
+		t.Fatalf("exact-mode pooled energies %+v != reference %+v", e, eRef)
+	}
+	for i := range frc {
+		if frc[i] != frcRef[i] {
+			t.Fatalf("exact-mode pooled frc[%d] differs", i)
+		}
+	}
+}
+
+// Steady-state pooled Compute must not allocate (scratch is sized on the
+// first call and reused).
+func TestKernelPooledDoesNotAllocateSteadyState(t *testing.T) {
+	sys, pos := smallSystem(4)
+	f := New(sys, PMEOptions())
+	pairs := f.BuildPairs(pos, nil)
+	k := f.NewNonbondedKernel()
+	k.SetPool(kernels.NewPool(1))
+	frc := make([]vec.V, len(pos))
+	k.Compute(pos, pairs, frc, nil)
+	allocs := testing.AllocsPerRun(10, func() {
+		k.Compute(pos, pairs, frc, nil)
+	})
+	if allocs > 0 {
+		t.Fatalf("pooled Compute allocates %v per call in steady state", allocs)
+	}
+}

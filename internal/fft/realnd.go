@@ -1,6 +1,10 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
 
 // xposeBlock is the number of (y,z) columns gathered per blocked-transpose
 // pass. 32 rows of the largest practical line length (a few hundred
@@ -27,6 +31,24 @@ type RealPlan3D struct {
 
 	rblk []float64    // blocked transpose scratch: xposeBlock × nx reals
 	cblk []complex128 // blocked transpose scratch: xposeBlock × hx bins
+
+	pool   *kernels.Pool  // nil → serial transforms
+	shards []*realShard3D // per-shard scratch + plan clones when pooled
+}
+
+// realShard3D is one worker shard's private transform state: its own
+// transpose scratch plus clones of the 1-D real and 2-D complex plans
+// (both hold mutable per-transform buffers, so they cannot be shared
+// across goroutines). Clones are built by the same deterministic plan
+// constructors, so a line transformed by any shard's plan produces bits
+// identical to the primary plan's — which is why the pooled transform is
+// bitwise equal to the serial one at every worker count: every output
+// element is written exactly once, by identical arithmetic.
+type realShard3D struct {
+	rblk  []float64
+	cblk  []complex128
+	rpx   *RealPlan
+	plane *Plan2D
 }
 
 // NewRealPlan3D returns a plan for an nx×ny×nz real grid. nx must be even
@@ -63,6 +85,80 @@ func (p *RealPlan3D) SpectrumLen() int { return p.hx * p.ny * p.nz }
 // HX returns the number of stored x frequencies, nx/2+1.
 func (p *RealPlan3D) HX() int { return p.hx }
 
+// SetPool attaches a kernel pool: Forward/Inverse shard their x-line
+// blocks and y×z planes across it. The decomposition is fixed (strided
+// over at most kernels.ShardCount shards) and every output element is
+// written once, so pooled transforms are bitwise identical to serial
+// ones at any worker count. Per-shard scratch and plan clones are
+// allocated here, before first use, so the hot path stays allocation-free
+// and first-touch race-free. SetPool(nil) restores the serial path.
+func (p *RealPlan3D) SetPool(pool *kernels.Pool) {
+	p.pool = pool
+	if pool == nil || pool.Workers() <= 1 {
+		p.shards = nil
+		return
+	}
+	p.shards = make([]*realShard3D, kernels.ShardCount)
+	for i := range p.shards {
+		p.shards[i] = &realShard3D{
+			rblk:  make([]float64, xposeBlock*p.nx),
+			cblk:  make([]complex128, xposeBlock*p.hx),
+			rpx:   NewRealPlan(p.nx),
+			plane: NewPlan2D(p.ny, p.nz),
+		}
+	}
+}
+
+// forwardBlock transforms the xposeBlock-wide column block starting at
+// plane offset j0: gather strided x lines, real-transform them, scatter
+// the half spectra.
+func (p *RealPlan3D) forwardBlock(x []float64, spec []complex128, j0 int, rblk []float64, cblk []complex128, rpx *RealPlan) {
+	planeLen := p.ny * p.nz
+	w := planeLen - j0
+	if w > xposeBlock {
+		w = xposeBlock
+	}
+	for ix := 0; ix < p.nx; ix++ {
+		src := x[ix*planeLen+j0 : ix*planeLen+j0+w]
+		for b, v := range src {
+			rblk[b*p.nx+ix] = v
+		}
+	}
+	for b := 0; b < w; b++ {
+		rpx.Forward(rblk[b*p.nx:(b+1)*p.nx], cblk[b*p.hx:(b+1)*p.hx])
+	}
+	for ix := 0; ix < p.hx; ix++ {
+		dst := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
+		for b := range dst {
+			dst[b] = cblk[b*p.hx+ix]
+		}
+	}
+}
+
+// inverseBlock is forwardBlock's mirror for the spectrum→real direction.
+func (p *RealPlan3D) inverseBlock(spec []complex128, x []float64, j0 int, rblk []float64, cblk []complex128, rpx *RealPlan) {
+	planeLen := p.ny * p.nz
+	w := planeLen - j0
+	if w > xposeBlock {
+		w = xposeBlock
+	}
+	for ix := 0; ix < p.hx; ix++ {
+		src := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
+		for b, v := range src {
+			cblk[b*p.hx+ix] = v
+		}
+	}
+	for b := 0; b < w; b++ {
+		rpx.Inverse(cblk[b*p.hx:(b+1)*p.hx], rblk[b*p.nx:(b+1)*p.nx])
+	}
+	for ix := 0; ix < p.nx; ix++ {
+		dst := x[ix*planeLen+j0 : ix*planeLen+j0+w]
+		for b := range dst {
+			dst[b] = rblk[b*p.nx+ix]
+		}
+	}
+}
+
 // Forward computes the half spectrum of the real grid x:
 // spec[(kx·Ny + ky)·Nz + kz] = F(kx, ky, kz) for kx = 0..Nx/2. The input
 // grid is left intact. len(x) must be Len() and len(spec) SpectrumLen().
@@ -72,28 +168,36 @@ func (p *RealPlan3D) Forward(x []float64, spec []complex128) {
 			len(x), len(spec), p.Len(), p.SpectrumLen()))
 	}
 	planeLen := p.ny * p.nz
+	if p.shards != nil {
+		// Pooled: shard the column blocks, then the planes, each strided
+		// over a fixed shard count. Disjoint writes per shard.
+		nBlocks := (planeLen + xposeBlock - 1) / xposeBlock
+		sb := len(p.shards)
+		if sb > nBlocks {
+			sb = nBlocks
+		}
+		p.pool.Run(sb, func(s int) {
+			sh := p.shards[s]
+			for bi := s; bi < nBlocks; bi += sb {
+				p.forwardBlock(x, spec, bi*xposeBlock, sh.rblk, sh.cblk, sh.rpx)
+			}
+		})
+		sp := len(p.shards)
+		if sp > p.hx {
+			sp = p.hx
+		}
+		p.pool.Run(sp, func(s int) {
+			sh := p.shards[s]
+			for ix := s; ix < p.hx; ix += sp {
+				sh.plane.Forward(spec[ix*planeLen : (ix+1)*planeLen])
+			}
+		})
+		return
+	}
 	// Real transforms along x: gather blocks of xposeBlock strided lines
 	// into contiguous rows, transform, scatter the half spectra.
 	for j0 := 0; j0 < planeLen; j0 += xposeBlock {
-		w := planeLen - j0
-		if w > xposeBlock {
-			w = xposeBlock
-		}
-		for ix := 0; ix < p.nx; ix++ {
-			src := x[ix*planeLen+j0 : ix*planeLen+j0+w]
-			for b, v := range src {
-				p.rblk[b*p.nx+ix] = v
-			}
-		}
-		for b := 0; b < w; b++ {
-			p.rpx.Forward(p.rblk[b*p.nx:(b+1)*p.nx], p.cblk[b*p.hx:(b+1)*p.hx])
-		}
-		for ix := 0; ix < p.hx; ix++ {
-			dst := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
-			for b := range dst {
-				dst[b] = p.cblk[b*p.hx+ix]
-			}
-		}
+		p.forwardBlock(x, spec, j0, p.rblk, p.cblk, p.rpx)
 	}
 	// Complex transforms over the stored (contiguous) y×z planes.
 	for ix := 0; ix < p.hx; ix++ {
@@ -110,29 +214,35 @@ func (p *RealPlan3D) Inverse(spec []complex128, x []float64) {
 			len(spec), len(x), p.SpectrumLen(), p.Len()))
 	}
 	planeLen := p.ny * p.nz
+	if p.shards != nil {
+		sp := len(p.shards)
+		if sp > p.hx {
+			sp = p.hx
+		}
+		p.pool.Run(sp, func(s int) {
+			sh := p.shards[s]
+			for ix := s; ix < p.hx; ix += sp {
+				sh.plane.Inverse(spec[ix*planeLen : (ix+1)*planeLen])
+			}
+		})
+		nBlocks := (planeLen + xposeBlock - 1) / xposeBlock
+		sb := len(p.shards)
+		if sb > nBlocks {
+			sb = nBlocks
+		}
+		p.pool.Run(sb, func(s int) {
+			sh := p.shards[s]
+			for bi := s; bi < nBlocks; bi += sb {
+				p.inverseBlock(spec, x, bi*xposeBlock, sh.rblk, sh.cblk, sh.rpx)
+			}
+		})
+		return
+	}
 	for ix := 0; ix < p.hx; ix++ {
 		p.plane.Inverse(spec[ix*planeLen : (ix+1)*planeLen])
 	}
 	for j0 := 0; j0 < planeLen; j0 += xposeBlock {
-		w := planeLen - j0
-		if w > xposeBlock {
-			w = xposeBlock
-		}
-		for ix := 0; ix < p.hx; ix++ {
-			src := spec[ix*planeLen+j0 : ix*planeLen+j0+w]
-			for b, v := range src {
-				p.cblk[b*p.hx+ix] = v
-			}
-		}
-		for b := 0; b < w; b++ {
-			p.rpx.Inverse(p.cblk[b*p.hx:(b+1)*p.hx], p.rblk[b*p.nx:(b+1)*p.nx])
-		}
-		for ix := 0; ix < p.nx; ix++ {
-			dst := x[ix*planeLen+j0 : ix*planeLen+j0+w]
-			for b := range dst {
-				dst[b] = p.rblk[b*p.nx+ix]
-			}
-		}
+		p.inverseBlock(spec, x, j0, p.rblk, p.cblk, p.rpx)
 	}
 }
 

@@ -1,0 +1,77 @@
+package fft
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// The pooled real 3-D transform must be bitwise identical to the serial
+// one: every output element is written exactly once by arithmetic
+// identical to the serial plan's, so not even the last ulp may move —
+// at any worker count, including worker counts above the shard count.
+func TestRealPlan3DPooledBitwiseEqualsSerial(t *testing.T) {
+	dims := [][3]int{{80, 36, 48}, {16, 9, 7}, {32, 11, 13}}
+	for _, d := range dims {
+		nx, ny, nz := d[0], d[1], d[2]
+		serial, err := NewRealPlan3D(nx, ny, nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		x := make([]float64, serial.Len())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		wantSpec := make([]complex128, serial.SpectrumLen())
+		serial.Forward(x, wantSpec)
+		wantX := make([]float64, serial.Len())
+		invSpec := append([]complex128(nil), wantSpec...)
+		serial.Inverse(invSpec, wantX)
+
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 2, kernels.ShardCount + 5} {
+			pooled, err := NewRealPlan3D(nx, ny, nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled.SetPool(kernels.NewPool(workers))
+			spec := make([]complex128, pooled.SpectrumLen())
+			pooled.Forward(x, spec)
+			for i := range spec {
+				if spec[i] != wantSpec[i] {
+					t.Fatalf("%v workers=%d: spec[%d] = %v, serial %v", d, workers, i, spec[i], wantSpec[i])
+				}
+			}
+			got := make([]float64, pooled.Len())
+			pooled.Inverse(spec, got)
+			for i := range got {
+				if got[i] != wantX[i] {
+					t.Fatalf("%v workers=%d: x[%d] = %v, serial %v", d, workers, i, got[i], wantX[i])
+				}
+			}
+		}
+	}
+}
+
+// SetPool(nil) and a 1-worker pool must both leave the plan on the
+// allocation-free serial path.
+func TestRealPlan3DSetPoolDetach(t *testing.T) {
+	p, err := NewRealPlan3D(16, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPool(kernels.NewPool(4))
+	if p.shards == nil {
+		t.Fatal("pooled plan has no shard state")
+	}
+	p.SetPool(nil)
+	if p.shards != nil {
+		t.Fatal("SetPool(nil) kept shard state")
+	}
+	p.SetPool(kernels.NewPool(1))
+	if p.shards != nil {
+		t.Fatal("1-worker pool should use the serial path")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ewald"
 	"repro/internal/ff"
+	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/space"
@@ -47,6 +48,15 @@ type Config struct {
 
 	// Thermostat couples the system to a heat bath (nil = NVE).
 	Thermostat *ThermostatConfig
+
+	// KernelWorkers sizes the deterministic sharded kernel pool shared by
+	// the nonbonded, FFT and PME hot loops. 0 (the default) keeps the
+	// legacy serial kernels and their exact historical bytes; any value
+	// ≥ 1 switches to the sharded path, whose results are byte-identical
+	// at every worker count (1, 2, N) but — being a regrouped
+	// floating-point reduction — differ from the serial path at roundoff.
+	// ExactKernels runs always stay on the serial reference path.
+	KernelWorkers int
 }
 
 // DefaultConfig is the paper's classic setup (shift truncation, no PME).
@@ -104,8 +114,9 @@ type Engine struct {
 	Vel []vec.V
 	Frc []vec.V
 
-	pme *ewald.PME
-	nbk *ff.NonbondedKernel // table-driven pair kernel (exact when configured)
+	pme  *ewald.PME
+	nbk  *ff.NonbondedKernel // table-driven pair kernel (exact when configured)
+	pool *kernels.Pool       // deterministic sharded kernel pool (nil = serial)
 
 	pairs      []space.Pair
 	lister     *ff.PairLister // reusable list builder (no steady-state allocs)
@@ -157,6 +168,13 @@ func NewEngine(sys *topol.System, cfg Config) *Engine {
 		// The exact-kernels flag also pins PME to the reference complex
 		// transform so the whole force evaluation is bit-reproducible.
 		e.pme.ExactFFT = cfg.FF.ExactKernels
+	}
+	if cfg.KernelWorkers > 0 {
+		e.pool = kernels.NewPool(cfg.KernelWorkers)
+		e.nbk.SetPool(e.pool)
+		if e.pme != nil {
+			e.pme.SetPool(e.pool)
+		}
 	}
 	e.buildConstraints()
 	if len(e.constraints) > 0 {
@@ -234,8 +252,20 @@ func (e *Engine) PairCount() int { return len(e.pairs) }
 func (e *Engine) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		e.mClassic, e.mPME, e.mEvals = nil, nil, nil
+		e.pool.SetObs(nil)
 		return
 	}
+	// Parallel-kernel configuration: pool width, shard imbalance, and the
+	// neighbour-list skin actually in effect (tuned or configured), so
+	// /runz and run manifests show how a result was produced.
+	if e.pool != nil {
+		e.pool.SetObs(reg)
+	} else {
+		reg.Gauge("repro_kernel_workers",
+			"Configured deterministic kernel pool width (0 = serial legacy kernels).").Set(0)
+	}
+	reg.Gauge("repro_skin_width_angstrom",
+		"Neighbour-list skin width in effect (ListCutoff - CutOff).").Set(e.skin())
 	help := "virtual seconds per rank, phase and time class (§3.2 decomposition)"
 	rl := obs.L("rank", "0")
 	for _, phase := range []string{"classic", "pme"} {

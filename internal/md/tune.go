@@ -1,0 +1,111 @@
+package md
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/topol"
+)
+
+// The neighbour-list skin (ListCutoff − CutOff) is the classic serial
+// performance lever: a wide skin makes the pair list longer (more pair
+// evaluations per step) but keeps it valid for more steps (fewer O(N)
+// cell-list rebuilds); a narrow skin is the reverse. The optimum depends
+// on the host, the system density and the integration temperature, so it
+// cannot be a constant — TuneSkin measures it.
+//
+// Physics safety: the skin only controls which pairs are *listed*; the
+// kernel re-checks the true cutoff for every pair, so energies and forces
+// are identical for every admissible skin. Only the rebuild cadence of
+// the work counters and the host wall time change. The *choice* made here
+// is wall-clock-measured and therefore host-dependent; determinism is
+// restored by recording the chosen skin (run manifest, obs gauge) and
+// replaying it with a pinned -skin, which is byte-identical to the tuned
+// run by construction.
+
+// TuneOptions configures TuneSkin.
+type TuneOptions struct {
+	// Candidates are the skin widths (Å) to trial. Empty means the
+	// default ladder {0.5, 1, 1.5, 2, 2.5, 3}. Candidates that would push
+	// ListCutoff past the box's minimum-image limit are skipped.
+	Candidates []float64
+	// Window is the number of timed steps per candidate (default 20).
+	Window int
+	// Log, when non-nil, receives a one-line summary per trial.
+	Log io.Writer
+}
+
+// SkinTrial is one measured candidate.
+type SkinTrial struct {
+	Skin      float64 // Å
+	MsPerStep float64 // amortized host milliseconds per step over the window
+	Rebuilds  int     // neighbour-list rebuilds during the window
+	Pairs     int     // pair-list length after the window
+}
+
+// SkinTuning is the result of TuneSkin.
+type SkinTuning struct {
+	Chosen float64     // the argmin skin (ties break toward the narrower skin)
+	Window int         // steps per trial actually used
+	Trials []SkinTrial // every measured candidate, in candidate order
+}
+
+// Apply returns cfg with the chosen skin pinned
+// (ListCutoff = CutOff + Chosen).
+func (t SkinTuning) Apply(cfg Config) Config {
+	cfg.FF.ListCutoff = cfg.FF.CutOff + t.Chosen
+	return cfg
+}
+
+// TuneSkin measures the amortized step cost of each candidate skin on a
+// throwaway engine (sys is not mutated) and picks the fastest. Each trial
+// builds a fresh engine from the same initial state, evaluates forces
+// once to pay the first list build outside the timed window, then times
+// Window steps. If every candidate is inadmissible for the box, the
+// configured skin is kept.
+func TuneSkin(sys *topol.System, cfg Config, opt TuneOptions) SkinTuning {
+	cands := opt.Candidates
+	if len(cands) == 0 {
+		cands = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	}
+	window := opt.Window
+	if window <= 0 {
+		window = 20
+	}
+	out := SkinTuning{Chosen: cfg.FF.ListCutoff - cfg.FF.CutOff, Window: window}
+	maxCut := sys.Box.MaxCutoff()
+	best := -1
+	for _, skin := range cands {
+		if skin < 0 || cfg.FF.CutOff+skin > maxCut {
+			continue
+		}
+		c := cfg
+		c.FF.ListCutoff = c.FF.CutOff + skin
+		e := NewEngine(sys, c)
+		e.ComputeForces(nil, nil)
+		rebuilds := 0
+		t0 := time.Now()
+		for s := 0; s < window; s++ {
+			e.Step(nil, nil)
+			if e.ListWasRebuilt() {
+				rebuilds++
+			}
+		}
+		ms := time.Since(t0).Seconds() * 1000 / float64(window)
+		out.Trials = append(out.Trials, SkinTrial{
+			Skin: skin, MsPerStep: ms, Rebuilds: rebuilds, Pairs: e.PairCount(),
+		})
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "tune-skin: skin %.1f Å  %.3f ms/step  %d rebuilds  %d pairs\n",
+				skin, ms, rebuilds, e.PairCount())
+		}
+		if best < 0 || ms < out.Trials[best].MsPerStep {
+			best = len(out.Trials) - 1
+		}
+	}
+	if best >= 0 {
+		out.Chosen = out.Trials[best].Skin
+	}
+	return out
+}

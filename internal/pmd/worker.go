@@ -9,6 +9,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/fft"
 	"repro/internal/guard"
+	"repro/internal/kernels"
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -50,6 +51,13 @@ type shared struct {
 	convSlabs [][]complex128   // final x-slabs of the convolved potential
 
 	lists listCache
+
+	// pool is the host-core kernel pool shared by every rank's kernels
+	// (nil when cfg.MD.KernelWorkers is 0). Sharing one pool bounds the
+	// total helper-goroutine concurrency of an attempt regardless of the
+	// simulated rank count; each rank's kernel keeps its own shard
+	// scratch, so concurrent Runs never alias state.
+	pool *kernels.Pool
 
 	// guardTrip is rank 0's record of the guard verdict that ended the
 	// attempt (every rank reaches the identical verdict independently).
@@ -108,6 +116,9 @@ func newShared(p int, cfg Config) *shared {
 	for i := 0; i < p; i++ {
 		sh.tblocksF[i] = make([][]complex128, p)
 		sh.tblocksB[i] = make([][]complex128, p)
+	}
+	if cfg.MD.KernelWorkers > 0 {
+		sh.pool = kernels.NewPool(cfg.MD.KernelWorkers)
 	}
 	return sh
 }
@@ -283,6 +294,10 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 		w.invMass[i] = 1 / sys.Mass(i)
 	}
 	w.pme = ewald.NewPME(sys.Box, pmeCfg.Beta, pmeCfg.K1, pmeCfg.K2, pmeCfg.K3, pmeCfg.Order)
+	if sh.pool != nil {
+		w.nbk.SetPool(sh.pool)
+		w.pme.SetPool(sh.pool)
+	}
 
 	g := pmeCfg.K1 * planeLen
 	w.localGrid = make([]complex128, g)

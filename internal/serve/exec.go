@@ -26,6 +26,12 @@ import (
 // studies — across jobs; the caches affect speed only, never results.
 // Safe for concurrent use.
 type Env struct {
+	// KernelWorkers is threaded into every built md.Config and study
+	// (md.Config.KernelWorkers). Set before first use; caches key on the
+	// job inputs only, so flipping it mid-life would hand out configs
+	// built under the old setting.
+	KernelWorkers int
+
 	mu      sync.Mutex
 	systems map[sysCacheKey]*sysEntry
 	studies map[studyCacheKey]*studyEntry
@@ -90,6 +96,7 @@ func (e *Env) system(atoms int, seed uint64) (*topol.System, md.Config) {
 		cfg.FF.Beta = cfg.PME.Beta
 		cfg.Temperature = 300
 		cfg.Seed = seed + 1
+		cfg.KernelWorkers = e.KernelWorkers
 		ent.sys, ent.mdCfg = sys, cfg
 	})
 	return ent.sys, ent.mdCfg
@@ -108,6 +115,7 @@ func (e *Env) study(k studyCacheKey) *studyEntry {
 	ent.once.Do(func() {
 		ent.study = core.NewStudy(core.Options{
 			Quick: k.quick, Steps: k.steps, SystemSeed: k.seed, ClusterSeed: k.seed,
+			KernelWorkers: e.KernelWorkers,
 		})
 	})
 	return ent

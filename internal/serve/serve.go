@@ -111,6 +111,15 @@ type Config struct {
 	// Workers is the number of concurrent job executors. 0 means 2.
 	Workers int
 
+	// KernelWorkers spreads each job's physics kernels over host cores
+	// (see md.Config.KernelWorkers). 0 keeps the legacy serial kernels;
+	// results are byte-identical for every KernelWorkers ≥ 1 but differ
+	// at roundoff from 0, and the result store keys on the job spec
+	// alone — change this setting only with a fresh StateDir (or accept
+	// that cached results keep the bytes of the setting that computed
+	// them). Negative values are treated as 0.
+	KernelWorkers int
+
 	// QueueDepth bounds each tenant's queue; a submission past it is shed
 	// with 429 + Retry-After. 0 means 8.
 	QueueDepth int
@@ -170,6 +179,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RetryBaseDelay == 0 {
 		out.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if out.KernelWorkers < 0 {
+		out.KernelWorkers = 0
 	}
 	if out.Obs == nil {
 		out.Obs = obs.NewRegistry()

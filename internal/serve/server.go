@@ -141,10 +141,12 @@ func Open(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	env := NewEnv()
+	env.KernelWorkers = c.KernelWorkers
 	s := &Server{
 		cfg:   c,
 		reg:   c.Obs,
-		env:   NewEnv(),
+		env:   env,
 		store: store,
 		jnl:   jnl,
 		queue: newFairQueue(c.QueueDepth, c.TenantWeights),
