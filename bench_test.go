@@ -390,6 +390,18 @@ func BenchmarkNonbondedKernelParallel(b *testing.B) {
 // BenchmarkParallelStepSimulated measures one simulated 8-rank parallel
 // step end to end (physics execution + discrete-event transport).
 func BenchmarkParallelStepSimulated(b *testing.B) {
+	benchParallelStep(b, 8, pmd.DecompReplicated)
+}
+
+// BenchmarkParallelStepDomain measures one simulated 16-rank parallel
+// step under the spatial domain decomposition with the pencil PME — the
+// past-the-slab-ceiling configuration the replicated path cannot reach
+// efficiently.
+func BenchmarkParallelStepDomain(b *testing.B) {
+	benchParallelStep(b, 16, pmd.DecompDomain)
+}
+
+func benchParallelStep(b *testing.B, ranks int, decomp pmd.DecompKind) {
 	sys := topol.NewMyoglobinSystem(topol.MyoglobinConfig{Seed: 1})
 	md.Relax(sys, 40)
 	cfg := md.PMEDefaultConfig()
@@ -397,9 +409,9 @@ func BenchmarkParallelStepSimulated(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := pmd.Run(
-			cluster.Config{Nodes: 8, CPUsPerNode: 1, Net: netmodel.TCPGigE(), Seed: 1},
+			cluster.Config{Nodes: ranks, CPUsPerNode: 1, Net: netmodel.TCPGigE(), Seed: 1},
 			cluster.PentiumIII1GHz(),
-			pmd.Config{System: sys, MD: cfg, Steps: 1, Middleware: pmd.MiddlewareMPI},
+			pmd.Config{System: sys, MD: cfg, Steps: 1, Middleware: pmd.MiddlewareMPI, Decomp: decomp},
 		)
 		if err != nil {
 			b.Fatal(err)

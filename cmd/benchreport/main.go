@@ -127,6 +127,7 @@ var requiredBenchmarks = []string{
 	"BenchmarkSequentialMDStep",
 	"BenchmarkSequentialMDStepParallel",
 	"BenchmarkParallelStepSimulated",
+	"BenchmarkParallelStepDomain",
 	"BenchmarkStudyAllFigures",
 	"BenchmarkFFT3D",
 	"BenchmarkFFT3DParallel",
@@ -136,9 +137,12 @@ var requiredBenchmarks = []string{
 	"BenchmarkNonbondedKernelParallel",
 }
 
-// quickBenchmarks is the -quick subset: just the kernel micro-benchmarks,
-// cheap enough to sample several times in a CI regression gate.
+// quickBenchmarks is the -quick subset: the kernel micro-benchmarks plus
+// one simulated step per decomposition, cheap enough to sample several
+// times in a CI regression gate.
 var quickBenchmarks = []string{
+	"BenchmarkParallelStepSimulated",
+	"BenchmarkParallelStepDomain",
 	"BenchmarkFFT3D",
 	"BenchmarkFFT3DParallel",
 	"BenchmarkPMEReciprocal",
@@ -255,12 +259,17 @@ func main() {
 	// benchmark once (it is tens of seconds of work on its own); the
 	// micro kernels at a higher count since each iteration is tens of ms.
 	groups := []struct{ pattern, benchtime string }{
-		{"BenchmarkSequentialMDStep|BenchmarkParallelStepSimulated", "20x"},
+		{"BenchmarkSequentialMDStep|BenchmarkParallelStep", "20x"},
 		{"BenchmarkStudyAllFigures", "1x"},
 		{"BenchmarkFFT3D|BenchmarkPMEReciprocal|BenchmarkNonbondedKernel", "50x"},
 	}
 	if *quick {
-		groups = groups[2:]
+		// The quick gate keeps the simulated-step entries (one per
+		// decomposition) at a reduced iteration count alongside the kernels.
+		groups = []struct{ pattern, benchtime string }{
+			{"BenchmarkParallelStep", "5x"},
+			groups[2],
+		}
 	}
 	samples := map[benchKey][]Measurement{}
 	for round := 0; round < *count; round++ {

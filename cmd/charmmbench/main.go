@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/md"
 	"repro/internal/obs"
+	"repro/internal/pmd"
 )
 
 // obsDrainTimeout bounds how long exit paths wait for in-flight /metrics
@@ -32,10 +33,11 @@ import (
 const obsDrainTimeout = 2 * time.Second
 
 func main() {
-	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, or all")
+	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, ceiling, or all")
 	format := flag.String("format", "text", "output format: text or csv")
 	steps := flag.Int("steps", 0, "MD steps per measurement (default: the paper's 10)")
 	procs := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,8)")
+	decomp := flag.String("decomp", "replicated", "decomposition for the paper figures: replicated or domain (ceiling sweeps both)")
 	quick := flag.Bool("quick", false, "reduced protocol (2 steps, p ≤ 4) for smoke runs")
 	seed := flag.Uint64("seed", 0, "override the deterministic seeds")
 	outdir := flag.String("outdir", "", "also write every figure as CSV into this directory")
@@ -87,13 +89,26 @@ func main() {
 		obsDrain()
 		os.Exit(2)
 	}
+	dk, derr := pmd.ParseDecomp(*decomp)
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, "charmmbench:", derr)
+		obsDrain()
+		os.Exit(2)
+	}
 	opts := core.Options{Quick: *quick, Steps: *steps, SystemSeed: *seed, ClusterSeed: *seed,
-		Workers: *workers, KernelWorkers: *kernelWorkers, Obs: reg}
+		Workers: *workers, KernelWorkers: *kernelWorkers, Obs: reg, Decomp: dk}
 	if *procs != "" {
 		for _, tok := range strings.Split(*procs, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || v < 1 {
 				fmt.Fprintf(os.Stderr, "charmmbench: bad -procs entry %q\n", tok)
+				obsDrain()
+				os.Exit(2)
+			}
+			// Reject rank counts the chosen decomposition cannot tile on the
+			// paper's PME mesh before any simulation starts.
+			if err := pmd.ValidateDecomp(dk, v, md.PaperPME()); err != nil {
+				fmt.Fprintln(os.Stderr, "charmmbench:", err)
 				obsDrain()
 				os.Exit(2)
 			}
@@ -153,6 +168,9 @@ func main() {
 			if id == "1" || id == "2" {
 				continue // diagrams have no data rows
 			}
+			if id == "ceiling" {
+				continue // 1024-rank sweep; request it explicitly via -figure
+			}
 			path := filepath.Join(*outdir, "figure_"+id+".csv")
 			out, err := os.Create(path)
 			if err != nil {
@@ -196,6 +214,7 @@ func main() {
 		m.Config["quick"] = *quick
 		m.Config["workers"] = *workers
 		m.Config["kernel_workers"] = *kernelWorkers
+		m.Config["decomp"] = dk.String()
 		m.Config["skin_angstrom"] = study.Suite.Cfg.MD.FF.ListCutoff - study.Suite.Cfg.MD.FF.CutOff
 		m.Config["skin_tuned"] = *tuneSkin
 		m.Attach(reg)

@@ -45,6 +45,7 @@ func main() {
 	cpus := flag.Int("cpus", 1, "CPUs per node (1 or 2)")
 	steps := flag.Int("steps", 4, "MD steps")
 	mwName := flag.String("mw", "both", "middleware: mpi, cmpi or both")
+	decompFlag := flag.String("decomp", "replicated", "decomposition: replicated or domain")
 	atoms := flag.Int("atoms", 600, "solvated-box size in atoms")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	wdTimeout := flag.Float64("timeout", 30, "watchdog timeout (virtual s); 0 disables")
@@ -136,6 +137,11 @@ func main() {
 		fail("-mw must be mpi, cmpi or both (got %q)", *mwName)
 	}
 
+	dk, err := pmd.ParseDecomp(*decompFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	sys, k := topol.NewSolvatedBox(*atoms, *seed)
 	md.Relax(sys, 60)
 	mdCfg := md.ClampCutoffs(md.PMEDefaultConfig(), sys.Box)
@@ -143,6 +149,11 @@ func main() {
 	mdCfg.FF.Beta = mdCfg.PME.Beta
 	mdCfg.Temperature = 300
 	mdCfg.Seed = *seed
+	// The PME mesh depends on the solvated-box size, so the tiling check
+	// has to wait until the mesh is known.
+	if err := pmd.ValidateDecomp(dk, *procs, mdCfg.PME); err != nil {
+		fail("%v", err)
+	}
 
 	clCfg := cluster.Config{Nodes: *procs / *cpus, CPUsPerNode: *cpus, Net: net, Seed: *seed}
 	wd := mpi.Watchdog{Timeout: *wdTimeout, Retries: *wdRetries, Backoff: *wdBackoff}
@@ -185,6 +196,7 @@ func main() {
 				MD:         mdCfg,
 				Steps:      *steps,
 				Middleware: mw,
+				Decomp:     dk,
 				Watchdog:   wd,
 				Obs:        rec,
 			},
@@ -259,6 +271,7 @@ func main() {
 		m.Config["procs"] = *procs
 		m.Config["steps"] = *steps
 		m.Config["net"] = net.Name
+		m.Config["decomp"] = dk.String()
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
 			die(err)

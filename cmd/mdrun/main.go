@@ -11,6 +11,7 @@
 //	mdrun -steps 50 -guard -guard-drift 500
 //	mdrun -steps 200 -obs-addr 127.0.0.1:8077 -obs-manifest run.json
 //	mdrun -steps 100 -kernel-workers 4 -tune-skin
+//	mdrun -steps 10 -ranks 16 -decomp domain   # simulated parallel run
 package main
 
 import (
@@ -21,9 +22,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/guard"
 	"repro/internal/md"
+	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/pmd"
 	"repro/internal/topol"
 	"repro/internal/work"
 )
@@ -55,6 +59,8 @@ func main() {
 	skin := flag.Float64("skin", 0, "pin the neighbour-list skin width in Å (0 = config default; exclusive with -tune-skin)")
 	tuneSkin := flag.Bool("tune-skin", false, "auto-tune the neighbour-list skin before the run (choice recorded in the manifest; replay it with -skin)")
 	tuneWindow := flag.Int("tune-window", 0, "timed steps per skin-tuner candidate (0 = default 20)")
+	ranks := flag.Int("ranks", 1, "simulated MPI ranks (1 = the plain sequential engine; > 1 runs the simulated cluster over Gigabit TCP)")
+	decompFlag := flag.String("decomp", "replicated", "decomposition for -ranks > 1: replicated or domain")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -101,6 +107,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdrun: -tune-window must be >= 0 (got %d)\n", *tuneWindow)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *ranks < 1 {
+		fmt.Fprintf(os.Stderr, "mdrun: -ranks must be >= 1 (got %d)\n", *ranks)
+		flag.Usage()
+		os.Exit(2)
+	}
+	dk, err := pmd.ParseDecomp(*decompFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdrun:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *ranks > 1 {
+		// The simulated-cluster path measures the PME workload and reports
+		// virtual time; the host-side conveniences below have no meaning (or
+		// no implementation) there, so the combination is an error — not a
+		// silent ignore.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{!*usePME, "-pme=false"},
+			{*xyz != "", "-xyz"},
+			{*ckptDir != "", "-ckpt-dir"},
+			{*guardOn, "-guard"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "mdrun: %s is not supported with -ranks > 1\n", bad.flag)
+				flag.Usage()
+				os.Exit(2)
+			}
+		}
+		// Reject rank counts the decomposition cannot tile before building
+		// the system.
+		if err := pmd.ValidateDecomp(dk, *ranks, md.PaperPME()); err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(2)
+		}
 	}
 	var policy guard.Policy
 	switch *guardPolicy {
@@ -179,6 +223,54 @@ func main() {
 	// Attach the phase timers after minimization so the decomposition
 	// covers the measured dynamics only.
 	engine.SetObs(reg)
+
+	if *ranks > 1 {
+		// Simulated cluster run: the minimized, heated state seeds every
+		// rank; the run reports per-step energies plus the virtual wall
+		// clock and phase split of the simulated platform.
+		rec := obs.NewRecorder(reg)
+		res, err := pmd.Run(
+			cluster.Config{Nodes: *ranks, CPUsPerNode: 1, Net: netmodel.TCPGigE(), Seed: *seed},
+			cluster.PentiumIII1GHz(),
+			pmd.Config{
+				System:     sys,
+				MD:         cfg,
+				Steps:      *steps,
+				Middleware: pmd.MiddlewareMPI,
+				Decomp:     dk,
+				Init:       engine.Snapshot(),
+				Obs:        rec,
+			})
+		if err != nil {
+			die(err)
+		}
+		rec.Close()
+		fmt.Printf("simulated cluster: %d ranks over %s, %s decomposition\n",
+			*ranks, netmodel.TCPGigE().Name, dk)
+		fmt.Printf("%6s %14s %14s %14s %10s\n", "step", "classic", "pme", "total", "temp(K)")
+		for s, rep := range res.Energies {
+			stepGauge.Set(float64(s + 1))
+			fmt.Printf("%6d %14.3f %14.3f %14.3f %10s\n",
+				s+1, rep.Classic(), rep.PME(), rep.Total(), "-")
+		}
+		c, pm := res.PhaseTotals()
+		fmt.Printf("virtual wall: %.3f s | classic comp %.3f comm %.3f sync %.3f | pme comp %.3f comm %.3f sync %.3f\n",
+			res.Wall, c.Comp, c.Comm, c.Sync, pm.Comp, pm.Comm, pm.Sync)
+		if *obsManifest != "" {
+			m := obs.NewManifest()
+			m.Seeds["system"] = *seed
+			m.Config["steps"] = *steps
+			m.Config["ranks"] = *ranks
+			m.Config["decomp"] = dk.String()
+			m.Config["kernel_workers"] = *kernelWorkers
+			m.Attach(reg)
+			if err := m.WriteFile(*obsManifest); err != nil {
+				die("manifest:", err)
+			}
+			fmt.Printf("obs: manifest written to %s\n", *obsManifest)
+		}
+		return
+	}
 
 	// Durable checkpoint ring: resume from the newest valid on-disk
 	// checkpoint if one exists (corrupt newer files are skipped), else

@@ -166,5 +166,39 @@ func (m *Middleware) Alltoallv(sizes [][]int) {
 	m.fence()
 }
 
+// AlltoallvSparse is Alltoallv for mostly-zero size matrices: the flood
+// only posts sends to partners the matrix actually addresses and drains
+// only sources that address this rank (the matrix is global knowledge,
+// so both sides agree). The fences still bracket the exchange — CMPI
+// never loosens its grip on the communication system.
+func (m *Middleware) AlltoallvSparse(sizes [][]int) {
+	r := m.R
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(sizes) != p {
+		panic("cmpi: AlltoallvSparse needs a p×p matrix")
+	}
+	m.fence()
+	reqs := make([]*mpi.Request, 0, p-1)
+	for off := 1; off < p; off++ {
+		dst := (r.ID + off) % p
+		if sizes[r.ID][dst] > 0 {
+			reqs = append(reqs, r.Isend(dst, tagRing+768+r.ID, sizes[r.ID][dst]))
+		}
+	}
+	for off := 1; off < p; off++ {
+		src := (r.ID - off + p) % p
+		if sizes[src][r.ID] > 0 {
+			r.Recv(src, tagRing+768+src)
+		}
+	}
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+	m.fence()
+}
+
 // Barrier in CMPI is just Sync.
 func (m *Middleware) Barrier() { m.Sync() }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/md"
 	"repro/internal/obs"
+	"repro/internal/pmd"
 	"repro/internal/topol"
 )
 
@@ -56,6 +57,13 @@ type Options struct {
 	// Obs, when non-nil, receives the suite's cache/tape counters
 	// (repro_figures_*). Metrics never alter figure output.
 	Obs *obs.Registry
+	// Decomp selects the decomposition for the paper figures (zero value:
+	// replicated data, the strategy the paper measures). The ceiling
+	// figure sweeps both regardless.
+	Decomp pmd.DecompKind
+	// CeilingProcs overrides the ceiling study's processor sweep when
+	// non-empty (default 1, 8, 16, 64, 256, 1024; quick stops at 64).
+	CeilingProcs []int
 }
 
 // Study owns a cached experiment suite.
@@ -84,6 +92,10 @@ func NewStudy(o Options) *Study {
 	cfg.Workers = o.Workers
 	cfg.MD.KernelWorkers = o.KernelWorkers
 	cfg.Obs = o.Obs
+	cfg.Decomp = o.Decomp
+	if len(o.CeilingProcs) > 0 {
+		cfg.CeilingProcs = o.CeilingProcs
+	}
 	return &Study{Suite: figures.NewSuite(cfg)}
 }
 
@@ -95,7 +107,7 @@ func (s *Study) Stats() figures.RunStats { return s.Suite.Stats() }
 
 // FigureIDs lists the reproducible experiment identifiers.
 func FigureIDs() []string {
-	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit"}
+	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit", "ceiling"}
 	sort.Strings(ids)
 	return ids
 }
@@ -201,11 +213,22 @@ func (s *Study) Figure(id string, w io.Writer, format Format) error {
 			return figures.CSVScaleLimit(w, rows)
 		}
 		return figures.RenderScaleLimit(w, rows)
+	case "ceiling":
+		res, err := s.Suite.Ceiling()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVCeiling(w, res)
+		}
+		return figures.RenderCeiling(w, res)
 	}
 	return fmt.Errorf("core: unknown figure %q (known: %v)", id, FigureIDs())
 }
 
-// All regenerates every figure in text form, separated by blank lines.
+// All regenerates every paper figure in text form, separated by blank
+// lines. The ceiling study is not part of the paper and sweeps to 1024
+// ranks, so it only runs when requested by id.
 func (s *Study) All(w io.Writer) error {
 	for _, id := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit"} {
 		if err := s.Figure(id, w, FormatText); err != nil {

@@ -51,7 +51,7 @@ func (s *Suite) Ablation() ([]AblationRow, error) {
 	for _, v := range variants {
 		res, err := s.runCase(
 			cluster.Config{Nodes: p, CPUsPerNode: 1, Net: v.net, Seed: s.Cfg.ClusterSeed},
-			pmd.MiddlewareMPI, v.modern,
+			pmd.MiddlewareMPI, v.modern, s.Cfg.Decomp,
 		)
 		if err != nil {
 			return nil, err

@@ -59,6 +59,16 @@ type Config struct {
 	// cache key, so faulted and healthy results never mix.
 	FaultSpec string
 
+	// Decomp selects the decomposition the paper figures run under
+	// (default: replicated data, the strategy the paper measures). The
+	// ceiling study always sweeps both and ignores this knob.
+	Decomp pmd.DecompKind
+
+	// CeilingProcs are the processor counts of the ceiling study — the
+	// sweep past the paper's 8-rank wall where the replicated/slab
+	// strategy stops tiling and the spatial decomposition keeps going.
+	CeilingProcs []int
+
 	// Obs, when non-nil, is the registry the suite publishes its cache and
 	// tape counters into (repro_figures_*). A nil Obs backs the counters
 	// with a private registry; Stats() reads whichever registry is active.
@@ -70,12 +80,13 @@ func Default() Config {
 	mdc := md.PMEDefaultConfig()
 	mdc.Temperature = 300
 	return Config{
-		Steps:       10,
-		Procs:       []int{1, 2, 4, 8},
-		SystemSeed:  1,
-		ClusterSeed: 1,
-		Cost:        cluster.PentiumIII1GHz(),
-		MD:          mdc,
+		Steps:        10,
+		Procs:        []int{1, 2, 4, 8},
+		CeilingProcs: []int{1, 8, 16, 64, 256, 1024},
+		SystemSeed:   1,
+		ClusterSeed:  1,
+		Cost:         cluster.PentiumIII1GHz(),
+		MD:           mdc,
 	}
 }
 
@@ -85,6 +96,7 @@ func Quick() Config {
 	c := Default()
 	c.Steps = 2
 	c.Procs = []int{1, 2, 4}
+	c.CeilingProcs = []int{1, 8, 16, 64}
 	return c
 }
 
@@ -174,26 +186,33 @@ func (s *Suite) workers() int {
 
 // runCase simulates one fully specified configuration, memoized on its
 // content key.
-func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern bool) (*pmd.Result, error) {
+func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern bool, decomp pmd.DecompKind) (*pmd.Result, error) {
 	key := CellKey{
 		Cluster: clusterCfg, Middleware: mw, Modern: modern,
-		Steps: s.Cfg.Steps, FaultSpec: s.Cfg.FaultSpec,
+		Steps: s.Cfg.Steps, FaultSpec: s.Cfg.FaultSpec, Decomp: decomp,
 	}.String()
 	if r, ok := s.cache[key]; ok {
 		s.mHits.Inc()
 		return r, nil
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
-	tape := s.tapes[p]
-	if tape == nil {
-		tape = pmd.NewTape()
-		s.tapes[p] = tape
+	// Physics tapes are a replicated-path shortcut: the domain path's
+	// per-rank work depends on the spatial grid, not the block partition a
+	// tape records, so domain cells always execute their kernels.
+	var tape *pmd.Tape
+	if decomp == pmd.DecompReplicated {
+		tape = s.tapes[p]
+		if tape == nil {
+			tape = pmd.NewTape()
+			s.tapes[p] = tape
+		}
 	}
 	wasComplete := tape.Complete()
 	res, err := pmd.Run(clusterCfg, s.Cfg.Cost, pmd.Config{
 		System: s.sys, MD: s.Cfg.MD, Steps: s.Cfg.Steps,
 		Middleware: mw, ModernCollectives: modern,
 		Faults:      s.faults,
+		Decomp:      decomp,
 		Tape:        tape,
 		HostWorkers: s.workers(),
 	})
@@ -202,6 +221,7 @@ func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern
 	}
 	s.mMisses.Inc()
 	switch {
+	case tape == nil:
 	case wasComplete:
 		s.mReplays.Inc()
 	case tape.Complete():
@@ -211,10 +231,16 @@ func (s *Suite) runCase(clusterCfg cluster.Config, mw pmd.MiddlewareKind, modern
 	return res, nil
 }
 
-// Run returns the (cached) result of one experiment cell. nodes×cpus ranks
-// run `p = nodes·cpus` processors; callers pass total processors and CPUs
-// per node.
+// Run returns the (cached) result of one experiment cell under the
+// suite's configured decomposition. nodes×cpus ranks run `p = nodes·cpus`
+// processors; callers pass total processors and CPUs per node.
 func (s *Suite) Run(net netmodel.Params, procs, cpusPerNode int, mw pmd.MiddlewareKind) (*pmd.Result, error) {
+	return s.RunDecomp(net, procs, cpusPerNode, mw, s.Cfg.Decomp)
+}
+
+// RunDecomp is Run with an explicit decomposition — the ceiling study
+// sweeps both strategies from one suite and one cache.
+func (s *Suite) RunDecomp(net netmodel.Params, procs, cpusPerNode int, mw pmd.MiddlewareKind, decomp pmd.DecompKind) (*pmd.Result, error) {
 	if procs%cpusPerNode != 0 {
 		return nil, fmt.Errorf("figures: %d processors not divisible by %d CPUs/node", procs, cpusPerNode)
 	}
@@ -223,7 +249,7 @@ func (s *Suite) Run(net netmodel.Params, procs, cpusPerNode int, mw pmd.Middlewa
 		CPUsPerNode: cpusPerNode,
 		Net:         net,
 		Seed:        s.Cfg.ClusterSeed,
-	}, mw, false)
+	}, mw, false, decomp)
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,7 @@ import (
 // key. Bump it whenever the rendering below (or the meaning of any field
 // that feeds it) changes, so persisted results keyed under the old scheme
 // can never be mistaken for results of the new one.
-const CellKeyVersion = 1
+const CellKeyVersion = 2
 
 // CellKey identifies one fully specified experiment cell: the simulated
 // platform, the middleware variant and the measured workload. It is the
@@ -30,10 +30,11 @@ type CellKey struct {
 	Modern     bool               // post-2004 collective algorithms
 	Steps      int                // measured MD steps
 	FaultSpec  string             // fault-DSL scenario ("" = healthy)
+	Decomp     pmd.DecompKind     // replicated-data or spatial domains
 }
 
 // String renders the canonical versioned key.
 func (k CellKey) String() string {
-	return fmt.Sprintf("cell/v%d %s mw=%v modern=%t steps=%d fault=%q",
-		CellKeyVersion, k.Cluster.Key(), k.Middleware, k.Modern, k.Steps, k.FaultSpec)
+	return fmt.Sprintf("cell/v%d %s mw=%v modern=%t steps=%d fault=%q decomp=%v",
+		CellKeyVersion, k.Cluster.Key(), k.Middleware, k.Modern, k.Steps, k.FaultSpec, k.Decomp)
 }

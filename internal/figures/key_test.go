@@ -22,10 +22,10 @@ func baseCellKey() CellKey {
 // caches keyed under the old scheme would silently collide with the new.
 func TestCellKeyGolden(t *testing.T) {
 	got := baseCellKey().String()
-	if !strings.HasPrefix(got, "cell/v1 ") {
-		t.Fatalf("key %q does not carry the v1 version prefix", got)
+	if !strings.HasPrefix(got, "cell/v2 ") {
+		t.Fatalf("key %q does not carry the v2 version prefix", got)
 	}
-	want := "cell/v1 " + baseCellKey().Cluster.Key() + ` mw=MPI modern=false steps=10 fault=""`
+	want := "cell/v2 " + baseCellKey().Cluster.Key() + ` mw=MPI modern=false steps=10 fault="" decomp=replicated`
 	if got != want {
 		t.Fatalf("rendered key drifted:\n got  %q\n want %q\n(bump CellKeyVersion if the change is intentional)", got, want)
 	}
@@ -44,6 +44,7 @@ func TestCellKeyDiscriminatesEveryField(t *testing.T) {
 		"modern":     func(k *CellKey) { k.Modern = true },
 		"steps":      func(k *CellKey) { k.Steps = 11 },
 		"fault":      func(k *CellKey) { k.FaultSpec = "crash rank 1 at 0.5" },
+		"decomp":     func(k *CellKey) { k.Decomp = pmd.DecompDomain },
 	}
 	base := baseCellKey().String()
 	seen := map[string]string{"base": base}

@@ -164,6 +164,40 @@ func (r *Rank) Alltoallv(sizes [][]int) {
 	r.W.observeColl("alltoallv", r.Now()-t0)
 }
 
+// AlltoallvSparse is Alltoallv for mostly-zero size matrices (halo
+// exchanges, atom migration, pencil transposes): it walks the same
+// pairwise schedule but posts nothing in a round whose send AND receive
+// are both empty, so the event count scales with the number of non-zero
+// entries instead of p². The skip decision only reads the globally known
+// size matrix, so partners always agree: whenever sizes[i][j] > 0, rank i
+// posts the send in the round where rank j posts the matching receive.
+func (r *Rank) AlltoallvSparse(sizes [][]int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if len(sizes) != p {
+		panic("mpi: AlltoallvSparse needs a p×p size matrix")
+	}
+	t0 := r.Now()
+	for shift := 1; shift < p; shift++ {
+		dst := (r.ID + shift) % p
+		src := (r.ID - shift + p) % p
+		sendB := sizes[r.ID][dst]
+		recvB := sizes[src][r.ID]
+		switch {
+		case sendB > 0 && recvB > 0:
+			r.Sendrecv(dst, tagAlltoall+shift, sendB, src, tagAlltoall+shift)
+		case sendB > 0:
+			sreq := r.Isend(dst, tagAlltoall+shift, sendB)
+			r.Wait(sreq)
+		case recvB > 0:
+			r.Recv(src, tagAlltoall+shift)
+		}
+	}
+	r.W.observeColl("alltoallv", r.Now()-t0)
+}
+
 // AlltoallUniform is Alltoallv with the same block size to every partner.
 func (r *Rank) AlltoallUniform(bytesPerPartner int) {
 	p := r.Size()

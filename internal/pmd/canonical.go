@@ -1,0 +1,350 @@
+package pmd
+
+import (
+	"sync"
+
+	"repro/internal/ewald"
+	"repro/internal/ff"
+	"repro/internal/fft"
+	"repro/internal/md"
+	"repro/internal/space"
+	"repro/internal/topol"
+	"repro/internal/vec"
+	"repro/internal/work"
+)
+
+// canonical is the domain decomposition's shared physics evaluator.
+//
+// The determinism contract requires the domain path to produce energies
+// and forces byte-identical to the replicated path at the same rank count
+// (the halo-exchange property test pins this). Replaying replicated-data
+// arithmetic atom-by-atom inside every domain rank would both waste host
+// work (p full evaluations per step) and make bit-equality hostage to the
+// order halo fragments arrive in. Instead, each step's physics is
+// evaluated exactly once per run, in the canonical replicated order —
+// partitions by rank count p, partial results merged rank-ascending —
+// and every domain rank serves its values from the resulting immutable
+// snapshot. The domain ranks' own segments and collectives then charge
+// the virtual time of the spatial pipeline (halo exchange, owner-computes
+// terms, pencil FFTs) without touching the numbers.
+//
+// Concurrency: the first rank to need step s runs the evaluation inside
+// its drift segment's once; the per-step barrier in kick keeps all ranks
+// within one step of each other, so an evaluation never runs concurrently
+// with another (the scratch buffers below are safely reused) and finished
+// snapshots are immutable when read.
+type canonical struct {
+	cfg Config
+	p   int
+	sys *topol.System
+
+	ffield *ff.ForceField
+	nbk    *ff.NonbondedKernel
+	pme    *ewald.PME
+	sh     *shared
+	geo    *domainGeometry
+
+	charges []float64
+	invMass []float64
+	dtAKMA  float64
+
+	seedPos, seedVel []vec.V
+
+	// Replicated-equivalent partitions at rank count p.
+	atomOff, bondOff, angOff []int
+	dihOff, imprOff, p14Off  []int
+	yOff                     []int
+
+	plan2d *fft.Plan2D
+	plan1d *fft.Plan
+
+	// Scratch reused across evaluations (never concurrent, see above).
+	line        []complex128
+	scratchGrid []complex128 // one rank's spread contribution
+	fullGrid    []complex128 // assembled grid / spectrum / potential
+	partial     []vec.V
+	eRecipPart  []float64
+
+	mu     sync.Mutex
+	states map[int]*canonState
+}
+
+// canonState is one step's immutable physics snapshot. Step -1 is the
+// initial force evaluation of velocity Verlet. All slices are freshly
+// allocated per step (or inherited unchanged from the previous step) so
+// a rank still reading step s races with nothing while another rank's
+// drift segment evaluates step s+1.
+type canonState struct {
+	step int
+	once sync.Once
+	prev *canonState // cleared after evaluation
+
+	pos, vel, frcTotal []vec.V
+	rep                md.EnergyReport
+
+	listGen    int
+	listOrigin []vec.V
+	pairs      []space.Pair
+	pairOff    []int
+	rebuilt    bool
+	distEvals  int64 // full list-search cost when rebuilt
+
+	// Spatial view of this step: ownership epoch (fixed between list
+	// rebuilds) and, on a rebuild, the atom-migration size matrix from
+	// the previous epoch's owners to the new ones.
+	epoch     *epochData
+	migration [][]int
+}
+
+func newCanonical(p int, cfg Config, sh *shared, seedEngine *md.Engine) *canonical {
+	sys := cfg.System
+	n := sys.N()
+	pmeCfg := cfg.MD.PME
+	c := &canonical{
+		cfg:     cfg,
+		p:       p,
+		sys:     sys,
+		ffield:  seedEngine.FF,
+		sh:      sh,
+		dtAKMA:  dtAKMA(cfg.MD),
+		seedPos: append([]vec.V(nil), seedEngine.Pos...),
+		seedVel: append([]vec.V(nil), seedEngine.Vel...),
+		states:  map[int]*canonState{},
+	}
+	c.nbk = c.ffield.NewNonbondedKernel()
+	c.charges = c.ffield.Charges()
+	c.invMass = make([]float64, n)
+	for i := range c.invMass {
+		c.invMass[i] = 1 / sys.Mass(i)
+	}
+	c.atomOff = blockPartition(n, p)
+	c.bondOff = blockPartition(len(sys.Bonds), p)
+	c.angOff = blockPartition(len(sys.Angles), p)
+	c.dihOff = blockPartition(len(sys.Dihedrals), p)
+	c.imprOff = blockPartition(len(sys.Impropers), p)
+	c.p14Off = blockPartition(len(sys.Pairs14), p)
+	c.yOff = blockPartition(pmeCfg.K2, p)
+	c.pme = ewald.NewPME(sys.Box, pmeCfg.Beta, pmeCfg.K1, pmeCfg.K2, pmeCfg.K3, pmeCfg.Order)
+	c.plan2d = fft.NewPlan2D(pmeCfg.K2, pmeCfg.K3)
+	c.plan1d = fft.NewPlan(pmeCfg.K1)
+	if sh.pool != nil {
+		c.nbk.SetPool(sh.pool)
+		c.pme.SetPool(sh.pool)
+	}
+	g := pmeCfg.K1 * pmeCfg.K2 * pmeCfg.K3
+	c.line = make([]complex128, pmeCfg.K1)
+	c.scratchGrid = make([]complex128, g)
+	c.fullGrid = make([]complex128, g)
+	c.partial = make([]vec.V, n)
+	c.eRecipPart = make([]float64, p)
+	c.geo = newDomainGeometry(p, cfg)
+	return c
+}
+
+// state returns step's snapshot, evaluating it exactly once across all
+// ranks. step -1 is the initial evaluation; step s > -1 requires step
+// s-1 to have been evaluated (guaranteed by the per-step barrier).
+func (c *canonical) state(step int) *canonState {
+	c.mu.Lock()
+	st, ok := c.states[step]
+	if !ok {
+		st = &canonState{step: step}
+		if step > -1 {
+			st.prev = c.states[step-1]
+		}
+		c.states[step] = st
+		delete(c.states, step-2) // ranks never lag more than one step
+	}
+	c.mu.Unlock()
+	st.once.Do(func() {
+		if st.step == -1 {
+			c.evalInit(st)
+		} else {
+			c.evalStep(st)
+		}
+		st.prev = nil
+	})
+	return st
+}
+
+// evalInit mirrors the replicated worker's construction + initial
+// computeForces: seed state from the sequential engine (optionally
+// restored from a checkpoint, rebuilding the pair list at the
+// checkpointed origin so the restarted trajectory stays bitwise
+// identical), then one force evaluation.
+func (c *canonical) evalInit(st *canonState) {
+	n := c.sys.N()
+	st.pos = append([]vec.V(nil), c.seedPos...)
+	st.vel = append([]vec.V(nil), c.seedVel...)
+	st.listOrigin = make([]vec.V, n)
+	st.listGen = -1
+	if init := c.cfg.Init; init != nil && len(init.ListOrigin) == n {
+		copy(st.listOrigin, init.ListOrigin)
+		st.listGen = 0
+		st.pairs, _ = c.sh.sharedList(0, c.ffield, st.listOrigin)
+		st.pairOff = blockPartition(len(st.pairs), c.p)
+	}
+	c.forceEval(st)
+}
+
+// evalStep advances prev by one velocity-Verlet step: half-kick + drift,
+// force evaluation (with neighbour-list management), second half-kick and
+// the kinetic energy — all in the replicated path's arithmetic order.
+func (c *canonical) evalStep(st *canonState) {
+	prev := st.prev
+	half := 0.5 * c.dtAKMA
+	st.pos = append([]vec.V(nil), prev.pos...)
+	st.vel = append([]vec.V(nil), prev.vel...)
+	for i := range st.pos {
+		st.vel[i] = st.vel[i].Add(prev.frcTotal[i].Scale(half * c.invMass[i]))
+		st.pos[i] = st.pos[i].Add(st.vel[i].Scale(c.dtAKMA))
+	}
+	st.listGen = prev.listGen
+	st.listOrigin = prev.listOrigin
+	st.pairs = prev.pairs
+	st.pairOff = prev.pairOff
+	st.epoch = prev.epoch
+
+	c.forceEval(st)
+
+	for i := range st.vel {
+		st.vel[i] = st.vel[i].Add(st.frcTotal[i].Scale(half * c.invMass[i]))
+	}
+	// Kinetic energy: per-rank block sums merged rank-ascending, exactly
+	// like the replicated kick + barrier combine.
+	var kinTotal float64
+	for rk := 0; rk < c.p; rk++ {
+		var kin float64
+		for i := c.atomOff[rk]; i < c.atomOff[rk+1]; i++ {
+			kin += 0.5 * c.sys.Mass(i) * st.vel[i].Norm2()
+		}
+		kinTotal += kin
+	}
+	st.rep.Kinetic = kinTotal
+}
+
+// listValid mirrors worker.listValid over the snapshot.
+func (c *canonical) listValid(st *canonState) bool {
+	if st.listGen < 0 {
+		return false
+	}
+	limit := (c.cfg.MD.FF.ListCutoff - c.cfg.MD.FF.CutOff) / 2
+	limit2 := limit * limit
+	for i := range st.pos {
+		if vec.Dist2(st.pos[i], st.listOrigin[i]) > limit2 {
+			return false
+		}
+	}
+	return true
+}
+
+// forceEval reproduces computeForces' arithmetic serially: the same
+// per-rank partitions evaluated rank 0..p-1 into a zeroed scratch, the
+// same rank-ascending merges. The scratch reuse is bitwise safe: every
+// accumulator starts at +0.0 and x + (−x) rounds to +0.0, so no merge
+// input ever differs from the replicated path's per-rank arrays.
+func (c *canonical) forceEval(st *canonState) {
+	sys := c.sys
+	n := sys.N()
+	pmeCfg := c.cfg.MD.PME
+	k1, k2, k3 := pmeCfg.K1, pmeCfg.K2, pmeCfg.K3
+	planeLen := k2 * k3
+
+	// Neighbour-list management; a rebuild starts a new ownership epoch.
+	if !c.listValid(st) {
+		st.listGen++
+		st.pairs, st.distEvals = c.sh.sharedList(st.listGen, c.ffield, st.pos)
+		st.listOrigin = append([]vec.V(nil), st.pos...)
+		st.pairOff = blockPartition(len(st.pairs), c.p)
+		st.rebuilt = true
+		oldEpoch := st.epoch
+		st.epoch = c.geo.buildEpoch(c, st)
+		if oldEpoch != nil {
+			st.migration = c.geo.migrationSizes(oldEpoch, st.epoch)
+		}
+	}
+	if st.epoch == nil {
+		// Checkpoint restore with a still-valid list: the epoch follows
+		// the checkpointed list origin, as it did in the interrupted run.
+		st.epoch = c.geo.buildEpoch(c, st)
+	}
+
+	// Classic terms: per-rank partials merged rank-ascending.
+	st.frcTotal = make([]vec.V, n)
+	var eAll ff.Energies
+	for rk := 0; rk < c.p; rk++ {
+		var wc work.Counters
+		var e ff.Energies
+		vec.Fill(c.partial, vec.Zero)
+		e.Bond = c.ffield.BondsRange(st.pos, c.partial, &wc, c.bondOff[rk], c.bondOff[rk+1])
+		e.Angle = c.ffield.AnglesRange(st.pos, c.partial, &wc, c.angOff[rk], c.angOff[rk+1])
+		e.Dihedral = c.ffield.DihedralsRange(st.pos, c.partial, &wc, c.dihOff[rk], c.dihOff[rk+1])
+		e.Improper = c.ffield.ImpropersRange(st.pos, c.partial, &wc, c.imprOff[rk], c.imprOff[rk+1])
+		e.Add(c.nbk.Compute(st.pos, st.pairs[st.pairOff[rk]:st.pairOff[rk+1]], c.partial, &wc))
+		e.Add(c.ffield.Pairs14Range(st.pos, c.partial, &wc, c.p14Off[rk], c.p14Off[rk+1]))
+		vec.AddTo(st.frcTotal, c.partial)
+		eAll.Add(e)
+	}
+	st.rep = md.EnergyReport{FF: eAll}
+
+	// PME reciprocal sum. Grid assembly point p sums rank contributions
+	// rk-ascending — the same per-point order as the replicated slab
+	// assembly (including the zero adds of non-contributing ranks).
+	for i := range c.fullGrid {
+		c.fullGrid[i] = 0
+	}
+	for rk := 0; rk < c.p; rk++ {
+		for i := range c.scratchGrid {
+			c.scratchGrid[i] = 0
+		}
+		c.pme.Spread(st.pos, c.charges, c.atomOff[rk], c.atomOff[rk+1], c.scratchGrid)
+		for i := range c.fullGrid {
+			c.fullGrid[i] += c.scratchGrid[i]
+		}
+	}
+	for x := 0; x < k1; x++ {
+		c.plan2d.Forward(c.fullGrid[x*planeLen : (x+1)*planeLen])
+	}
+	// Spectrum lines in the replicated y-block order; per-rank eRecip
+	// subtotals are kept apart and merged rank-ascending below.
+	for rk := 0; rk < c.p; rk++ {
+		var eR float64
+		for y := c.yOff[rk]; y < c.yOff[rk+1]; y++ {
+			for z := 0; z < k3; z++ {
+				for x := 0; x < k1; x++ {
+					c.line[x] = c.fullGrid[(x*k2+y)*k3+z]
+				}
+				c.plan1d.Forward(c.line)
+				for m1 := 0; m1 < k1; m1++ {
+					eC, cC := c.pme.Psi(m1, y, z)
+					v := c.line[m1]
+					eR += eC * (real(v)*real(v) + imag(v)*imag(v))
+					c.line[m1] = v * complex(cC, 0)
+				}
+				c.plan1d.Inverse(c.line)
+				for x := 0; x < k1; x++ {
+					c.fullGrid[(x*k2+y)*k3+z] = c.line[x]
+				}
+			}
+		}
+		c.eRecipPart[rk] = eR
+	}
+	for x := 0; x < k1; x++ {
+		c.plan2d.Inverse(c.fullGrid[x*planeLen : (x+1)*planeLen])
+	}
+	// Interpolation + exclusion correction per rank block, merged in the
+	// replicated order: forces rank-ascending on top of the classic sum,
+	// then the Recip/ExclCorr scalars rank-ascending.
+	for rk := 0; rk < c.p; rk++ {
+		var wc work.Counters
+		vec.Fill(c.partial, vec.Zero)
+		c.pme.Interpolate(c.fullGrid, st.pos, c.charges, c.atomOff[rk], c.atomOff[rk+1], c.partial)
+		eExcl := ewald.ExclusionCorrectionRange(sys.Box, st.pos, c.charges, sys.Excl,
+			c.pme.Beta, c.atomOff[rk], c.atomOff[rk+1], c.partial, &wc)
+		vec.AddTo(st.frcTotal, c.partial)
+		st.rep.Recip += c.eRecipPart[rk]
+		st.rep.ExclCorr += eExcl
+	}
+	st.rep.Self = ewald.SelfEnergy(c.charges, c.pme.Beta)
+	st.rep.Background = ewald.BackgroundEnergy(c.charges, c.pme.Beta, sys.Box.Volume())
+}

@@ -60,6 +60,14 @@ type Config struct {
 	Steps      int
 	Middleware MiddlewareKind
 
+	// Decomp selects the work decomposition. The zero value is the
+	// paper's replicated-data decomposition with slab PME; DecompDomain
+	// runs the spatial domain decomposition with 2-D pencil PME (the
+	// scaling-study path that breaks the 8-rank ceiling). Run validates
+	// the rank count against the decomposition's tiling constraints and
+	// returns a *DecompError when it cannot tile.
+	Decomp DecompKind
+
 	// ModernCollectives replaces the MPICH-1-era algorithms with the
 	// post-2004 ones (recursive-doubling allreduce, ring allgather) — the
 	// ablation that asks how much of the scalability loss was library
@@ -244,6 +252,13 @@ type comms interface {
 	Allreduce(bytes int, reduceOp float64)
 	Allgatherv(blocks []int)
 	Alltoallv(sizes [][]int)
+	// AlltoallvSparse is a personalized all-to-all over a mostly-zero
+	// size matrix (halo exchanges, migration, pencil transposes): pairs
+	// that move no bytes in either direction skip their exchange round
+	// entirely, so the event count scales with the neighbourhood size
+	// rather than p². The dense Alltoallv keeps the replicated path's
+	// published event sequence byte-stable.
+	AlltoallvSparse(sizes [][]int)
 	Barrier()
 }
 
@@ -252,6 +267,7 @@ type mpiComms struct{ r *mpi.Rank }
 func (c mpiComms) Allreduce(bytes int, reduceOp float64) { c.r.Allreduce(bytes, reduceOp) }
 func (c mpiComms) Allgatherv(blocks []int)               { c.r.Allgatherv(blocks) }
 func (c mpiComms) Alltoallv(sizes [][]int)               { c.r.Alltoallv(sizes) }
+func (c mpiComms) AlltoallvSparse(sizes [][]int)         { c.r.AlltoallvSparse(sizes) }
 func (c mpiComms) Barrier()                              { c.r.Barrier() }
 
 // mpiModernComms swaps in the post-2004 collective algorithms.
@@ -260,15 +276,17 @@ type mpiModernComms struct{ r *mpi.Rank }
 func (c mpiModernComms) Allreduce(bytes int, reduceOp float64) {
 	c.r.AllreduceRecursiveDoubling(bytes, reduceOp)
 }
-func (c mpiModernComms) Allgatherv(blocks []int) { c.r.AllgathervRing(blocks) }
-func (c mpiModernComms) Alltoallv(sizes [][]int) { c.r.Alltoallv(sizes) }
-func (c mpiModernComms) Barrier()                { c.r.Barrier() }
+func (c mpiModernComms) Allgatherv(blocks []int)       { c.r.AllgathervRing(blocks) }
+func (c mpiModernComms) Alltoallv(sizes [][]int)       { c.r.Alltoallv(sizes) }
+func (c mpiModernComms) AlltoallvSparse(sizes [][]int) { c.r.AlltoallvSparse(sizes) }
+func (c mpiModernComms) Barrier()                      { c.r.Barrier() }
 
 type cmpiComms struct{ m *cmpi.Middleware }
 
 func (c cmpiComms) Allreduce(bytes int, reduceOp float64) { c.m.GlobalSum(bytes, reduceOp) }
 func (c cmpiComms) Allgatherv(blocks []int)               { c.m.Allgatherv(blocks) }
 func (c cmpiComms) Alltoallv(sizes [][]int)               { c.m.Alltoallv(sizes) }
+func (c cmpiComms) AlltoallvSparse(sizes [][]int)         { c.m.AlltoallvSparse(sizes) }
 func (c cmpiComms) Barrier()                              { c.m.Barrier() }
 
 // Run executes the parallel MD under the given cluster configuration.
@@ -298,12 +316,17 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 		return nil, nil, err
 	}
 	p := clusterCfg.Nodes * clusterCfg.CPUsPerNode
+	if err := ValidateDecomp(cfg.Decomp, p, cfg.MD.PME); err != nil {
+		return nil, nil, err
+	}
 
 	// Tape eligibility: checkpoint starts, step hooks and numeric guards
 	// need the physics actually executed, and a completed tape only fits
-	// the rank/step shape it was recorded for.
+	// the rank/step shape it was recorded for. The domain path's
+	// collective sizes follow the (dynamic) atom ownership, so it always
+	// runs the real physics.
 	tape := cfg.Tape
-	if cfg.Init != nil || cfg.onStep != nil || cfg.Guard.Enabled {
+	if cfg.Init != nil || cfg.onStep != nil || cfg.Guard.Enabled || cfg.Decomp == DecompDomain {
 		tape = nil
 	}
 	if tape.Complete() && (tape.p != p || tape.steps != cfg.Steps) {
@@ -328,7 +351,7 @@ func runAttempt(clusterCfg cluster.Config, cost cluster.CostModel, cfg Config) (
 		}
 	}
 
-	sh := newShared(p, cfg)
+	sh := newShared(p, cfg, seed)
 	res := &Result{
 		P:        p,
 		Timings:  make([][]StepTiming, p),

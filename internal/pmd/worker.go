@@ -63,6 +63,10 @@ type shared struct {
 	// attempt (every rank reaches the identical verdict independently).
 	// Written in inline (scheduler-thread) code only.
 	guardTrip *guard.Event
+
+	// canon is the shared canonical evaluator of the domain decomposition
+	// (nil on the replicated path). See canonical.go.
+	canon *canonical
 }
 
 // listCache deduplicates neighbour-list construction across ranks: every
@@ -101,7 +105,7 @@ func (sh *shared) sharedList(gen int, ffield *ff.ForceField, pos []vec.V) ([]spa
 	return e.pairs, e.distEvals
 }
 
-func newShared(p int, cfg Config) *shared {
+func newShared(p int, cfg Config, seedEngine *md.Engine) *shared {
 	sh := &shared{
 		posBlocks:  make([][]vec.V, p),
 		classicFrc: make([][]vec.V, p),
@@ -120,7 +124,33 @@ func newShared(p int, cfg Config) *shared {
 	if cfg.MD.KernelWorkers > 0 {
 		sh.pool = kernels.NewPool(cfg.MD.KernelWorkers)
 	}
+	if cfg.Decomp == DecompDomain && seedEngine != nil {
+		sh.canon = newCanonical(p, cfg, sh, seedEngine)
+	}
 	return sh
+}
+
+// decomposition is the strategy a rank drives its step pipeline through.
+// The shared run loop in worker.run owns step spans, guard checks, phase
+// samples and result assembly; the strategy owns how positions propagate
+// (replica all-gather vs halo exchange), how forces are evaluated and
+// combined, and how the reciprocal mesh is distributed (x-slabs vs 2-D
+// pencils). Both implementations keep the engine's determinism contract:
+// the work partition is a pure function of problem + rank count, and all
+// reductions merge in fixed (rank-ascending) order.
+type decomposition interface {
+	// initialForces runs the unmeasured step-0 force evaluation of
+	// velocity Verlet, leaving the rank ready for the first drift.
+	initialForces(w *worker)
+	// drift advances positions by one step and propagates them (the head
+	// of the classic phase).
+	drift(w *worker, step int)
+	// forces evaluates classic + reciprocal forces. When st is non-nil it
+	// closes the classic sample using tr and fills the PME sample.
+	forces(w *worker, st *StepTiming, tr phaseTracker) md.EnergyReport
+	// kick applies the second half-kick and completes rep.Kinetic (the
+	// PME phase tail; the caller samples it).
+	kick(w *worker, rep *md.EnergyReport)
 }
 
 // worker is the per-rank engine state.
@@ -129,6 +159,7 @@ type worker struct {
 	c   comms
 	cfg Config
 	sh  *shared
+	d   decomposition
 
 	ff  *ff.ForceField
 	nbk *ff.NonbondedKernel
@@ -228,6 +259,29 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 	pmeCfg := cfg.MD.PME
 
 	w.atomOff = blockPartition(n, p)
+	if reg := r.Metrics(); reg != nil && r.ID == 0 {
+		// Slab PME leaves ranks beyond the y-line partition idle through
+		// the spectrum stage (and ranks beyond K1 would hold no slab at
+		// all — those are rejected up front). The gauge quantifies the
+		// ceiling the domain path exists to break; it reads 0 there.
+		idle := 0
+		if cfg.Decomp == DecompReplicated {
+			xo := blockPartition(pmeCfg.K1, p)
+			yo := blockPartition(pmeCfg.K2, p)
+			for i := 0; i < p; i++ {
+				if xo[i+1] == xo[i] || yo[i+1] == yo[i] {
+					idle++
+				}
+			}
+		}
+		reg.Gauge("repro_pme_idle_ranks",
+			"ranks with no PME slab or spectrum lines under the current decomposition").Set(float64(idle))
+	}
+	if cfg.Decomp == DecompDomain {
+		w.d = newDomainDecomp(w, seedEngine)
+		return w
+	}
+	w.d = replicatedDecomp{}
 	w.bondOff = blockPartition(len(sys.Bonds), p)
 	w.angOff = blockPartition(len(sys.Angles), p)
 	w.dihOff = blockPartition(len(sys.Dihedrals), p)
@@ -378,17 +432,11 @@ func (t phaseTracker) sample() PhaseSample {
 
 // run executes the configured number of steps.
 func (w *worker) run(res *Result) {
-	sys := w.cfg.System
 	timings := make([]StepTiming, 0, w.cfg.Steps)
 
 	// Initial force evaluation (step 0 of velocity Verlet), not measured —
 	// the paper times the MD steps after the testing environment settled.
-	w.computeForces(nil, phaseTracker{})
-
-	aLo, aHi := w.myAtoms()
-	nOwn := int64(aHi - aLo)
-	half := 0.5 * w.dtAKMA
-	minKick := work.Counters{Integrate: nOwn}
+	w.d.initialForces(w)
 
 	for step := 0; step < w.cfg.Steps; step++ {
 		var st StepTiming
@@ -406,51 +454,14 @@ func (w *worker) run(res *Result) {
 		// ---- Classic phase ---------------------------------------------
 		tr := w.beginPhase()
 
-		// Half-kick + drift for the owned atom block.
-		w.seg(minKick, func(wc *work.Counters) {
-			for i := aLo; i < aHi; i++ {
-				w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
-				w.pos[i] = w.pos[i].Add(w.vel[i].Scale(w.dtAKMA))
-			}
-			wc.Integrate += nOwn
-		})
-
-		// Publish the block, all-gather positions, refresh the replica.
-		w.inline(func() { w.sh.posBlocks[w.me()] = w.pos[aLo:aHi] })
-		w.c.Allgatherv(w.blocks)
-		w.inline(func() {
-			for rk := 0; rk < w.p; rk++ {
-				if rk == w.me() {
-					continue
-				}
-				copy(w.pos[w.atomOff[rk]:w.atomOff[rk+1]], w.sh.posBlocks[rk])
-			}
-		})
-
-		// Forces: closes the classic sample, fills the PME sample.
-		rep := w.computeForces(&st, tr)
+		// Drift + position propagation, then forces: closes the classic
+		// sample, fills the PME sample.
+		w.d.drift(w, step)
+		rep := w.d.forces(w, &st, tr)
 
 		// ---- Second half-kick + step bookkeeping (PME phase tail) -------
 		tp := w.beginPhase()
-		var kin float64
-		w.seg(minKick, func(wk *work.Counters) {
-			for i := aLo; i < aHi; i++ {
-				w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
-			}
-			for i := aLo; i < aHi; i++ {
-				kin += 0.5 * sys.Mass(i) * w.vel[i].Norm2()
-			}
-			wk.Integrate += nOwn
-		})
-		w.inline(func() { w.sh.energy[w.me()].Kinetic = kin })
-		w.c.Barrier()
-		w.inline(func() {
-			var kinTotal float64
-			for rk := 0; rk < w.p; rk++ {
-				kinTotal += w.sh.energy[rk].Kinetic
-			}
-			rep.Kinetic = kinTotal
-		})
+		w.d.kick(w, &rep)
 		st.PME.Add(tp.sample())
 
 		// Phase background lanes for the timeline.
@@ -517,4 +528,71 @@ func (w *worker) run(res *Result) {
 			res.GuardEvents = w.guard.Events()
 		}
 	}
+}
+
+// replicatedDecomp is the paper's replicated-data decomposition: every
+// rank holds a full replica, positions propagate with an all-gather, and
+// computeForces runs the block-partitioned classic terms plus the
+// slab-decomposed PME.
+type replicatedDecomp struct{}
+
+func (replicatedDecomp) initialForces(w *worker) {
+	w.computeForces(nil, phaseTracker{})
+}
+
+func (replicatedDecomp) drift(w *worker, step int) {
+	aLo, aHi := w.myAtoms()
+	nOwn := int64(aHi - aLo)
+	half := 0.5 * w.dtAKMA
+
+	// Half-kick + drift for the owned atom block.
+	w.seg(work.Counters{Integrate: nOwn}, func(wc *work.Counters) {
+		for i := aLo; i < aHi; i++ {
+			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+			w.pos[i] = w.pos[i].Add(w.vel[i].Scale(w.dtAKMA))
+		}
+		wc.Integrate += nOwn
+	})
+
+	// Publish the block, all-gather positions, refresh the replica.
+	w.inline(func() { w.sh.posBlocks[w.me()] = w.pos[aLo:aHi] })
+	w.c.Allgatherv(w.blocks)
+	w.inline(func() {
+		for rk := 0; rk < w.p; rk++ {
+			if rk == w.me() {
+				continue
+			}
+			copy(w.pos[w.atomOff[rk]:w.atomOff[rk+1]], w.sh.posBlocks[rk])
+		}
+	})
+}
+
+func (replicatedDecomp) forces(w *worker, st *StepTiming, tr phaseTracker) md.EnergyReport {
+	return w.computeForces(st, tr)
+}
+
+func (replicatedDecomp) kick(w *worker, rep *md.EnergyReport) {
+	sys := w.cfg.System
+	aLo, aHi := w.myAtoms()
+	nOwn := int64(aHi - aLo)
+	half := 0.5 * w.dtAKMA
+	var kin float64
+	w.seg(work.Counters{Integrate: nOwn}, func(wk *work.Counters) {
+		for i := aLo; i < aHi; i++ {
+			w.vel[i] = w.vel[i].Add(w.frcTotal[i].Scale(half * w.invMass[i]))
+		}
+		for i := aLo; i < aHi; i++ {
+			kin += 0.5 * sys.Mass(i) * w.vel[i].Norm2()
+		}
+		wk.Integrate += nOwn
+	})
+	w.inline(func() { w.sh.energy[w.me()].Kinetic = kin })
+	w.c.Barrier()
+	w.inline(func() {
+		var kinTotal float64
+		for rk := 0; rk < w.p; rk++ {
+			kinTotal += w.sh.energy[rk].Kinetic
+		}
+		rep.Kinetic = kinTotal
+	})
 }

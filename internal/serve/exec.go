@@ -128,6 +128,22 @@ func middleware(name string) pmd.MiddlewareKind {
 	return pmd.MiddlewareMPI
 }
 
+// decompFor resolves the spec's decomposition and checks it can tile the
+// requested ranks on the job's actual PME mesh. Normalize already vetted
+// the name, but the mesh depends on the solvated-box size, so the tiling
+// check can only happen here — a failure is the client's request asking
+// for impossible geometry, hence KindBadRequest, not an internal error.
+func decompFor(spec JobSpec, mdCfg md.Config) (pmd.DecompKind, error) {
+	dk, err := pmd.ParseDecomp(spec.Decomp)
+	if err != nil {
+		return 0, Errf(KindBadRequest, "%v", err)
+	}
+	if err := pmd.ValidateDecomp(dk, spec.Procs, mdCfg.PME); err != nil {
+		return 0, Errf(KindBadRequest, "%v", err)
+	}
+	return dk, nil
+}
+
 func clusterFor(spec JobSpec) cluster.Config {
 	net, _ := netmodel.ByName(spec.Net)
 	return cluster.Config{
@@ -175,6 +191,10 @@ type runPayload struct {
 // ResumeInfo reports whether this invocation resumed from disk.
 func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte, *pmd.ResumeInfo, error) {
 	sys, mdCfg := e.system(spec.Atoms, spec.Seed)
+	dk, derr := decompFor(spec, mdCfg)
+	if derr != nil {
+		return nil, nil, derr
+	}
 
 	if ckptDir != "" {
 		// Completion-crash edge: the run finished and checkpointed its last
@@ -195,6 +215,7 @@ func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte
 			MD:         mdCfg,
 			Steps:      spec.Steps,
 			Middleware: middleware(spec.MW),
+			Decomp:     dk,
 		},
 		CheckpointEvery: 1,
 		CheckpointDir:   ckptDir,
@@ -240,6 +261,10 @@ type sweepPayload struct {
 
 func (e *Env) execSweep(spec JobSpec) ([]byte, error) {
 	sys, mdCfg := e.system(spec.Atoms, spec.Seed)
+	dk, derr := decompFor(spec, mdCfg)
+	if derr != nil {
+		return nil, derr
+	}
 	var p sweepPayload
 	p.Kind = string(KindSweep)
 	for _, name := range spec.Nets {
@@ -252,6 +277,7 @@ func (e *Env) execSweep(spec JobSpec) ([]byte, error) {
 			MD:         mdCfg,
 			Steps:      spec.Steps,
 			Middleware: middleware(spec.MW),
+			Decomp:     dk,
 		})
 		if err != nil {
 			return nil, Errf(KindInternal, "sweep %s: %v", name, err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netmodel"
+	"repro/internal/pmd"
 )
 
 // SpecKeyVersion is the format version embedded in every canonical spec
@@ -17,7 +18,7 @@ import (
 // can never be mistaken for results of the new one — the same discipline
 // as figures.CellKeyVersion, which governs the in-memory run cache this
 // store extends onto disk.
-const SpecKeyVersion = 1
+const SpecKeyVersion = 2
 
 // JobKind selects what a job computes.
 type JobKind string
@@ -51,10 +52,11 @@ type JobSpec struct {
 	Seed  uint64 `json:"seed,omitempty"`  // deterministic stream
 
 	// run / sweep platform knobs.
-	Procs int    `json:"procs,omitempty"` // ranks
-	CPUs  int    `json:"cpus,omitempty"`  // CPUs per node (1 or 2)
-	Net   string `json:"net,omitempty"`   // run: tcp, score, myrinet, fast
-	MW    string `json:"mw,omitempty"`    // mpi or cmpi
+	Procs  int    `json:"procs,omitempty"`  // ranks
+	CPUs   int    `json:"cpus,omitempty"`   // CPUs per node (1 or 2)
+	Net    string `json:"net,omitempty"`    // run: tcp, score, myrinet, fast
+	MW     string `json:"mw,omitempty"`     // mpi or cmpi
+	Decomp string `json:"decomp,omitempty"` // replicated or domain
 
 	// sweep: the networks to compare (default: all four).
 	Nets []string `json:"nets,omitempty"`
@@ -117,6 +119,12 @@ func (s *JobSpec) Normalize() error {
 		}
 		if s.MW != "mpi" && s.MW != "cmpi" {
 			bad("mw must be mpi or cmpi (got %q)", s.MW)
+		}
+		if s.Decomp == "" {
+			s.Decomp = "replicated"
+		}
+		if _, err := pmd.ParseDecomp(s.Decomp); err != nil {
+			bad("decomp must be replicated or domain (got %q)", s.Decomp)
 		}
 	}
 
@@ -183,11 +191,11 @@ func (s *JobSpec) Normalize() error {
 func (s JobSpec) Key() string {
 	switch s.Kind {
 	case KindRun:
-		return fmt.Sprintf("serve/v%d run atoms=%d steps=%d seed=%d p=%d cpus=%d net=%s mw=%s",
-			SpecKeyVersion, s.Atoms, s.Steps, s.Seed, s.Procs, s.CPUs, s.Net, s.MW)
+		return fmt.Sprintf("serve/v%d run atoms=%d steps=%d seed=%d p=%d cpus=%d net=%s mw=%s decomp=%s",
+			SpecKeyVersion, s.Atoms, s.Steps, s.Seed, s.Procs, s.CPUs, s.Net, s.MW, s.Decomp)
 	case KindSweep:
-		return fmt.Sprintf("serve/v%d sweep atoms=%d steps=%d seed=%d p=%d cpus=%d mw=%s nets=%s",
-			SpecKeyVersion, s.Atoms, s.Steps, s.Seed, s.Procs, s.CPUs, s.MW, strings.Join(s.Nets, ","))
+		return fmt.Sprintf("serve/v%d sweep atoms=%d steps=%d seed=%d p=%d cpus=%d mw=%s decomp=%s nets=%s",
+			SpecKeyVersion, s.Atoms, s.Steps, s.Seed, s.Procs, s.CPUs, s.MW, s.Decomp, strings.Join(s.Nets, ","))
 	case KindAnalysis:
 		return fmt.Sprintf("serve/v%d analysis atoms=%d steps=%d seed=%d obs=%s",
 			SpecKeyVersion, s.Atoms, s.Steps, s.Seed, s.Observable)

@@ -11,7 +11,7 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 	if err := s.Normalize(); err != nil {
 		t.Fatalf("Normalize: %v", err)
 	}
-	if s.Atoms != 120 || s.Steps != 4 || s.Seed != 1 || s.Procs != 4 || s.CPUs != 1 || s.Net != "tcp" || s.MW != "mpi" {
+	if s.Atoms != 120 || s.Steps != 4 || s.Seed != 1 || s.Procs != 4 || s.CPUs != 1 || s.Net != "tcp" || s.MW != "mpi" || s.Decomp != "replicated" {
 		t.Fatalf("defaults wrong: %+v", s)
 	}
 
@@ -45,6 +45,7 @@ func TestSpecNormalizeRejects(t *testing.T) {
 		{"procs-odd", JobSpec{Kind: KindRun, CPUs: 2, Procs: 7}, "procs must be"},
 		{"bad-net", JobSpec{Kind: KindRun, Net: "carrier-pigeon"}, "unknown net"},
 		{"bad-mw", JobSpec{Kind: KindRun, MW: "smoke-signals"}, "mw must be"},
+		{"bad-decomp", JobSpec{Kind: KindRun, Decomp: "astral"}, "decomp must be"},
 		{"bad-sweep-net", JobSpec{Kind: KindSweep, Nets: []string{"tcp", "nope"}}, "unknown net"},
 		{"bad-observable", JobSpec{Kind: KindAnalysis, Observable: "vibes"}, "observable must be"},
 		{"figure-missing", JobSpec{Kind: KindFigure}, "figure id is required"},
@@ -76,11 +77,13 @@ func TestSpecKeyGolden(t *testing.T) {
 		spec JobSpec
 		want string
 	}{
-		{JobSpec{Kind: KindRun}, "serve/v1 run atoms=120 steps=4 seed=1 p=4 cpus=1 net=tcp mw=mpi"},
+		{JobSpec{Kind: KindRun}, "serve/v2 run atoms=120 steps=4 seed=1 p=4 cpus=1 net=tcp mw=mpi decomp=replicated"},
+		{JobSpec{Kind: KindRun, Decomp: "domain"},
+			"serve/v2 run atoms=120 steps=4 seed=1 p=4 cpus=1 net=tcp mw=mpi decomp=domain"},
 		{JobSpec{Kind: KindAnalysis, Atoms: 48, Steps: 2, Observable: "msd"},
-			"serve/v1 analysis atoms=48 steps=2 seed=1 obs=msd"},
+			"serve/v2 analysis atoms=48 steps=2 seed=1 obs=msd"},
 		{JobSpec{Kind: KindFigure, Figure: "3", Quick: true, Steps: 2, Seed: 7},
-			"serve/v1 figure id=3 quick=true steps=2 seed=7"},
+			"serve/v2 figure id=3 quick=true steps=2 seed=7"},
 	}
 	for _, tc := range cases {
 		s := tc.spec
@@ -109,6 +112,7 @@ func TestSpecKeyDiscriminates(t *testing.T) {
 		func(s *JobSpec) { s.Procs = 8 },
 		func(s *JobSpec) { s.Net = "myrinet" },
 		func(s *JobSpec) { s.MW = "cmpi" },
+		func(s *JobSpec) { s.Decomp = "domain" },
 	}
 	seen := map[string]bool{base.Key(): true}
 	for i, mod := range variants {
@@ -125,6 +129,29 @@ func TestSpecKeyDiscriminates(t *testing.T) {
 	}
 	if id := JobID(base.Key()); len(id) != 64 {
 		t.Fatalf("JobID length = %d, want 64 hex chars", len(id))
+	}
+}
+
+// TestExecRejectsUntileableDecomp: the tiling check depends on the job's
+// actual PME mesh (12³ for the 120-atom default box), so it happens at
+// execution time — and surfaces as the client's fault, not the server's.
+func TestExecRejectsUntileableDecomp(t *testing.T) {
+	e := NewEnv()
+	spec := JobSpec{Kind: KindRun, Procs: 16} // replicated, K1=12 < 16 slabs
+	if _, err := e.ComputeReference(spec); err == nil {
+		t.Fatal("16 replicated ranks accepted on a 12-slab mesh")
+	} else {
+		var je *JobError
+		if !errors.As(err, &je) || je.Kind != KindBadRequest {
+			t.Fatalf("error = %v, want KindBadRequest", err)
+		}
+		if !strings.Contains(je.Msg, "K1=12") {
+			t.Fatalf("error %q does not name the violated mesh constraint", je.Msg)
+		}
+	}
+	// The same rank count tiles as a 4×4 pencil grid under domain.
+	if _, err := e.ComputeReference(JobSpec{Kind: KindRun, Procs: 16, Decomp: "domain"}); err != nil {
+		t.Fatalf("16 domain ranks rejected: %v", err)
 	}
 }
 
