@@ -43,6 +43,8 @@ func main() {
 	atoms := flag.Int("atoms", 300, "solvated-box size in atoms")
 	workersList := flag.String("workers", "1,4", "comma-separated host-worker counts cross-checked bitwise")
 	mwName := flag.String("mw", "mpi", "middleware: mpi or cmpi")
+	decompFlag := flag.String("decomp", "replicated", "decomposition: replicated or domain")
+	recoveryFlag := flag.String("recovery", "global", "crash recovery strategy: global (checkpoint rewind) or local (buddy-restore; needs -decomp domain)")
 	ckptEvery := flag.Int("ckpt-every", 2, "checkpoint cadence in steps")
 	failDir := flag.String("fail-dir", "", "write the failing scenario JSON here")
 	verbose := flag.Bool("v", false, "per-run progress")
@@ -84,6 +86,14 @@ func main() {
 		mw = pmd.MiddlewareCMPI
 	default:
 		fail("-mw must be mpi or cmpi (got %q)", *mwName)
+	}
+	dk, err := pmd.ParseDecomp(*decompFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	rk, err := pmd.ParseRecovery(*recoveryFlag)
+	if err != nil {
+		fail("%v", err)
 	}
 	var workers []int
 	for _, s := range strings.Split(*workersList, ",") {
@@ -127,6 +137,8 @@ func main() {
 		m.Config["steps"] = *steps
 		m.Config["procs"] = *procs
 		m.Config["net"] = *netName
+		m.Config["decomp"] = dk.String()
+		m.Config["recovery"] = rk.String()
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
 			die("manifest:", err)
@@ -141,6 +153,8 @@ func main() {
 		CPUsPerNode:     *cpus,
 		Net:             net,
 		Middleware:      mw,
+		Decomp:          dk,
+		Recovery:        rk,
 		Atoms:           *atoms,
 		Workers:         workers,
 		CheckpointEvery: *ckptEvery,
@@ -150,8 +164,8 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("soaking %d scenarios: p=%d (%d CPU/node) on %s, %d atoms, %d steps, workers %v, horizon %.3gs\n",
-		*runs, *procs, *cpus, net.Name, *atoms, *steps, workers, h.Horizon())
+	fmt.Printf("soaking %d scenarios: p=%d (%d CPU/node) on %s, %s/%s, %d atoms, %d steps, workers %v, horizon %.3gs\n",
+		*runs, *procs, *cpus, net.Name, dk, rk, *atoms, *steps, workers, h.Horizon())
 
 	reports, failure, err := h.Soak(*runs)
 	if err != nil {
@@ -173,8 +187,10 @@ func main() {
 	fmt.Printf("  detail:   %s\n", failure.Err.Detail)
 	fmt.Printf("  scenario: %s\n", failure.Scenario.DSL())
 	fmt.Printf("  minimal:  %s\n", failure.Minimal.DSL())
-	fmt.Printf("  reproduce: faultbench -spec '%s' -seed %d -p %d -cpus %d -net %s -steps %d -atoms %d\n",
-		failure.Minimal.DSL(), failure.Seed, *procs, *cpus, *netName, *steps, *atoms)
+	fmt.Printf("  reproduce: %s\n", chaos.Repro{
+		DSL: failure.Minimal.DSL(), Seed: failure.Seed, Procs: *procs, CPUs: *cpus,
+		Net: *netName, Steps: *steps, Atoms: *atoms, Decomp: dk, Recovery: rk,
+	}.Line())
 	if *failDir != "" {
 		if err := os.MkdirAll(*failDir, 0o755); err != nil {
 			die(err)

@@ -33,7 +33,7 @@ import (
 const obsDrainTimeout = 2 * time.Second
 
 func main() {
-	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, ceiling, or all")
+	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, ceiling, recovery, or all")
 	format := flag.String("format", "text", "output format: text or csv")
 	steps := flag.Int("steps", 0, "MD steps per measurement (default: the paper's 10)")
 	procs := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,8)")
@@ -168,8 +168,8 @@ func main() {
 			if id == "1" || id == "2" {
 				continue // diagrams have no data rows
 			}
-			if id == "ceiling" {
-				continue // 1024-rank sweep; request it explicitly via -figure
+			if id == "ceiling" || id == "recovery" {
+				continue // hundreds-of-ranks sweeps; request them explicitly via -figure
 			}
 			path := filepath.Join(*outdir, "figure_"+id+".csv")
 			out, err := os.Create(path)

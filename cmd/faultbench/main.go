@@ -46,6 +46,9 @@ func main() {
 	steps := flag.Int("steps", 4, "MD steps")
 	mwName := flag.String("mw", "both", "middleware: mpi, cmpi or both")
 	decompFlag := flag.String("decomp", "replicated", "decomposition: replicated or domain")
+	recoveryFlag := flag.String("recovery", "global", "crash recovery strategy: global (checkpoint rewind) or local (buddy-restore; needs -decomp domain)")
+	tuneCkpt := flag.Bool("tune-ckpt", false, "retune the checkpoint cadence from the observed failure rate (Young/Daly)")
+	ckptCost := flag.Float64("ckpt-cost", 0, "virtual seconds one checkpoint costs, the C in the Young/Daly formula (needed by -tune-ckpt)")
 	atoms := flag.Int("atoms", 600, "solvated-box size in atoms")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	wdTimeout := flag.Float64("timeout", 30, "watchdog timeout (virtual s); 0 disables")
@@ -141,6 +144,13 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	rk, err := pmd.ParseRecovery(*recoveryFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *tuneCkpt && *ckptCost <= 0 {
+		fail("-tune-ckpt needs a positive -ckpt-cost (the Young/Daly formula prices a checkpoint)")
+	}
 
 	sys, k := topol.NewSolvatedBox(*atoms, *seed)
 	md.Relax(sys, 60)
@@ -205,6 +215,9 @@ func main() {
 			CheckpointDir:   dir,
 			KeepCheckpoints: *ckptKeep,
 			RestartCost:     *restartCost,
+			Recovery:        rk,
+			TuneCheckpoint:  *tuneCkpt,
+			CheckpointCost:  *ckptCost,
 		})
 		if err != nil {
 			die(err)
@@ -221,10 +234,16 @@ func main() {
 
 	headers := []string{"mw", "severity", "wall(s)", "slowdown", "excess(s)", "comp", "comm", "sync", "lost", "recoveries", "profile"}
 	var rows [][]string
+	var last *pmd.ResilientResult // newest faulted run, feeds the manifest
 	for _, mw := range mws {
 		healthy := run(mw, nil, "")
 		for _, sev := range sevs {
 			res := run(mw, sc.Scale(sev), *ckptDir)
+			last = res
+			if res.IntervalTuned {
+				fmt.Fprintf(os.Stderr, "faultbench: Young/Daly retuned the checkpoint cadence to every %d step(s)\n",
+					res.CheckpointInterval)
+			}
 			var tot mpi.Accounting
 			for _, a := range res.Acct {
 				tot.Add(a)
@@ -272,6 +291,11 @@ func main() {
 		m.Config["steps"] = *steps
 		m.Config["net"] = net.Name
 		m.Config["decomp"] = dk.String()
+		m.Config["recovery"] = rk.String()
+		if last != nil {
+			m.Config["checkpoint_interval"] = last.CheckpointInterval
+			m.Config["interval_tuned"] = last.IntervalTuned
+		}
 		m.Attach(reg)
 		if err := m.WriteFile(*obsManifest); err != nil {
 			die(err)

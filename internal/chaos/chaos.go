@@ -30,8 +30,10 @@ type Config struct {
 	CPUsPerNode int    // default 1
 	Net         netmodel.Params
 	Middleware  pmd.MiddlewareKind
-	Atoms       int   // solvated-box size (default 300)
-	Workers     []int // host-worker counts cross-checked bitwise (default {1, 4})
+	Decomp      pmd.DecompKind   // replicated (zero value) or domain decomposition
+	Recovery    pmd.RecoveryKind // global rewind (zero value) or localized buddy-restore
+	Atoms       int              // solvated-box size (default 300)
+	Workers     []int            // host-worker counts cross-checked bitwise (default {1, 4})
 
 	CheckpointEvery int     // checkpoint cadence (default 2, exercising loss windows)
 	RestartCost     float64 // virtual seconds per recovery (default 5)
@@ -47,7 +49,7 @@ type Config struct {
 
 // InvariantError names the violated soak invariant.
 type InvariantError struct {
-	Name   string // terminates | finite-energies | worker-determinism | checkpoint-restart
+	Name   string // terminates | finite-energies | recovery-fidelity | worker-determinism | checkpoint-restart
 	Detail string
 }
 
@@ -82,7 +84,8 @@ type Harness struct {
 	sys     *topol.System
 	mdCfg   md.Config
 	cost    cluster.CostModel
-	horizon float64 // healthy wall time, sizing scenario windows
+	horizon float64              // healthy wall time, sizing scenario windows
+	probe   *pmd.ResilientResult // the fault-free run, reference for recovery fidelity
 }
 
 // NewHarness builds the shared workload (solvated box, relaxed, PME) and
@@ -121,6 +124,9 @@ func NewHarness(cfg Config) (*Harness, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
+	if cfg.Recovery == pmd.RecoveryLocal && cfg.Decomp != pmd.DecompDomain {
+		return nil, fmt.Errorf("chaos: localized recovery needs the domain decomposition")
+	}
 
 	sys, k := topol.NewSolvatedBox(cfg.Atoms, cfg.Seed+1)
 	md.Relax(sys, 60)
@@ -136,6 +142,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 		return nil, fmt.Errorf("chaos: healthy probe run failed: %w", err)
 	}
 	h.horizon = probe.Wall
+	h.probe = probe
 	return h, nil
 }
 
@@ -154,6 +161,7 @@ func (h *Harness) run(sc *fault.Scenario, workers int, ckptDir string, halt int)
 			MD:          h.mdCfg,
 			Steps:       h.cfg.Steps,
 			Middleware:  h.cfg.Middleware,
+			Decomp:      h.cfg.Decomp,
 			HostWorkers: workers,
 		},
 		Scenario:        sc,
@@ -161,6 +169,7 @@ func (h *Harness) run(sc *fault.Scenario, workers int, ckptDir string, halt int)
 		RestartCost:     h.cfg.RestartCost,
 		CheckpointDir:   ckptDir,
 		HaltAfterStep:   halt,
+		Recovery:        h.cfg.Recovery,
 	})
 }
 
@@ -192,6 +201,30 @@ func (h *Harness) Check(sc *fault.Scenario) (RunReport, *InvariantError, error) 
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return rep, &InvariantError{"finite-energies",
 					fmt.Sprintf("step %d: non-finite energy %g", i, v)}, nil
+			}
+		}
+	}
+
+	// Invariant: recovery fidelity — localized buddy-restore keeps the
+	// cluster at full size through every fault, so the trajectory must be
+	// bitwise identical to the fault-free run no matter what the scenario
+	// injected. (Global rewind legitimately re-tiles onto fewer ranks after
+	// a crash, which changes the physics partition, so the invariant only
+	// applies to the localized strategy.)
+	if h.cfg.Recovery == pmd.RecoveryLocal {
+		for i := range base.Energies {
+			if base.Energies[i] != h.probe.Energies[i] {
+				return rep, &InvariantError{"recovery-fidelity",
+					fmt.Sprintf("step %d: energies differ from the fault-free run", i)}, nil
+			}
+		}
+		if base.Final == nil || h.probe.Final == nil {
+			return rep, &InvariantError{"recovery-fidelity", "missing final state"}, nil
+		}
+		for i, p := range h.probe.Final.FinalPos {
+			if base.Final.FinalPos[i] != p {
+				return rep, &InvariantError{"recovery-fidelity",
+					fmt.Sprintf("atom %d: final position differs from the fault-free run", i)}, nil
 			}
 		}
 	}
@@ -248,9 +281,17 @@ func (h *Harness) checkDurable(sc *fault.Scenario) (*InvariantError, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	halt := h.cfg.Steps / 2
+	// Kill at the newest checkpoint boundary strictly before the end:
+	// the resume leg asserts the run comes back from disk, which needs a
+	// durable checkpoint to exist at the halt step (halting mid-cadence
+	// leaves nothing on disk and the "resume" would be a fresh run). When
+	// the cadence puts the first checkpoint at or past the final step
+	// there is no interior boundary to kill at, so the leg cannot run.
+	halt := (h.cfg.Steps - 1) / h.cfg.CheckpointEvery * h.cfg.CheckpointEvery
 	if halt < 1 {
-		halt = 1
+		h.cfg.Logf("checkpoint cadence %d leaves no interior boundary in %d steps; skipping durable leg",
+			h.cfg.CheckpointEvery, h.cfg.Steps)
+		return nil, nil
 	}
 	w := h.cfg.Workers[0]
 	ref, err := h.run(sc, w, "", 0)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/netmodel"
+	"repro/internal/pmd"
 )
 
 func testHarness(t *testing.T) *Harness {
@@ -44,6 +45,47 @@ func TestSoakHoldsInvariants(t *testing.T) {
 		if r.Index != i || r.Faults < 1 || r.DSL == "" {
 			t.Errorf("report %d malformed: %+v", i, r)
 		}
+	}
+}
+
+// TestSoakLocalizedRecovery runs the soak on the domain decomposition
+// with localized buddy-restore, which arms the extra recovery-fidelity
+// invariant: every faulted run must match the fault-free trajectory
+// bitwise because the cluster never shrinks.
+func TestSoakLocalizedRecovery(t *testing.T) {
+	h, err := NewHarness(Config{
+		Seed:        5,
+		Steps:       3,
+		Nodes:       4,
+		CPUsPerNode: 1,
+		Net:         netmodel.TCPGigE(),
+		Decomp:      pmd.DecompDomain,
+		Recovery:    pmd.RecoveryLocal,
+		Atoms:       120,
+		Workers:     []int{1, 2},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, failure, err := h.Soak(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure != nil {
+		t.Fatalf("run %d (seed %d) violated %q: %s\nscenario: %s\nminimal:  %s",
+			failure.Index, failure.Seed, failure.Err.Name, failure.Err.Detail,
+			failure.Scenario.DSL(), failure.Minimal.DSL())
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+}
+
+func TestSoakLocalizedNeedsDomain(t *testing.T) {
+	_, err := NewHarness(Config{Seed: 1, Recovery: pmd.RecoveryLocal})
+	if err == nil {
+		t.Fatal("localized recovery on the replicated decomposition was accepted")
 	}
 }
 

@@ -69,6 +69,12 @@ type Config struct {
 	// strategy stops tiling and the spatial decomposition keeps going.
 	CeilingProcs []int
 
+	// RecoveryProcs and RecoveryCrashes shape the lost-work study: domain
+	// rank counts × injected crash counts, each run under both the global
+	// rewind and the localized buddy-restore strategy.
+	RecoveryProcs   []int
+	RecoveryCrashes []int
+
 	// Obs, when non-nil, is the registry the suite publishes its cache and
 	// tape counters into (repro_figures_*). A nil Obs backs the counters
 	// with a private registry; Stats() reads whichever registry is active.
@@ -80,13 +86,15 @@ func Default() Config {
 	mdc := md.PMEDefaultConfig()
 	mdc.Temperature = 300
 	return Config{
-		Steps:        10,
-		Procs:        []int{1, 2, 4, 8},
-		CeilingProcs: []int{1, 8, 16, 64, 256, 1024},
-		SystemSeed:   1,
-		ClusterSeed:  1,
-		Cost:         cluster.PentiumIII1GHz(),
-		MD:           mdc,
+		Steps:           10,
+		Procs:           []int{1, 2, 4, 8},
+		CeilingProcs:    []int{1, 8, 16, 64, 256, 1024},
+		RecoveryProcs:   []int{16, 64, 256},
+		RecoveryCrashes: []int{1, 2},
+		SystemSeed:      1,
+		ClusterSeed:     1,
+		Cost:            cluster.PentiumIII1GHz(),
+		MD:              mdc,
 	}
 }
 
@@ -97,6 +105,8 @@ func Quick() Config {
 	c.Steps = 2
 	c.Procs = []int{1, 2, 4}
 	c.CeilingProcs = []int{1, 8, 16, 64}
+	c.RecoveryProcs = []int{16, 64}
+	c.RecoveryCrashes = []int{1}
 	return c
 }
 

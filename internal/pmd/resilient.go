@@ -10,8 +10,47 @@ import (
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/recover"
 	"repro/internal/vec"
 )
+
+// RecoveryKind selects how RunResilient repairs an injected rank crash.
+type RecoveryKind int
+
+const (
+	// RecoveryGlobal is the classic checkpoint-restart: the crash drops
+	// the whole node, every survivor rewinds to the newest globally
+	// consistent checkpoint and the remaining steps re-run on a smaller
+	// cluster. Lost work scales with rank count × checkpoint cadence.
+	RecoveryGlobal RecoveryKind = iota
+	// RecoveryLocal repairs only the crashed domain: a respawned rank
+	// restores it from its buddy's micro-checkpoint (taken at every
+	// neighbour-list rebuild epoch) and replays forward on re-sent halo
+	// messages while the healthy ranks park at their next collective.
+	// Rank numbering and cluster size never change, so the recovered
+	// trajectory stays bitwise-identical to the fault-free run. Requires
+	// the spatial domain decomposition.
+	RecoveryLocal
+)
+
+func (k RecoveryKind) String() string {
+	if k == RecoveryLocal {
+		return "local"
+	}
+	return "global"
+}
+
+// ParseRecovery parses a -recovery flag value. The empty string selects
+// the classic global rewind.
+func ParseRecovery(s string) (RecoveryKind, error) {
+	switch s {
+	case "", "global":
+		return RecoveryGlobal, nil
+	case "local":
+		return RecoveryLocal, nil
+	}
+	return 0, fmt.Errorf("pmd: unknown recovery strategy %q (want global or local)", s)
+}
 
 // ResilientConfig configures a fault-tolerant parallel run: a base Config
 // plus a fault scenario and the checkpoint-restart policy.
@@ -63,6 +102,22 @@ type ResilientConfig struct {
 	// this is the graceful-preemption hook the serve layer uses to yield
 	// a long run to waiting tenants. Requires CheckpointDir.
 	Preempt func() bool
+
+	// Recovery selects the crash-repair strategy. RecoveryLocal requires
+	// Decomp == DecompDomain (the repair unit is a spatial domain).
+	Recovery RecoveryKind
+
+	// TuneCheckpoint enables the failure-rate-aware cadence tuner: after
+	// the first observed crash the durable-checkpoint interval is re-set
+	// from the online MTTF estimate via the Young/Daly formula
+	// (CheckpointEvery remains the zero-failure fallback). Requires
+	// CheckpointCost > 0 — the formula needs the checkpoint's price.
+	TuneCheckpoint bool
+
+	// CheckpointCost is the virtual seconds one durable checkpoint costs,
+	// the C in the Young/Daly interval √(2·C·MTTF). Negative values are a
+	// *ConfigError.
+	CheckpointCost float64
 }
 
 // ConfigError reports an invalid ResilientConfig field.
@@ -116,6 +171,20 @@ type ResilientResult struct {
 
 	// Resumed is set when the run restarted from an on-disk checkpoint.
 	Resumed *ResumeInfo
+
+	// Breakdown splits the Lost bucket by mechanism: global-rewind
+	// discards, localized replay, and healthy-rank park time.
+	Breakdown recover.LostBreakdown
+
+	// Local records the localized repairs (RecoveryLocal runs only); each
+	// entry also has a matching RecoveryEvent in Recoveries.
+	Local []recover.Event
+
+	// CheckpointInterval is the durable cadence in effect when the run
+	// completed; IntervalTuned marks it as Young/Daly-derived rather than
+	// the configured fallback.
+	CheckpointInterval int
+	IntervalTuned      bool
 }
 
 // LostTotal sums the Lost bucket over ranks.
@@ -167,6 +236,17 @@ type recorder struct {
 	acct       []mpi.Accounting // current attempt accounting, refreshed every onStep
 	seen       map[int]int      // local step -> ranks that completed it
 	persistErr error
+
+	// Localized-recovery bookkeeping (RecoveryLocal only). With local set
+	// the recorder keeps a full entry for EVERY completed step — the
+	// cluster resumes from the last globally completed step instead of a
+	// cadence checkpoint — and rank 0 mirrors the domain grid's buddy
+	// micro-checkpoints and halo message log into micro.
+	local      bool
+	micro      *recover.Log
+	nbrs       [][]int // domain halo neighbours, from the grid geometry
+	epochSteps []int   // local steps that began a rebuild epoch, ascending
+	lastGen    int     // neighbour-list generation at the previous step
 }
 
 func (rec *recorder) onStep(w *worker, step int) {
@@ -176,7 +256,11 @@ func (rec *recorder) onStep(w *worker, step int) {
 	// preemptAt was latched before any rank started this step (see below),
 	// so every rank agrees on the forced entry.
 	ckptStep := (step+1)%rec.every == 0 || (rec.preemptAt > 0 && global == rec.preemptAt)
-	if ckptStep {
+	// Localized recovery keeps an entry for every completed step: the
+	// in-memory history is what lets the healthy ranks resume from the
+	// newest globally completed step rather than a cadence checkpoint.
+	// ckptStep still marks the (sparser) durable cadence below.
+	if ckptStep || rec.local {
 		lo, hi := w.myAtoms()
 		e := ckptEntry{
 			step: step,
@@ -191,6 +275,27 @@ func (rec *recorder) onStep(w *worker, step int) {
 			}
 		}
 		rec.hist[me] = append(rec.hist[me], e)
+	}
+	if rec.local && me == 0 {
+		if dd, ok := w.d.(*domainDecomp); ok {
+			// Rank 0's onStep sees the post-step canonical state shared by
+			// the whole grid: owned-atom counts per domain and the list
+			// generation, which bumps exactly at rebuild (migration) epochs.
+			owned := dd.prev.epoch.nOwn
+			if rec.micro == nil {
+				g := dd.geo
+				rec.micro = recover.NewLog(rec.p, g.dx, g.dy, g.dz)
+				rec.micro.BeginEpoch(-1, owned)
+				rec.nbrs = g.nbrs
+				rec.lastGen = 0
+			}
+			if w.listGen > rec.lastGen {
+				rec.micro.BeginEpoch(step, owned)
+				rec.epochSteps = append(rec.epochSteps, step)
+				rec.lastGen = w.listGen
+			}
+			rec.micro.LogStep(step, owned)
+		}
 	}
 	// The halt step itself still persists: every rank completes it (each
 	// sets only its own stop flag), so its checkpoint must reach disk
@@ -312,6 +417,12 @@ func (rcfg *ResilientConfig) validate() error {
 		return &ConfigError{"HaltAfterStep", "simulated kill needs CheckpointDir to resume from"}
 	case rcfg.Preempt != nil && rcfg.CheckpointDir == "":
 		return &ConfigError{"Preempt", "graceful preemption needs CheckpointDir to park the run in"}
+	case rcfg.Recovery == RecoveryLocal && rcfg.Decomp != DecompDomain:
+		return &ConfigError{"Recovery", "localized recovery repairs spatial domains; it needs Decomp == DecompDomain"}
+	case rcfg.CheckpointCost < 0:
+		return &ConfigError{"CheckpointCost", fmt.Sprintf("must be >= 0, got %g", rcfg.CheckpointCost)}
+	case rcfg.TuneCheckpoint && rcfg.CheckpointCost <= 0:
+		return &ConfigError{"TuneCheckpoint", "the Young/Daly interval needs CheckpointCost > 0"}
 	}
 	if rcfg.CheckpointEvery == 0 {
 		rcfg.CheckpointEvery = 1
@@ -379,6 +490,32 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 	var carried []mpi.Accounting
 	restarts := 0
 
+	// every is the durable cadence actually in effect; the Young/Daly
+	// tuner re-derives it after each observed crash, otherwise it stays at
+	// the configured fallback.
+	every := rcfg.CheckpointEvery
+	var tuner *recover.Tuner
+	if rcfg.TuneCheckpoint {
+		tuner = &recover.Tuner{Fixed: rcfg.CheckpointEvery, CkptCost: rcfg.CheckpointCost, MaxSteps: totalSteps}
+	}
+	obsGauge := func(name, help string, v float64) {
+		if reg != nil {
+			reg.Gauge(name, help).Set(v)
+		}
+	}
+	retune := func() {
+		if tuner == nil {
+			return
+		}
+		tuner.Fail(out.Wall)
+		tuner.Progress(out.Wall, stepsDone)
+		every, _ = tuner.Interval()
+		if mttf, ok := tuner.Estimate(); ok {
+			obsGauge("repro_mttf_seconds", "online mean-time-to-failure estimate (virtual s)", mttf)
+		}
+		obsGauge("repro_checkpoint_interval_steps", "durable checkpoint cadence in effect", float64(every))
+	}
+
 	var ring *md.CheckpointRing
 	if rcfg.CheckpointDir != "" {
 		ring = &md.CheckpointRing{Dir: rcfg.CheckpointDir, Keep: rcfg.KeepCheckpoints, Obs: reg}
@@ -441,13 +578,14 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			base = make([]mpi.Accounting, p)
 		}
 		rec := &recorder{
-			every: rcfg.CheckpointEvery, p: p, hist: make([][]ckptEntry, p),
+			every: every, p: p, hist: make([][]ckptEntry, p),
 			ring: ring, atomOff: blockPartition(rcfg.System.N(), p),
 			timestepFS: rcfg.MD.TimestepFS,
 			baseStep:   stepsDone, baseWall: offset, carried: base,
 			consumed: consumed, haltAfter: rcfg.HaltAfterStep,
 			preempt: rcfg.Preempt,
 			acct:    make([]mpi.Accounting, p), seen: map[int]int{},
+			local: rcfg.Recovery == RecoveryLocal,
 		}
 
 		attempt := rcfg.Config
@@ -480,6 +618,8 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			out.Energies = append(out.Energies, res.Energies...)
 			out.Wall += res.Wall
 			out.GuardTrips = append(out.GuardTrips, res.GuardEvents...)
+			out.CheckpointInterval = every
+			out.IntervalTuned = tuner != nil && tuner.Tuned()
 			if rec.halted {
 				return out, ErrHalted
 			}
@@ -550,12 +690,148 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			if restarts > maxRestarts {
 				return nil, fmt.Errorf("pmd: restart budget (%d) exhausted: %w", maxRestarts, ce)
 			}
+			if ce.At > detected {
+				detected = ce.At
+			}
+
+			if rcfg.Recovery == RecoveryLocal {
+				if p < 2 {
+					return nil, fmt.Errorf("pmd: localized recovery needs a buddy rank: %w", ce)
+				}
+				// Resume point: the newest step EVERY rank completed (the
+				// recorder keeps all of them in local mode). Healthy ranks
+				// already hold that state — nobody rewinds, the cluster
+				// parks at the next collective while the crashed domain is
+				// repaired. Rank numbering and cluster size are unchanged,
+				// which is what keeps the trajectory bitwise-identical to
+				// the fault-free run.
+				idx := rec.rewindIndex()
+				var cp *md.Checkpoint
+				keep := 0
+				if idx >= 0 {
+					cp = rec.assemble(idx, rec.atomOff, rcfg.MD.TimestepFS)
+					keep = rec.hist[0][idx].step + 1
+				}
+				// Restore epoch: the newest rebuild whose buddy
+				// micro-checkpoint the crashed rank is known to have
+				// completed — i.e. one at or before the last globally
+				// completed step. A rebuild the crash interrupted
+				// mid-migration is NOT a valid restore point: its mirror
+				// may describe atoms still in flight between domains.
+				epoch := -1
+				for _, es := range rec.epochSteps {
+					if es > idx {
+						break
+					}
+					epoch = es
+				}
+				c := ce.Rank
+				// The respawned rank replays its domain serially from the
+				// epoch: re-execution of its own compute with halo inputs
+				// re-sent from the neighbours' message logs — no
+				// collectives, so no Comm/Sync share in the replay price.
+				replayT := 0.0
+				if idx >= 0 {
+					replayT = rec.hist[c][idx].acct.Comp
+					if epoch >= 0 {
+						replayT -= rec.hist[c][epoch].acct.Comp
+					}
+					if replayT < 0 {
+						replayT = 0
+					}
+				}
+
+				if carried == nil {
+					carried = make([]mpi.Accounting, p)
+				}
+				var parked, replayLost float64
+				for i := 0; i < p; i++ {
+					var keptAcct mpi.Accounting
+					if idx >= 0 {
+						keptAcct = rec.hist[i][idx].acct
+					}
+					// Each rank loses its own partial step past the resume
+					// point plus the wait for the domain replay. (The park
+					// until crash DETECTION is symmetric with the global
+					// rewind and stays out of the Lost bucket for both.)
+					li := accts[i].Total() - keptAcct.Total() + replayT
+					if li < 0 {
+						li = 0
+					}
+					carried[i].Add(keptAcct)
+					carried[i].Lost += li
+					if i == c {
+						replayLost += li
+					} else {
+						parked += li
+					}
+				}
+				out.Breakdown.Replay += replayLost
+				out.Breakdown.Park += parked
+
+				if keep > 0 {
+					out.Energies = append(out.Energies, res.Energies[:keep]...)
+				}
+				ev := recover.Event{
+					Rank:        c,
+					EpochStep:   stepsDone + epoch + 1,
+					ResumeStep:  stepsDone + keep,
+					ReplaySteps: idx - epoch,
+					Detect:      detected,
+					Restore:     rcfg.RestartCost,
+					Replay:      replayT,
+					Park:        parked,
+				}
+				if rec.micro != nil {
+					ev.Buddy = rec.micro.Buddy(c)
+					if mc, ok := rec.micro.Restore(c, idx); ok {
+						ev.RestoredBytes = mc.Bytes
+					}
+					if c < len(rec.nbrs) {
+						ev.ResentBytes = rec.micro.Resent(rec.nbrs[c], epoch, idx)
+					}
+				}
+				out.Local = append(out.Local, ev)
+				out.Recoveries = append(out.Recoveries, RecoveryEvent{
+					CrashedRank: c,
+					DetectedAt:  detected,
+					RewindStep:  stepsDone + keep,
+					Lost:        replayLost + parked,
+					Checkpoint:  cp,
+				})
+				obsCount("repro_recoveries_total", "crash-and-rewind recovery cycles", 1)
+				obsCount("repro_recoveries_localized_total", "localized (buddy-restore) crash repairs", 1)
+				obsCount("repro_recovery_lost_seconds_total", "virtual seconds discarded by crash rewinds", replayLost+parked)
+				if inj != nil {
+					if spec, ok := inj.CrashSpecAt(c); ok {
+						consumed = append(consumed, spec)
+					}
+				}
+
+				stepsDone += keep
+				if cp != nil {
+					init = cp
+				}
+				stall := detected + rcfg.RestartCost + replayT
+				out.Wall += stall
+				offset += stall
+				retune()
+				continue
+			}
+
 			crashedNode := ce.Rank / curCfg.CPUsPerNode
 			if curCfg.Nodes < 2 {
 				return nil, fmt.Errorf("pmd: no surviving nodes after %w", ce)
 			}
-			if ce.At > detected {
-				detected = ce.At
+			if rcfg.Decomp == DecompDomain {
+				// A global rewind drops the node and re-tiles the domain
+				// grid over the survivors; reject a survivor count the PME
+				// pencils cannot tile instead of running a malformed grid.
+				// (Localized recovery above never re-tiles — its cluster
+				// size is constant.)
+				if verr := ValidateDecomp(DecompDomain, (curCfg.Nodes-1)*curCfg.CPUsPerNode, rcfg.MD.PME); verr != nil {
+					return nil, fmt.Errorf("pmd: global rewind cannot re-tile the survivors: %w", verr)
+				}
 			}
 
 			// Rewind point: the newest checkpoint every rank recorded.
@@ -590,6 +866,7 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 				survivors = append(survivors, a)
 			}
 			carried = survivors
+			out.Breakdown.Rewind += lost
 
 			if keep > 0 {
 				out.Energies = append(out.Energies, res.Energies[:keep]...)
@@ -616,6 +893,7 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 			out.Wall += detected + rcfg.RestartCost
 			offset += detected + rcfg.RestartCost
 			curCfg.Nodes--
+			retune()
 
 		default:
 			return nil, err

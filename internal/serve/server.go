@@ -19,6 +19,11 @@ import (
 	"repro/internal/pmd"
 )
 
+// maxJobWait caps the ?wait= long-poll on job status: a poller asking
+// for more still gets an answer within this bound and simply polls
+// again, so a stuck client can never pin a connection indefinitely.
+const maxJobWait = 30 * time.Second
+
 // Job lifecycle states surfaced by the status endpoint.
 const (
 	StatusQueued   = "queued"
@@ -612,6 +617,29 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case r.Method == http.MethodGet && sub == "":
+		// ?wait=<dur> long-polls: block until the job reaches a terminal
+		// state or the (bounded) wait expires, then answer with the usual
+		// snapshot. A poller gets the same response shape either way — the
+		// wait only trades HTTP round-trips for one parked connection.
+		if wv := r.URL.Query().Get("wait"); wv != "" {
+			d, err := time.ParseDuration(wv)
+			if err != nil || d < 0 {
+				writeJSON(w, http.StatusBadRequest,
+					Errf(KindBadRequest, "bad wait %q: want a non-negative duration like 5s", wv))
+				return
+			}
+			if d > maxJobWait {
+				d = maxJobWait
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-j.done: // terminal: done, failed or canceled
+			case <-t.C: // wait expired: report the in-flight status
+			case <-s.quit: // shutdown (parking is not terminal): don't hold the drain
+			case <-r.Context().Done(): // client gave up
+			}
+		}
 		st, attempts, resume, jerr := j.snapshot()
 		writeJSON(w, http.StatusOK, jobResponse{
 			ID: j.id, Status: st, Kind: j.spec.Kind,

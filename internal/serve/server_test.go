@@ -134,6 +134,70 @@ func sweepSpec() JobSpec {
 	return JobSpec{Kind: KindSweep, Atoms: 48, Steps: 1, Procs: 4, Nets: []string{"score", "tcp"}}
 }
 
+// TestServeStatusLongPoll: GET /v1/jobs/<id>?wait=<dur> blocks until the
+// job reaches a terminal state or the bounded wait expires, and answers
+// with the same 200 + snapshot shape as an immediate poll.
+func TestServeStatusLongPoll(t *testing.T) {
+	_, base := testServer(t, func(c *Config) { c.Workers = 1 })
+
+	// A poll whose wait covers the job's runtime returns the terminal
+	// state in one round-trip, woken by completion rather than the timer.
+	code, jr, _ := postJob(t, base, "a", runSpec(2), 0)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: got %d, want 202", code)
+	}
+	start := time.Now()
+	resp, err := http.Get(base + "/v1/jobs/" + jr.ID + "?wait=20s")
+	if err != nil {
+		t.Fatalf("GET ?wait: %v", err)
+	}
+	var got jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long poll: got %d, want 200", resp.StatusCode)
+	}
+	if got.Status != StatusDone {
+		t.Fatalf("long poll ended in %q, want %q", got.Status, StatusDone)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("long poll was not woken by completion (took %v)", elapsed)
+	}
+
+	// An expired wait reports the in-flight status instead of blocking:
+	// with the lone worker busy, a fresh job is still queued or running
+	// when a 1ms wait runs out — and the response is still a 200.
+	_, slow, _ := postJob(t, base, "a", runSpec(3), 0)
+	resp, err = http.Get(base + "/v1/jobs/" + slow.ID + "?wait=1ms")
+	if err != nil {
+		t.Fatalf("GET short wait: %v", err)
+	}
+	got = jobResponse{}
+	_ = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("short wait: got %d, want 200", resp.StatusCode)
+	}
+	if got.Status == StatusDone || got.Status == StatusFailed {
+		t.Fatalf("1ms wait outlived a multi-step run: status %q", got.Status)
+	}
+	waitStatus(t, base, slow.ID, StatusDone, 30*time.Second)
+
+	// Malformed and negative waits are rejected before any blocking.
+	for _, wv := range []string{"bogus", "-5s"} {
+		resp, err := http.Get(base + "/v1/jobs/" + slow.ID + "?wait=" + wv)
+		if err != nil {
+			t.Fatalf("GET wait=%s: %v", wv, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("wait=%s: got %d, want 400", wv, resp.StatusCode)
+		}
+	}
+}
+
 // TestServeRunByteIdentity: the core contract — bytes served for an
 // accepted run equal a direct computation of the same spec, and an
 // identical resubmission is answered from the store without requeueing.
