@@ -44,7 +44,9 @@ import (
 
 	"repro/internal/benchfmt"
 	"repro/internal/core"
+	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/pmd"
 )
 
 // The report schema lives in internal/benchfmt so cmd/loadgen can emit
@@ -340,6 +342,30 @@ func main() {
 	}
 	rep.BaselineWallS = *baseWall
 	rep.ObsManifest = *obsManifest
+
+	// Per-phase imbalance provenance: one quick 4-rank run per
+	// decomposition, read off the run's attribution profile. Deterministic
+	// (virtual time), so drift here means the simulation changed.
+	imb := core.NewStudy(core.Options{Quick: true})
+	for _, decomp := range []string{"replicated", "domain"} {
+		dk, err := pmd.ParseDecomp(decomp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		res, err := imb.Suite.RunDecomp(netmodel.TCPGigE(), 4, 1, pmd.MiddlewareMPI, dk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		for _, ph := range res.Profile(nil).Phases {
+			rep.PhaseImbalance = append(rep.PhaseImbalance, benchfmt.PhaseImbalance{
+				Config:    decomp + "/p=4",
+				Phase:     ph.Phase,
+				Imbalance: ph.Imbalance,
+			})
+		}
+	}
 
 	if *obsManifest != "" || *metricsOut != "" {
 		reg := obs.NewRegistry()

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,7 @@ import (
 const obsDrainTimeout = 2 * time.Second
 
 func main() {
-	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, ceiling, recovery, or all")
+	figure := flag.String("figure", "all", "experiment to reproduce: 1..9, factorial, effects, ablation, scalelimit, ceiling, recovery, attribution, or all")
 	format := flag.String("format", "text", "output format: text or csv")
 	steps := flag.Int("steps", 0, "MD steps per measurement (default: the paper's 10)")
 	procs := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,8)")
@@ -52,6 +53,7 @@ func main() {
 	tracefile := flag.String("trace", "", "write a Go execution trace to this file")
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
 	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
+	profileOut := flag.String("profile-out", "", "write the per-cell attribution profiles (JSON map keyed network/decomp/p) to this file; requires -figure attribution")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -86,6 +88,11 @@ func main() {
 	}
 	if *skin < 0 || (*skin > 0 && *tuneSkin) {
 		fmt.Fprintln(os.Stderr, "charmmbench: -skin must be >= 0 and exclusive with -tune-skin")
+		obsDrain()
+		os.Exit(2)
+	}
+	if *profileOut != "" && *figure != "attribution" {
+		fmt.Fprintln(os.Stderr, "charmmbench: -profile-out requires -figure attribution")
 		obsDrain()
 		os.Exit(2)
 	}
@@ -168,7 +175,7 @@ func main() {
 			if id == "1" || id == "2" {
 				continue // diagrams have no data rows
 			}
-			if id == "ceiling" || id == "recovery" {
+			if id == "ceiling" || id == "recovery" || id == "attribution" {
 				continue // hundreds-of-ranks sweeps; request them explicitly via -figure
 			}
 			path := filepath.Join(*outdir, "figure_"+id+".csv")
@@ -198,6 +205,27 @@ func main() {
 	}
 	if err != nil {
 		die(err)
+	}
+
+	// All attribution cells are memoized by the run cache at this point, so
+	// re-deriving their profiles costs no extra simulation.
+	if *profileOut != "" {
+		res, aerr := study.Suite.Attribution()
+		if aerr != nil {
+			die("profile:", aerr)
+		}
+		profs, perr := res.Profiles(study.Suite)
+		if perr != nil {
+			die("profile:", perr)
+		}
+		buf, jerr := json.MarshalIndent(profs, "", "  ")
+		if jerr != nil {
+			die("profile:", jerr)
+		}
+		if werr := os.WriteFile(*profileOut, append(buf, '\n'), 0o644); werr != nil {
+			die("profile:", werr)
+		}
+		fmt.Fprintf(os.Stderr, "profile: %d cell profiles written to %s\n", len(profs), *profileOut)
 	}
 
 	if *verbose {

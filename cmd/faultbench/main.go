@@ -61,6 +61,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /runz, /debug/pprof) on this address")
 	obsManifest := flag.String("obs-manifest", "", "write the JSON run manifest (provenance + final metrics) to this file")
+	profileOut := flag.String("profile-out", "", "write the newest faulted run's bottleneck-attribution profile (perf.Profile JSON, recovery bucket included) to this file")
 	flag.Parse()
 
 	obsDrain := func() {}
@@ -279,6 +280,22 @@ func main() {
 	}
 	if werr != nil {
 		die(werr)
+	}
+
+	// The attribution view of the newest faulted run: same buckets as the
+	// table above plus the recovery detail (rewinds, lost work, restarts).
+	if *profileOut != "" {
+		if last == nil {
+			die("profile: no faulted run to profile")
+		}
+		buf, perr := last.Profile(nil).Encode()
+		if perr != nil {
+			die("profile:", perr)
+		}
+		if werr := os.WriteFile(*profileOut, buf, 0o644); werr != nil {
+			die("profile:", werr)
+		}
+		fmt.Fprintln(os.Stderr, "profile: written to", *profileOut)
 	}
 
 	if *obsManifest != "" {

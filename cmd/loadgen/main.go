@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -35,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -154,6 +156,7 @@ type harness struct {
 	lat      *latencyTracker // submit-to-done latency per job kind
 
 	submitted, sheds, coalesced, resumes, restarts, corrupted, badShed int64
+	sseStreams, sseSteps, sseTerminals, sseReconnects                  int64
 }
 
 func (h *harness) cfg() serve.Config {
@@ -260,7 +263,13 @@ func (h *harness) client(c int, rng *rand.Rand, stop <-chan struct{}) {
 		h.mu.Lock()
 		h.accepted[id] = spec
 		h.mu.Unlock()
-		h.verify(id, spec, stop)
+		// A third of the run jobs are followed over the SSE stream instead
+		// of the polling loop; settle re-verifies anything left unfinished.
+		if spec.Kind == serve.KindRun && rng.Intn(3) == 0 {
+			h.sseVerify(id, spec, stop)
+		} else {
+			h.verify(id, spec, stop)
+		}
 		time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
 	}
 }
@@ -368,6 +377,143 @@ func (h *harness) verify(id string, spec serve.JobSpec, stop <-chan struct{}) bo
 			time.Sleep(15 * time.Millisecond)
 		}
 	}
+}
+
+// sseVerify follows one run job on GET /v1/jobs/<id>/events and checks
+// the streaming contract: event ids strictly ascend, step frames parse
+// and carry id step+1, exactly one terminal frame arrives, and for a done
+// job its data bytes equal the independent reference (hence the polled
+// result, which check compares against the same reference). A dropped
+// stream — a chaos kill, typically — reconnects with Last-Event-ID and
+// must see nothing it already saw; an unknown id after a restart is
+// resubmitted first (submission is idempotent).
+func (h *harness) sseVerify(id string, spec serve.JobSpec, stop <-chan struct{}) bool {
+	lastID := 0
+	sawTerminal := false
+	var terminalStatus string
+	var terminalData []byte
+	for !sawTerminal {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		req, err := http.NewRequest("GET", h.baseURL()+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			return false
+		}
+		if lastID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+			atomic.AddInt64(&h.sseReconnects, 1)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil { // outage window
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			resp.Body.Close()
+			if _, ok := h.submit("sse", spec); !ok {
+				time.Sleep(50 * time.Millisecond)
+			}
+			continue
+		default:
+			resp.Body.Close()
+			h.fail("events for %s: status %d", id, resp.StatusCode)
+			return false
+		}
+		atomic.AddInt64(&h.sseStreams, 1)
+		ok := h.consumeSSE(resp.Body, id, &lastID, &sawTerminal, &terminalStatus, &terminalData)
+		resp.Body.Close()
+		if !ok {
+			return false
+		}
+	}
+	if terminalStatus != "done" {
+		h.fail("sse %s: terminal status %q", id, terminalStatus)
+		return false
+	}
+	atomic.AddInt64(&h.sseTerminals, 1)
+	want, err := h.reference(spec)
+	if err != nil {
+		h.fail("reference computation for %s: %v", specKey(spec), err)
+		return false
+	}
+	if !bytes.Equal(terminalData, want) {
+		h.fail("sse %s: terminal bytes differ from direct computation of %s", id, specKey(spec))
+		return false
+	}
+	h.lat.completed(id, string(spec.Kind))
+	return h.check(id, spec)
+}
+
+// consumeSSE parses one text/event-stream connection until it ends —
+// the server closes it after the terminal frame, or it drops on a crash
+// (the caller then reconnects). Returns false on a contract violation.
+func (h *harness) consumeSSE(r io.Reader, id string, lastID *int, sawTerminal *bool, status *string, data *[]byte) bool {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var evID, evType string
+	var evData []string
+	flush := func() bool {
+		defer func() { evID, evType, evData = "", "", nil }()
+		if evID == "" && evType == "" && len(evData) == 0 {
+			return true
+		}
+		if evID != "" {
+			n, err := strconv.Atoi(evID)
+			if err != nil || n <= *lastID {
+				h.fail("sse %s: id %q not ascending past %d", id, evID, *lastID)
+				return false
+			}
+			*lastID = n
+		}
+		payload := []byte(strings.Join(evData, "\n"))
+		switch evType {
+		case "progress": // lifecycle frames carry no id and are not replayed
+		case "step":
+			var s struct {
+				Step int `json:"step"`
+			}
+			if err := json.Unmarshal(payload, &s); err != nil {
+				h.fail("sse %s: unparseable step frame: %v", id, err)
+				return false
+			}
+			if evID == "" || s.Step+1 != *lastID {
+				h.fail("sse %s: step %d under event id %d", id, s.Step, *lastID)
+				return false
+			}
+			atomic.AddInt64(&h.sseSteps, 1)
+		default: // terminal: the event type is the job's final status
+			if *sawTerminal {
+				h.fail("sse %s: second terminal frame %q", id, evType)
+				return false
+			}
+			*sawTerminal = true
+			*status = evType
+			*data = append([]byte(nil), payload...)
+		}
+		return true
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if !flush() {
+				return false
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			evID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			evType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			evData = append(evData, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return flush()
 }
 
 type statusResp struct {
@@ -503,6 +649,23 @@ func (h *harness) settle(budget time.Duration) bool {
 			}
 		}
 	}
+	// One guaranteed end-to-end SSE pass on a finished run: even when this
+	// server incarnation answered from the store, the events stream must
+	// deliver exactly one terminal whose bytes match the polled result.
+	h.mu.Lock()
+	var sseID string
+	var sseSpec serve.JobSpec
+	for id, spec := range h.accepted {
+		if spec.Kind == serve.KindRun && h.verified[id] {
+			sseID, sseSpec = id, spec
+			break
+		}
+	}
+	h.mu.Unlock()
+	if sseID != "" {
+		h.sseVerify(sseID, sseSpec, never)
+	}
+
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	unverified := 0
@@ -535,6 +698,8 @@ func (h *harness) report(ok bool, chaos bool, quantum time.Duration) bool {
 	fmt.Printf("loadgen: submitted=%d accepted=%d verified=%d sheds=%d coalesced=%d resumes=%d restarts=%d corrupted=%d\n",
 		h.submitted, len(h.accepted), len(h.verified), h.sheds, h.coalesced,
 		h.resumes, h.restarts, h.corrupted)
+	fmt.Printf("loadgen: sse streams=%d steps=%d terminals=%d reconnects=%d\n",
+		h.sseStreams, h.sseSteps, h.sseTerminals, h.sseReconnects)
 	for _, line := range h.lat.summary() {
 		fmt.Println("loadgen:", line)
 	}
@@ -547,6 +712,10 @@ func (h *harness) report(ok bool, chaos bool, quantum time.Duration) bool {
 	if h.sheds == 0 {
 		ok = false
 		h.failures = append(h.failures, "burst tenant never shed: admission control unexercised")
+	}
+	if h.sseTerminals == 0 {
+		ok = false
+		h.failures = append(h.failures, "SSE leg never reached a terminal event")
 	}
 	if quantum > 0 && h.resumes == 0 {
 		ok = false

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/pmd"
 	"repro/internal/topol"
 	"repro/internal/work"
@@ -61,6 +63,7 @@ func main() {
 	tuneWindow := flag.Int("tune-window", 0, "timed steps per skin-tuner candidate (0 = default 20)")
 	ranks := flag.Int("ranks", 1, "simulated MPI ranks (1 = the plain sequential engine; > 1 runs the simulated cluster over Gigabit TCP)")
 	decompFlag := flag.String("decomp", "replicated", "decomposition for -ranks > 1: replicated or domain")
+	profileOut := flag.String("profile-out", "", "write the bottleneck-attribution profile (perf.Profile JSON) to this file; requires -ranks > 1")
 	flag.Parse()
 
 	if *steps < 0 {
@@ -119,6 +122,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *profileOut != "" && *ranks == 1 {
+		// Attribution needs the per-rank phase decomposition of the
+		// simulated cluster; the sequential engine has nothing to attribute.
+		fmt.Fprintln(os.Stderr, "mdrun: -profile-out requires -ranks > 1")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *ranks > 1 {
 		// The simulated-cluster path measures the PME workload and reports
 		// virtual time; the host-side conveniences below have no meaning (or
@@ -168,12 +178,33 @@ func main() {
 		obsDrain()
 		os.Exit(1)
 	}
+	// The attribution profile is computed after the run; until then the
+	// obs server's /profilez answers 503 so a scraper can tell "not yet"
+	// from "never" (404 when -profile-out is off entirely).
+	var profMu sync.Mutex
+	var profJSON []byte
+	setProfile := func(buf []byte) {
+		profMu.Lock()
+		profJSON = buf
+		profMu.Unlock()
+	}
 	if *obsAddr != "" {
-		srv, err := obs.NewServer(*obsAddr, reg, obs.ServeOptions{
+		opts := obs.ServeOptions{
 			Status: func() []string {
 				return []string{fmt.Sprintf("mdrun: step %.0f of %d", stepGauge.Value(), *steps)}
 			},
-		})
+		}
+		if *profileOut != "" {
+			opts.Profile = func() ([]byte, error) {
+				profMu.Lock()
+				defer profMu.Unlock()
+				if profJSON == nil {
+					return nil, fmt.Errorf("run still in progress")
+				}
+				return profJSON, nil
+			}
+		}
+		srv, err := obs.NewServer(*obsAddr, reg, opts)
 		if err != nil {
 			die(err)
 		}
@@ -229,6 +260,10 @@ func main() {
 		// rank; the run reports per-step energies plus the virtual wall
 		// clock and phase split of the simulated platform.
 		rec := obs.NewRecorder(reg)
+		var tl *perf.Timeline
+		if *profileOut != "" {
+			tl = perf.NewTimeline(*ranks, *steps)
+		}
 		res, err := pmd.Run(
 			cluster.Config{Nodes: *ranks, CPUsPerNode: 1, Net: netmodel.TCPGigE(), Seed: *seed},
 			cluster.PentiumIII1GHz(),
@@ -240,6 +275,7 @@ func main() {
 				Decomp:     dk,
 				Init:       engine.Snapshot(),
 				Obs:        rec,
+				Perf:       tl,
 			})
 		if err != nil {
 			die(err)
@@ -256,6 +292,22 @@ func main() {
 		c, pm := res.PhaseTotals()
 		fmt.Printf("virtual wall: %.3f s | classic comp %.3f comm %.3f sync %.3f | pme comp %.3f comm %.3f sync %.3f\n",
 			res.Wall, c.Comp, c.Comm, c.Sync, pm.Comp, pm.Comm, pm.Sync)
+		if *profileOut != "" {
+			prof := res.Profile(tl)
+			prof.RecordObs(reg)
+			buf, err := prof.Encode()
+			if err != nil {
+				die("profile:", err)
+			}
+			setProfile(buf)
+			if err := os.WriteFile(*profileOut, buf, 0o644); err != nil {
+				die("profile:", err)
+			}
+			a := prof.Attribution
+			fmt.Printf("attribution: %s-bound | compute %.3f comm %.3f wait %.3f imbalance %.3f recovery %.3f of %.3f s\n",
+				a.Dominant, a.ComputeSeconds, a.CommSeconds, a.WaitSeconds, a.ImbalanceSeconds, a.RecoverySeconds, a.WallSeconds)
+			fmt.Printf("profile: written to %s\n", *profileOut)
+		}
 		if *obsManifest != "" {
 			m := obs.NewManifest()
 			m.Seeds["system"] = *seed
@@ -263,6 +315,7 @@ func main() {
 			m.Config["ranks"] = *ranks
 			m.Config["decomp"] = dk.String()
 			m.Config["kernel_workers"] = *kernelWorkers
+			m.Config["profile_out"] = *profileOut
 			m.Attach(reg)
 			if err := m.WriteFile(*obsManifest); err != nil {
 				die("manifest:", err)

@@ -26,6 +26,16 @@ type BenchEntry struct {
 	Baseline *Measurement `json:"baseline,omitempty"`
 }
 
+// PhaseImbalance is one phase's load-imbalance ratio (max/mean of the
+// per-rank compute totals) in a named run configuration. Recorded as
+// provenance for trend reading; the -check gate ignores it — imbalance is
+// a property of the simulated platform, not of host performance.
+type PhaseImbalance struct {
+	Config    string  `json:"config"` // e.g. "replicated/p=4"
+	Phase     string  `json:"phase"`
+	Imbalance float64 `json:"imbalance_ratio"`
+}
+
 // Report is the BENCH_host.json schema. Suite, Samples and ExactKernels
 // are provenance: -check refuses to compare reports that disagree on them
 // (different kernel plans or suites measure different code).
@@ -46,4 +56,9 @@ type Report struct {
 	FigureAllTapes  int          `json:"figure_all_tape_records"`
 	FigureAllReplay int          `json:"figure_all_tape_replays"`
 	Benchmarks      []BenchEntry `json:"benchmarks"`
+
+	// PhaseImbalance carries the per-phase imbalance ratios of one quick
+	// simulated run per decomposition (see cmd/benchreport). Provenance
+	// only — not compared by -check.
+	PhaseImbalance []PhaseImbalance `json:"phase_imbalance,omitempty"`
 }

@@ -107,7 +107,7 @@ func (s *Study) Stats() figures.RunStats { return s.Suite.Stats() }
 
 // FigureIDs lists the reproducible experiment identifiers.
 func FigureIDs() []string {
-	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit", "ceiling", "recovery"}
+	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit", "ceiling", "recovery", "attribution"}
 	sort.Strings(ids)
 	return ids
 }
@@ -231,13 +231,23 @@ func (s *Study) Figure(id string, w io.Writer, format Format) error {
 			return figures.CSVRecovery(w, res)
 		}
 		return figures.RenderRecovery(w, res)
+	case "attribution":
+		res, err := s.Suite.Attribution()
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return figures.CSVAttribution(w, res)
+		}
+		return figures.RenderAttribution(w, res)
 	}
 	return fmt.Errorf("core: unknown figure %q (known: %v)", id, FigureIDs())
 }
 
 // All regenerates every paper figure in text form, separated by blank
-// lines. The ceiling and recovery studies are not part of the paper and
-// sweep to hundreds of ranks, so they only run when requested by id.
+// lines. The ceiling, recovery and attribution studies are not part of
+// the paper and sweep to hundreds of ranks, so they only run when
+// requested by id.
 func (s *Study) All(w io.Writer) error {
 	for _, id := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "factorial", "effects", "ablation", "scalelimit"} {
 		if err := s.Figure(id, w, FormatText); err != nil {

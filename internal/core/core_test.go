@@ -13,7 +13,7 @@ func quickStudy() *Study { return sharedStudy }
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("ids = %v", ids)
 	}
 }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Table-driven 0.0.4 escaping: label values escape backslash, double
+// quote and newline; HELP escapes backslash and newline only. Invalid
+// UTF-8 bytes must pass through untouched — escaping iterates bytes, and
+// a rune loop would rewrite them to U+FFFD, corrupting the series key.
+func TestEscapeLabelTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		{`\n`, `\\n`},                    // a literal backslash-n, not a newline
+		{"tab\tand\rCR", "tab\tand\rCR"}, // only the three 0.0.4 bytes escape
+		{"\xff\xfe", "\xff\xfe"},         // invalid UTF-8 passes through
+		{"a\xffb\"c", "a\xffb\\\"c"},     // mixed: escape applies around raw bytes
+		{"é☃", "é☃"},                     // multi-byte runes untouched
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeHelpTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain help", "plain help"},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`quo"te stays`, `quo"te stays`}, // HELP leaves double quotes alone
+		{"\xff\n", "\xff\\n"},            // invalid UTF-8 passes through
+	}
+	for _, c := range cases {
+		if got := escapeHelp(c.in); got != c.want {
+			t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Separator-injection regression: under a plain k=v; encoding the label
+// sets {a:"x", b:"y"} and {a:"x;b=y"} serialize identically and silently
+// merge into one series. The length-prefixed signature must keep them
+// distinct.
+func TestSignatureSeparatorInjection(t *testing.T) {
+	honest := []Label{L("a", "x"), L("b", "y")}
+	forged := []Label{L("a", "x;b=y")}
+	if signature(honest) == signature(forged) {
+		t.Fatalf("signature collision: %q", signature(honest))
+	}
+
+	reg := NewRegistry()
+	reg.Counter("repro_sig_total", "", honest...).Add(1)
+	reg.Counter("repro_sig_total", "", forged...).Add(10)
+	if got := reg.Value("repro_sig_total", honest...); got != 1 {
+		t.Fatalf("honest series = %g, want 1 (merged with forged?)", got)
+	}
+	if got := reg.Value("repro_sig_total", forged...); got != 10 {
+		t.Fatalf("forged series = %g, want 10", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`repro_sig_total{a="x",b="y"} 1`,
+		`repro_sig_total{a="x;b=y"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// signature must be injective for values containing its own metacharacters
+// in every position.
+func TestSignatureAdversarialPairs(t *testing.T) {
+	pairs := [][2][]Label{
+		{{L("a", "x"), L("b", "y")}, {L("a", "x;b=y")}},
+		{{L("a", "1:b")}, {L("a", "1"), L("b", "")}},
+		{{L("k", "v;")}, {L("k", "v"), L("z", "")}},
+		{{L("a", "="), L("b", ";")}, {L("a", "=;b=;")}},
+		{{L("a", "")}, {L("a", ";")}},
+	}
+	for _, p := range pairs {
+		if signature(p[0]) == signature(p[1]) {
+			t.Errorf("signature(%v) == signature(%v) == %q", p[0], p[1], signature(p[0]))
+		}
+	}
+}
+
+// Snapshot and WriteProm racing concurrent writers must be safe (run
+// under -race) and must observe internally consistent histograms.
+func TestConcurrentSnapshotAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := reg.Counter("repro_race_total", "", L("rank", string(rune('0'+n))))
+			h := reg.Histogram("repro_race_seconds", "", ExpBuckets(0.001, 4, 6))
+			g := reg.Gauge("repro_race_gauge", "")
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(j%7) * 0.01)
+				g.Set(float64(j))
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		for _, p := range reg.Snapshot() {
+			if p.Type != "histogram" {
+				continue
+			}
+			// Cumulative buckets end at the sample count: a torn
+			// histogram snapshot would break this invariant.
+			if p.Cum[len(p.Cum)-1] != p.Count {
+				t.Fatalf("torn histogram snapshot: +Inf cum %d != count %d",
+					p.Cum[len(p.Cum)-1], p.Count)
+			}
+		}
+		var b strings.Builder
+		if err := reg.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Degenerate ExpBuckets inputs panic rather than returning an empty or
+// non-increasing ladder that Histogram would then reject confusingly.
+func TestExpBucketsDegeneratePanics(t *testing.T) {
+	cases := []struct {
+		name          string
+		start, factor float64
+		n             int
+	}{
+		{"n=0", 1, 2, 0},
+		{"negative n", 1, 2, -3},
+		{"factor=1", 1, 1, 4},
+		{"factor<1", 1, 0.5, 4},
+		{"start=0", 0, 2, 4},
+		{"negative start", -1, 2, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExpBuckets(%g, %g, %d) did not panic", c.start, c.factor, c.n)
+				}
+			}()
+			ExpBuckets(c.start, c.factor, c.n)
+		})
+	}
+}

@@ -9,11 +9,16 @@ import (
 )
 
 // escapeLabel escapes a label value for the Prometheus text exposition
-// format: backslash, double quote and newline.
+// format (0.0.4): backslash, double quote and newline. Iterates bytes,
+// not runes — a rune loop rewrites invalid UTF-8 to U+FFFD, corrupting
+// values that were never part of the escape set.
 func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
 	var b strings.Builder
-	for _, r := range v {
-		switch r {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
 		case '\\':
 			b.WriteString(`\\`)
 		case '"':
@@ -21,23 +26,27 @@ func escapeLabel(v string) string {
 		case '\n':
 			b.WriteString(`\n`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()
 }
 
-// escapeHelp escapes a HELP string: backslash and newline.
+// escapeHelp escapes a HELP string: backslash and newline only — the
+// format leaves double quotes alone outside label position.
 func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
 	var b strings.Builder
-	for _, r := range v {
-		switch r {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
 		case '\\':
 			b.WriteString(`\\`)
 		case '\n':
 			b.WriteString(`\n`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()

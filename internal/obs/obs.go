@@ -198,6 +198,9 @@ func NewRegistry() *Registry {
 }
 
 // signature serializes labels into a stable map key (sorted by key).
+// Every field is length-prefixed: separator bytes alone are not injective
+// when label VALUES may contain them — {a:"x", b:"y"} and
+// {a:"x<sep>b<sep>y"} would collide and silently merge two series.
 func signature(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -206,10 +209,7 @@ func signature(labels []Label) string {
 	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
 	var b strings.Builder
 	for _, l := range ls {
-		b.WriteString(l.K)
-		b.WriteByte(1)
-		b.WriteString(l.V)
-		b.WriteByte(2)
+		fmt.Fprintf(&b, "%d:%s=%d:%s;", len(l.K), l.K, len(l.V), l.V)
 	}
 	return b.String()
 }

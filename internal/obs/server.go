@@ -23,11 +23,12 @@ import (
 // The server runs on its own goroutine and never blocks the simulation:
 // handlers only read registry snapshots.
 type Server struct {
-	reg    *Registry
-	status func() []string // optional extra /runz lines
-	ln     net.Listener
-	srv    *http.Server
-	start  time.Time
+	reg     *Registry
+	status  func() []string        // optional extra /runz lines
+	profile func() ([]byte, error) // optional /profilez payload
+	ln      net.Listener
+	srv     *http.Server
+	start   time.Time
 }
 
 // ServeOptions tunes NewServer.
@@ -35,6 +36,12 @@ type ServeOptions struct {
 	// Status, when non-nil, contributes run-specific lines to /runz
 	// (e.g. "figure 5/13" or "step 42/500").
 	Status func() []string
+
+	// Profile, when non-nil, serves the run's bottleneck-attribution
+	// profile (perf.Profile JSON) at /profilez. Called per request so a
+	// live run can serve its latest analysis; an error becomes a 503.
+	// When nil, /profilez is a 404.
+	Profile func() ([]byte, error)
 }
 
 // NewServer binds addr (host:port; an empty host binds all interfaces,
@@ -45,11 +52,12 @@ func NewServer(addr string, reg *Registry, opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, status: opts.Status, ln: ln, start: time.Now()}
+	s := &Server{reg: reg, status: opts.Status, profile: opts.Profile, ln: ln, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/runz", s.handleRunz)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -90,7 +98,23 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "repro observability endpoints:")
 	fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
 	fmt.Fprintln(w, "  /runz         live run state")
+	fmt.Fprintln(w, "  /profilez     bottleneck-attribution profile (when enabled)")
 	fmt.Fprintln(w, "  /debug/pprof  Go profiling")
+}
+
+// handleProfilez serves the attribution profile JSON, when configured.
+func (s *Server) handleProfilez(w http.ResponseWriter, _ *http.Request) {
+	if s.profile == nil {
+		http.Error(w, "no profile source configured (run with -profile-out)", http.StatusNotFound)
+		return
+	}
+	buf, err := s.profile()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("profile unavailable: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -196,3 +196,61 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatalf("metrics not round-tripped: %+v", got.Metrics)
 	}
 }
+
+// /profilez serves the attribution profile when a source is configured,
+// 404s when it is not, and maps a source error to 503.
+func TestServerProfilez(t *testing.T) {
+	reg := NewRegistry()
+
+	srv, err := NewServer("127.0.0.1:0", reg, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, "http://"+srv.Addr()+"/profilez")
+	srv.Close(context.Background())
+	if code != 404 {
+		t.Fatalf("/profilez without source: status %d, want 404", code)
+	}
+	if !strings.Contains(body, "no profile source") {
+		t.Fatalf("/profilez 404 body %q", body)
+	}
+
+	var fail error
+	payload := []byte(`{"schema":"repro/perf/v1","ranks":2}` + "\n")
+	srv, err = NewServer("127.0.0.1:0", reg, ServeOptions{
+		Profile: func() ([]byte, error) { return payload, fail },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/profilez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/profilez status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/profilez content-type %q", ct)
+	}
+	if string(body2) != string(payload) {
+		t.Fatalf("/profilez body %q, want %q", body2, payload)
+	}
+	if _, idx := get(t, base+"/"); !strings.Contains(idx, "/profilez") {
+		t.Fatalf("index does not mention /profilez")
+	}
+
+	fail = fmt.Errorf("profiler not ready")
+	code, body = get(t, base+"/profilez")
+	if code != 503 {
+		t.Fatalf("/profilez with failing source: status %d, want 503", code)
+	}
+	if !strings.Contains(body, "profiler not ready") {
+		t.Fatalf("/profilez 503 body %q", body)
+	}
+}

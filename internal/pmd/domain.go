@@ -31,7 +31,7 @@ type domainGeometry struct {
 	// r2c lines); transpose 1 re-splits the half spectrum (h1 = K1/2+1)
 	// over p2 gathering full y; transpose 2 re-splits y over p3
 	// gathering full z.
-	h1                        int
+	h1                         int
 	yOff2, zOff3, xsOff, ysOff []int
 
 	// Static collective size matrices (diagonals zero — local data does
@@ -390,7 +390,13 @@ func (d *domainDecomp) drift(w *worker, step int) {
 	// the half-shell halo (each domain ships its owned atoms to every
 	// higher-id coupled neighbour).
 	if st.rebuilt {
+		if tl := w.cfg.Perf; tl != nil && me == 0 {
+			tl.NamedMatrix("migration", st.migration)
+		}
 		w.c.AlltoallvSparse(st.migration)
+	}
+	if tl := w.cfg.Perf; tl != nil && me == 0 {
+		tl.NamedMatrix("halo", st.epoch.haloSizes)
 	}
 	w.c.AlltoallvSparse(st.epoch.haloSizes)
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/topol"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -119,10 +120,29 @@ type Config struct {
 	// rewind-and-degrade to exact kernels when the policy allows.
 	Guard guard.Config
 
+	// OnStep, when non-nil, runs on rank 0 after every completed step
+	// with the global step index, the step's classic/PME timing split
+	// and its energy report. Unlike Init or Guard it does not disable
+	// the physics tape: a replayed run substitutes the taped energies
+	// before the hook fires, so a memoized run streams the same
+	// telemetry a real one does. Under RunResilient the index is global
+	// across attempts, and steps replayed after a rewind re-fire —
+	// consumers that need each step once must filter monotonically.
+	OnStep func(step int, timing StepTiming, energy md.EnergyReport)
+
+	// Perf, when non-nil, receives every rank's per-step phase samples
+	// plus the collective byte matrices (recorded once per collective,
+	// from rank 0's view) for bottleneck attribution. See Result.Profile.
+	Perf *perf.Timeline
+
 	// onStep, when non-nil, runs on every rank at the end of every
 	// completed step (after the step barrier, before the next step). The
 	// resilient driver hooks its checkpoint recorder here.
 	onStep func(w *worker, step int)
+
+	// perfBase is the global-step offset the resilient driver applies to
+	// Perf samples and OnStep indices of resumed attempts.
+	perfBase int
 }
 
 // PhaseSample is the measured decomposition of one phase of one step on

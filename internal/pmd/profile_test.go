@@ -1,0 +1,243 @@
+package pmd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/md"
+	"repro/internal/netmodel"
+	"repro/internal/perf"
+)
+
+// attributionError returns the relative identity violation of a profile:
+// |sum(buckets) − wall| / wall.
+func attributionError(p *perf.Profile) float64 {
+	if p.WallSeconds == 0 {
+		return 0
+	}
+	return math.Abs(p.Attribution.Sum()-p.WallSeconds) / p.WallSeconds
+}
+
+func TestProfileIdentityAndTelemetry(t *testing.T) {
+	sys := testSystem(64, 24, 21)
+	const steps, p = 3, 4
+	tl := perf.NewTimeline(p, steps)
+	var hookSteps []int
+	var hookEnergies []md.EnergyReport
+	cfg := Config{
+		System:     sys,
+		MD:         testMDConfig(),
+		Steps:      steps,
+		Middleware: MiddlewareMPI,
+		Perf:       tl,
+		OnStep: func(step int, st StepTiming, e md.EnergyReport) {
+			hookSteps = append(hookSteps, step)
+			hookEnergies = append(hookEnergies, e)
+			if st.Classic.Wall <= 0 {
+				t.Errorf("step %d: hook got empty classic sample", step)
+			}
+		},
+	}
+	res, err := Run(clusterCfg(p, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hookSteps) != steps {
+		t.Fatalf("OnStep fired %d times, want %d", len(hookSteps), steps)
+	}
+	for i, s := range hookSteps {
+		if s != i {
+			t.Fatalf("OnStep order: %v", hookSteps)
+		}
+		if hookEnergies[i] != res.Energies[i] {
+			t.Fatalf("step %d: hook energy differs from result", i)
+		}
+	}
+
+	prof := res.Profile(tl)
+	if e := attributionError(prof); e > 0.01 {
+		t.Fatalf("attribution identity violated: %.4f relative error (buckets %+v, wall %g)",
+			e, prof.Attribution, prof.WallSeconds)
+	}
+	if prof.Attribution.ComputeSeconds <= 0 || prof.Attribution.CommSeconds <= 0 {
+		t.Fatalf("empty buckets: %+v", prof.Attribution)
+	}
+	if prof.Steps != steps || prof.Ranks != p {
+		t.Fatalf("profile shape: steps=%d ranks=%d", prof.Steps, prof.Ranks)
+	}
+	// The live timeline observed the replicated path's collectives.
+	if len(prof.Collectives) == 0 || prof.CommMatrix == nil {
+		t.Fatalf("live timeline recorded no communication: %+v", prof.Collectives)
+	}
+	var gathered bool
+	for _, c := range prof.Collectives {
+		if c.Kind == "allgatherv" && c.Calls > 0 && c.Bytes > 0 {
+			gathered = true
+		}
+	}
+	if !gathered {
+		t.Fatalf("no allgatherv in collectives: %+v", prof.Collectives)
+	}
+	for _, ph := range prof.Phases {
+		if ph.Imbalance < 1 {
+			t.Fatalf("phase %s imbalance %g < 1", ph.Phase, ph.Imbalance)
+		}
+	}
+
+	// The offline rebuild (memoized-figure path) agrees on everything
+	// the samples determine.
+	off := res.Profile(nil)
+	if off.Attribution != prof.Attribution {
+		t.Fatalf("offline attribution differs:\n%+v\n%+v", off.Attribution, prof.Attribution)
+	}
+	if off.CriticalPath.Seconds != prof.CriticalPath.Seconds {
+		t.Fatalf("offline critical path differs: %g vs %g",
+			off.CriticalPath.Seconds, prof.CriticalPath.Seconds)
+	}
+	if len(off.Collectives) != 0 {
+		t.Fatal("offline rebuild invented collectives")
+	}
+}
+
+func TestProfileDomainNamedMatrices(t *testing.T) {
+	sys := testSystem(64, 24, 22)
+	const steps, p = 2, 4
+	tl := perf.NewTimeline(p, steps)
+	cfg := Config{
+		System:     sys,
+		MD:         testMDConfig(),
+		Steps:      steps,
+		Middleware: MiddlewareMPI,
+		Decomp:     DecompDomain,
+		Perf:       tl,
+	}
+	res, err := Run(clusterCfg(p, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := res.Profile(tl)
+	if e := attributionError(prof); e > 0.01 {
+		t.Fatalf("domain attribution identity violated: %.4f", e)
+	}
+	var halo bool
+	for _, nm := range prof.NamedMatrices {
+		if nm.Name == "halo" && nm.Calls == int64(steps) {
+			halo = true
+		}
+	}
+	if !halo {
+		t.Fatalf("domain run recorded no per-epoch halo matrix: %+v", prof.NamedMatrices)
+	}
+}
+
+func TestOnStepKeepsTapeEligible(t *testing.T) {
+	sys := testSystem(48, 24, 23)
+	const steps, p = 2, 2
+	tape := &Tape{}
+	base := Config{
+		System:     sys,
+		MD:         testMDConfig(),
+		Steps:      steps,
+		Middleware: MiddlewareMPI,
+		Tape:       tape,
+	}
+	r1, err := Run(clusterCfg(p, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tape.Complete() {
+		t.Fatal("recording run left the tape incomplete")
+	}
+
+	// Replay with the telemetry hook armed: the tape must stay in use
+	// (replays charge recorded counters) and the hook must stream the
+	// taped energies.
+	var got []md.EnergyReport
+	cfg := base
+	cfg.OnStep = func(step int, _ StepTiming, e md.EnergyReport) { got = append(got, e) }
+	r2, err := Run(clusterCfg(p, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Wall != r1.Wall {
+		t.Fatalf("replay wall %g != recorded wall %g", r2.Wall, r1.Wall)
+	}
+	if len(got) != steps {
+		t.Fatalf("hook fired %d times on replay", len(got))
+	}
+	for i := range got {
+		if got[i] != r1.Energies[i] {
+			t.Fatalf("step %d: replayed hook energy differs", i)
+		}
+	}
+}
+
+func TestProfileBytesDeterministicAcrossHostWorkers(t *testing.T) {
+	sys := testSystem(64, 24, 24)
+	run := func(hostWorkers, kernelWorkers int) []byte {
+		const steps, p = 2, 4
+		tl := perf.NewTimeline(p, steps)
+		mdc := testMDConfig()
+		mdc.KernelWorkers = kernelWorkers
+		res, err := Run(clusterCfg(p, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), Config{
+			System:      sys,
+			MD:          mdc,
+			Steps:       steps,
+			Middleware:  MiddlewareMPI,
+			HostWorkers: hostWorkers,
+			Perf:        tl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.Profile(tl).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ref := run(1, 0)
+	for _, c := range [][2]int{{3, 0}, {1, 2}, {3, 2}} {
+		if got := run(c[0], c[1]); !bytes.Equal(got, ref) {
+			t.Fatalf("profile bytes differ at hostWorkers=%d kernelWorkers=%d", c[0], c[1])
+		}
+	}
+}
+
+func TestResilientProfileRecoveryBucket(t *testing.T) {
+	sys := testSystem(64, 24, 25)
+	sc, err := fault.ParseSpec("crash@0.2,rank=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 6
+	res, err := RunResilient(clusterCfg(4, 1, netmodel.TCPGigE()), cluster.PentiumIII1GHz(), ResilientConfig{
+		Config: Config{
+			System:     sys,
+			MD:         testMDConfig(),
+			Steps:      steps,
+			Middleware: MiddlewareMPI,
+		},
+		Scenario:        sc,
+		CheckpointEvery: 2,
+		RestartCost:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := res.Profile(nil)
+	if prof.Recovery == nil || prof.Recovery.Events != 1 {
+		t.Fatalf("recovery detail: %+v", prof.Recovery)
+	}
+	if prof.Attribution.RecoverySeconds <= 0 {
+		t.Fatalf("crash run attributed no recovery time: %+v", prof.Attribution)
+	}
+	if e := attributionError(prof); e > 0.01 {
+		t.Fatalf("resilient attribution identity violated: %.4f (buckets %+v, wall %g)",
+			e, prof.Attribution, prof.WallSeconds)
+	}
+}

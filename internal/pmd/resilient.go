@@ -593,6 +593,10 @@ func RunResilient(clusterCfg cluster.Config, cost cluster.CostModel, rcfg Resili
 		attempt.Init = init
 		attempt.Watchdog = wd
 		attempt.onStep = rec.onStep
+		// Perf samples and OnStep telemetry use global step indices so a
+		// resumed attempt overwrites the rewound steps' cells instead of
+		// restarting the timeline at zero.
+		attempt.perfBase = stepsDone
 		if exact {
 			attempt.MD.FF.ExactKernels = true
 		}

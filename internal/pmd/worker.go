@@ -13,6 +13,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/space"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -244,6 +245,11 @@ func newWorker(r *mpi.Rank, cfg Config, sh *shared, seedEngine *md.Engine, tape 
 		w.c = mpiModernComms{r: r}
 	default:
 		w.c = mpiComms{r: r}
+	}
+	if cfg.Perf != nil && r.ID == 0 {
+		// One observer per collective: rank 0's comms feed the
+		// attribution timeline's communication matrices.
+		w.c = perfComms{inner: w.c, tl: cfg.Perf}
 	}
 	w.dtAKMA = dtAKMA(cfg.MD)
 	if reg := r.Metrics(); reg != nil {
@@ -502,11 +508,19 @@ func (w *worker) run(res *Result) {
 		}
 
 		timings = append(timings, st)
+		if tl := w.cfg.Perf; tl != nil {
+			g := w.cfg.perfBase + step
+			tl.Record(w.me(), g, perf.PhaseClassic, perfSample(st.Classic))
+			tl.Record(w.me(), g, perf.PhasePME, perfSample(st.PME))
+		}
 		if w.me() == 0 {
 			if w.replay != nil {
 				rep = w.replay.energies[step]
 			}
 			res.Energies = append(res.Energies, rep)
+			if w.cfg.OnStep != nil {
+				w.cfg.OnStep(w.cfg.perfBase+step, st, rep)
+			}
 		}
 		if w.cfg.onStep != nil {
 			w.cfg.onStep(w, step)

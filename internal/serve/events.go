@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/md"
+	"repro/internal/pmd"
+)
+
+// SSE event types emitted on /v1/jobs/<id>/events. Step and terminal
+// events carry deterministic ids (step N → id N+1; the terminal event is
+// always id spec.Steps+1, above every possible step id), so a client that
+// reconnects with Last-Event-ID resumes exactly where it left off — even
+// across a server crash, because a reopened server re-derives the same
+// ids while it recomputes the identical steps. Progress events and
+// heartbeats carry no id: they describe this process's lifecycle, not the
+// job's deterministic content, and are never replayed.
+const (
+	EventProgress = "progress"
+	EventStep     = "step"
+)
+
+// event is one buffered or broadcast SSE frame. id 0 means "no id".
+type event struct {
+	id   int
+	typ  string
+	data []byte
+}
+
+// stepEventData is the JSON payload of a step event: the step's energy
+// decomposition plus the classic/PME phase split of its virtual wall
+// time — the live view of the same numbers the attribution profiler
+// aggregates after the run.
+type stepEventData struct {
+	Step     int     `json:"step"`
+	Total    float64 `json:"total"`
+	Classic  float64 `json:"classic"`
+	PME      float64 `json:"pme"`
+	Kinetic  float64 `json:"kinetic"`
+	ClassicS float64 `json:"classic_wall_s"`
+	PMES     float64 `json:"pme_wall_s"`
+}
+
+// progressEventData is the JSON payload of a progress event.
+type progressEventData struct {
+	Status     string `json:"status"`
+	Attempts   int    `json:"attempts,omitempty"`
+	ResumeStep int    `json:"resume_step,omitempty"`
+}
+
+// eventHub fans one job's event stream out to any number of SSE
+// subscribers. Id-carrying events (steps, terminal) are buffered for
+// Last-Event-ID replay; the buffer is bounded by the spec's step cap.
+// Rewound steps re-fire from the engine after a rank crash; the hub's
+// monotone filter drops them so subscribers see each step exactly once
+// and strictly in order.
+type eventHub struct {
+	mu       sync.Mutex
+	events   []event            // id-carrying only, ascending ids
+	lastStep int                // newest step broadcast, -1 before the first
+	closed   bool               // terminal event emitted
+	subs     map[chan event]int // value: the subscriber's Last-Event-ID
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{lastStep: -1, subs: map[chan event]int{}}
+}
+
+// broadcast delivers e to every live subscriber without blocking: a
+// subscriber whose buffer is full misses the frame and recovers it on
+// reconnect from the replay buffer. Id-carrying events at or below a
+// subscriber's Last-Event-ID are skipped — after a crash the reopened
+// server recomputes (and re-publishes) steps the client already has.
+func (h *eventHub) broadcast(e event) {
+	for ch, lastID := range h.subs {
+		if e.id > 0 && e.id <= lastID {
+			continue
+		}
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// step publishes one completed MD step. Steps arriving out of monotone
+// order (checkpoint-rewind replays) are dropped.
+func (h *eventHub) step(step int, timing pmd.StepTiming, energy md.EnergyReport) {
+	data, err := json.Marshal(stepEventData{
+		Step:     step,
+		Total:    energy.Total(),
+		Classic:  energy.Classic(),
+		PME:      energy.PME(),
+		Kinetic:  energy.Kinetic,
+		ClassicS: timing.Classic.Wall,
+		PMES:     timing.PME.Wall,
+	})
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || step <= h.lastStep {
+		return
+	}
+	h.lastStep = step
+	e := event{id: step + 1, typ: EventStep, data: data}
+	h.events = append(h.events, e)
+	h.broadcast(e)
+}
+
+// progress publishes a lifecycle transition (queued, running, parked, …).
+// Not buffered, not replayed.
+func (h *eventHub) progress(status string, attempts, resumeStep int) {
+	data, err := json.Marshal(progressEventData{
+		Status: status, Attempts: attempts, ResumeStep: resumeStep,
+	})
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.broadcast(event{typ: EventProgress, data: data})
+}
+
+// terminal publishes the job's single terminal event and closes the hub:
+// every subscriber channel is closed after the frame so streams end. The
+// event type is the terminal status; for a done run the data is the exact
+// result payload the polling endpoint serves.
+func (h *eventHub) terminal(id int, status string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	e := event{id: id, typ: status, data: data}
+	h.events = append(h.events, e)
+	h.broadcast(e)
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}
+
+// subscribe registers a stream resuming after lastID: buffered events
+// with greater ids are returned for immediate replay, and live events
+// follow on the channel. ch is nil when the hub is already closed — the
+// replay then already ends with the terminal event (or is empty if the
+// client saw it). cancel is safe to call in every case.
+func (h *eventHub) subscribe(lastID int) (replay []event, ch chan event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range h.events {
+		if e.id > lastID {
+			replay = append(replay, e)
+		}
+	}
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	ch = make(chan event, 1024)
+	h.subs[ch] = lastID
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// writeSSE renders one frame in text/event-stream format. Multi-line data
+// is split over data: lines per the SSE spec (a consumer joins them with
+// a single newline).
+func writeSSE(w io.Writer, e event) {
+	if e.id > 0 {
+		fmt.Fprintf(w, "id: %d\n", e.id)
+	}
+	fmt.Fprintf(w, "event: %s\n", e.typ)
+	for _, line := range strings.Split(string(e.data), "\n") {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	fmt.Fprint(w, "\n")
+}

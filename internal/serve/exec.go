@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/md"
 	"repro/internal/netmodel"
+	"repro/internal/perf"
 	"repro/internal/pmd"
 	"repro/internal/topol"
 	"repro/internal/vec"
@@ -184,16 +185,25 @@ type runPayload struct {
 	FinalPosSHA256 string `json:"final_pos_sha256"`
 }
 
+// StepFunc observes one completed MD step of a run job: the global step
+// index, its timing split and its energy report. Called on the engine's
+// scheduler thread — keep it fast and never block.
+type StepFunc func(step int, timing pmd.StepTiming, energy md.EnergyReport)
+
 // ExecRun runs the resilient parallel MD for spec. ckptDir, when
 // non-empty, durably checkpoints the run there (resuming any parked state
 // found); preempt, when non-nil, gracefully parks the run at a checkpoint
-// boundary (the returned error is pmd.ErrPreempted). The returned
-// ResumeInfo reports whether this invocation resumed from disk.
-func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte, *pmd.ResumeInfo, error) {
+// boundary (the returned error is pmd.ErrPreempted); onStep, when
+// non-nil, streams each completed step. The returned ResumeInfo reports
+// whether this invocation resumed from disk. The second payload is the
+// encoded bottleneck-attribution profile of the successful run —
+// telemetry about this execution (wall clocks, restarts), deliberately
+// separate from the resume-invariant result bytes.
+func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool, onStep StepFunc) ([]byte, []byte, *pmd.ResumeInfo, error) {
 	sys, mdCfg := e.system(spec.Atoms, spec.Seed)
 	dk, derr := decompFor(spec, mdCfg)
 	if derr != nil {
-		return nil, nil, derr
+		return nil, nil, nil, derr
 	}
 
 	if ckptDir != "" {
@@ -204,11 +214,12 @@ func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte
 		ring := &md.CheckpointRing{Dir: ckptDir}
 		if _, meta, _, err := ring.LoadNewest(); err == nil && meta.Step >= spec.Steps {
 			if err := os.RemoveAll(ckptDir); err != nil {
-				return nil, nil, Errf(KindTransient, "reset completed checkpoint dir: %v", err)
+				return nil, nil, nil, Errf(KindTransient, "reset completed checkpoint dir: %v", err)
 			}
 		}
 	}
 
+	tl := perf.NewTimeline(spec.Procs, spec.Steps)
 	res, err := pmd.RunResilient(clusterFor(spec), cluster.PentiumIII1GHz(), pmd.ResilientConfig{
 		Config: pmd.Config{
 			System:     sys,
@@ -216,6 +227,8 @@ func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte
 			Steps:      spec.Steps,
 			Middleware: middleware(spec.MW),
 			Decomp:     dk,
+			Perf:       tl,
+			OnStep:     onStep,
 		},
 		CheckpointEvery: 1,
 		CheckpointDir:   ckptDir,
@@ -226,7 +239,7 @@ func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte
 		if res != nil {
 			resumed = res.Resumed
 		}
-		return nil, resumed, err
+		return nil, nil, resumed, err
 	}
 
 	var p runPayload
@@ -240,9 +253,13 @@ func (e *Env) ExecRun(spec JobSpec, ckptDir string, preempt func() bool) ([]byte
 	p.FinalPosSHA256 = posDigest(res.Final.FinalPos)
 	buf, merr := json.Marshal(p)
 	if merr != nil {
-		return nil, res.Resumed, Errf(KindInternal, "marshal run payload: %v", merr)
+		return nil, nil, res.Resumed, Errf(KindInternal, "marshal run payload: %v", merr)
 	}
-	return buf, res.Resumed, nil
+	prof, perr := res.Profile(tl).Encode()
+	if perr != nil {
+		prof = nil // provenance only; never fail the job over it
+	}
+	return buf, prof, res.Resumed, nil
 }
 
 // sweepPayload is the result of a KindSweep job: the same short run
@@ -367,23 +384,24 @@ func (e *Env) execFigure(spec JobSpec) ([]byte, error) {
 }
 
 // Execute dispatches spec to its executor. Only KindRun jobs use the
-// checkpoint directory and the preempt hook; the other kinds are short
-// and atomic.
-func (e *Env) Execute(spec JobSpec, ckptDir string, preempt func() bool) ([]byte, *pmd.ResumeInfo, error) {
+// checkpoint directory, the preempt hook and the step callback, and only
+// they return an attribution profile; the other kinds are short and
+// atomic.
+func (e *Env) Execute(spec JobSpec, ckptDir string, preempt func() bool, onStep StepFunc) (payload, profile []byte, resumed *pmd.ResumeInfo, err error) {
 	switch spec.Kind {
 	case KindRun:
-		return e.ExecRun(spec, ckptDir, preempt)
+		return e.ExecRun(spec, ckptDir, preempt, onStep)
 	case KindSweep:
 		buf, err := e.execSweep(spec)
-		return buf, nil, err
+		return buf, nil, nil, err
 	case KindAnalysis:
 		buf, err := e.execAnalysis(spec)
-		return buf, nil, err
+		return buf, nil, nil, err
 	case KindFigure:
 		buf, err := e.execFigure(spec)
-		return buf, nil, err
+		return buf, nil, nil, err
 	}
-	return nil, nil, Errf(KindInternal, "unknown kind %q", spec.Kind)
+	return nil, nil, nil, Errf(KindInternal, "unknown kind %q", spec.Kind)
 }
 
 // ComputeReference computes spec's result directly, outside any server —
@@ -393,7 +411,7 @@ func (e *Env) ComputeReference(spec JobSpec) ([]byte, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
-	buf, _, err := e.Execute(spec, "", nil)
+	buf, _, _, err := e.Execute(spec, "", nil, nil)
 	return buf, err
 }
 

@@ -141,6 +141,10 @@ type Config struct {
 	// deterministic per-job jitter). 0 means 50ms.
 	RetryBaseDelay time.Duration
 
+	// EventHeartbeat spaces the keepalive comments on the SSE job event
+	// stream (GET /v1/jobs/<id>/events). 0 means 5 seconds.
+	EventHeartbeat time.Duration
+
 	// PreemptQuantum, when > 0, bounds how long a run-kind job may hold a
 	// worker before it is parked at the next checkpoint boundary and
 	// requeued behind waiting work. 0 disables quantum preemption
@@ -179,6 +183,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RetryBaseDelay == 0 {
 		out.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if out.EventHeartbeat == 0 {
+		out.EventHeartbeat = 5 * time.Second
 	}
 	if out.KernelWorkers < 0 {
 		out.KernelWorkers = 0

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +56,8 @@ type jobState struct {
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 	done       chan struct{} // closed at terminal states
+
+	hub *eventHub // SSE fan-out; terminal exactly once, steps monotone
 }
 
 func newJobState(id, tenant, key string, spec JobSpec, deadline time.Time) *jobState {
@@ -64,13 +67,27 @@ func newJobState(id, tenant, key string, spec JobSpec, deadline time.Time) *jobS
 		status:   StatusQueued,
 		cancelCh: make(chan struct{}),
 		done:     make(chan struct{}),
+		hub:      newEventHub(),
 	}
 }
+
+// terminalEventID is the id of a job's terminal SSE event: one past the
+// largest possible step id (step N carries id N+1), and a pure function
+// of the spec — a server reopened after a crash re-derives the same id,
+// which is what lets Last-Event-ID resume across process lives.
+func (j *jobState) terminalEventID() int { return j.spec.Steps + 1 }
 
 func (j *jobState) setStatus(st string) {
 	j.mu.Lock()
 	j.status = st
 	j.mu.Unlock()
+}
+
+// announce publishes the job's current lifecycle snapshot as a progress
+// event.
+func (j *jobState) announce() {
+	st, attempts, resume, _ := j.snapshot()
+	j.hub.progress(st, attempts, resume)
 }
 
 func (j *jobState) snapshot() (status string, attempts, resumeStep int, jerr *JobError) {
@@ -219,9 +236,10 @@ func (s *Server) replay() error {
 			budget = s.cfg.DefaultDeadline
 		}
 		j := newJobState(e.ID, e.Tenant, e.Key, spec, time.Now().Add(budget))
-		if _, ok := s.store.Get(e.Key); ok {
+		if payload, ok := s.store.Get(e.Key); ok {
 			j.setStatus(StatusDone)
 			close(j.done)
+			j.hub.terminal(j.terminalEventID(), StatusDone, payload)
 			s.jnl.remove(e.ID)
 			s.cleanupCkpt(j)
 		} else {
@@ -275,10 +293,12 @@ func (s *Server) worker() {
 }
 
 // finish moves j to a terminal state: journal entry and checkpoints are
-// released, waiters are woken, metrics recorded. For StatusDone the
-// result was already Put to the store by the caller — that ordering is
-// the durability contract.
-func (s *Server) finish(j *jobState, status string, jerr *JobError) {
+// released, waiters are woken, metrics recorded, and the single terminal
+// SSE event goes out. For StatusDone the result was already Put to the
+// store by the caller — that ordering is the durability contract —
+// and payload carries those exact bytes so the stream's terminal event is
+// byte-identical to what the polling result endpoint serves.
+func (s *Server) finish(j *jobState, status string, jerr *JobError, payload []byte) {
 	j.mu.Lock()
 	j.status = status
 	j.jerr = jerr
@@ -286,6 +306,13 @@ func (s *Server) finish(j *jobState, status string, jerr *JobError) {
 	s.jnl.remove(j.id)
 	s.cleanupCkpt(j)
 	close(j.done)
+	if status == StatusDone && payload == nil {
+		payload, _ = s.store.Get(j.key)
+	}
+	if status != StatusDone {
+		payload, _ = json.Marshal(jobResponse{ID: j.id, Status: status, Kind: j.spec.Kind, Error: jerr})
+	}
+	j.hub.terminal(j.terminalEventID(), status, payload)
 	s.reg.Counter("repro_serve_jobs_total", "terminal jobs by kind and outcome",
 		obs.L("kind", string(j.spec.Kind)), obs.L("outcome", status)).Add(1)
 	s.jobSecs.Observe(time.Since(j.created).Seconds())
@@ -300,7 +327,7 @@ func (s *Server) execute(j *jobState) {
 			return // cancelled while queued
 		}
 		if j.cancelled() {
-			s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled before start"))
+			s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled before start"), nil)
 			return
 		}
 		if s.stopRequested() {
@@ -308,7 +335,7 @@ func (s *Server) execute(j *jobState) {
 			return
 		}
 		if time.Now().After(j.deadline) {
-			s.finish(j, StatusFailed, Errf(KindDeadline, "deadline expired after %s in queue", time.Since(j.created).Round(time.Millisecond)))
+			s.finish(j, StatusFailed, Errf(KindDeadline, "deadline expired after %s in queue", time.Since(j.created).Round(time.Millisecond)), nil)
 			return
 		}
 
@@ -317,9 +344,10 @@ func (s *Server) execute(j *jobState) {
 		j.attempts++
 		attempt := j.attempts
 		j.mu.Unlock()
+		j.announce()
 		s.busy.Add(1)
 		start := time.Now()
-		payload, resumed, err := s.attempt(j, attempt, start)
+		payload, profile, resumed, err := s.attempt(j, attempt, start)
 		s.busy.Add(-1)
 		if resumed != nil && resumed.Step > 0 {
 			j.mu.Lock()
@@ -338,10 +366,15 @@ func (s *Server) execute(j *jobState) {
 		}
 
 		if err == nil {
+			if profile != nil {
+				// Telemetry, best-effort: an eviction-pressure failure here
+				// must not fail a correctly computed job.
+				_ = s.store.Put(profileKey(j.key), profile)
+			}
 			if perr := s.store.Put(j.key, payload); perr != nil {
 				err = perr // classified transient; falls through to retry
 			} else {
-				s.finish(j, StatusDone, nil)
+				s.finish(j, StatusDone, nil, payload)
 				return
 			}
 		}
@@ -349,9 +382,9 @@ func (s *Server) execute(j *jobState) {
 		if err != nil && errIsPreempted(err) {
 			switch {
 			case j.cancelled():
-				s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled mid-run"))
+				s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled mid-run"), nil)
 			case time.Now().After(j.deadline):
-				s.finish(j, StatusFailed, Errf(KindDeadline, "deadline expired at step boundary"))
+				s.finish(j, StatusFailed, Errf(KindDeadline, "deadline expired at step boundary"), nil)
 			case s.stopRequested():
 				s.park(j)
 			default:
@@ -362,6 +395,7 @@ func (s *Server) execute(j *jobState) {
 				j.status = StatusQueued
 				j.attempts--
 				j.mu.Unlock()
+				j.announce()
 				s.queue.requeueFront(j.tenant, j)
 				s.refreshDepthGauges()
 				s.reg.Counter("repro_serve_preempted_total",
@@ -383,15 +417,20 @@ func (s *Server) execute(j *jobState) {
 				}
 				continue
 			}
-			s.finish(j, StatusFailed, je)
+			s.finish(j, StatusFailed, je, nil)
 			return
 		}
 	}
 }
 
+// profileKey derives the store key of a run job's attribution profile
+// from its canonical result key. The suffix cannot collide with a spec
+// key: those end in structured field=value pairs, never in "#profile".
+func profileKey(key string) string { return key + " #profile" }
+
 // attempt executes one try of j with full panic isolation: a crashing
 // worker fails the one job with KindWorkerCrash and the server lives on.
-func (s *Server) attempt(j *jobState, attempt int, start time.Time) (payload []byte, resumed *pmd.ResumeInfo, err error) {
+func (s *Server) attempt(j *jobState, attempt int, start time.Time) (payload, profile []byte, resumed *pmd.ResumeInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = Errf(KindWorkerCrash, "panic in attempt %d: %v", attempt, r)
@@ -399,11 +438,12 @@ func (s *Server) attempt(j *jobState, attempt int, start time.Time) (payload []b
 	}()
 	if s.cfg.FaultInject != nil {
 		if ferr := s.cfg.FaultInject(j.spec, attempt); ferr != nil {
-			return nil, nil, ferr
+			return nil, nil, nil, ferr
 		}
 	}
 	ckptDir := ""
 	var preempt func() bool
+	var onStep StepFunc
 	if j.spec.Kind == KindRun {
 		ckptDir = s.ckptDir(j.id)
 		quantum := s.cfg.PreemptQuantum
@@ -416,8 +456,9 @@ func (s *Server) attempt(j *jobState, attempt int, start time.Time) (payload []b
 			}
 			return quantum > 0 && time.Since(start) > quantum
 		}
+		onStep = j.hub.step
 	}
-	return s.env.Execute(j.spec, ckptDir, preempt)
+	return s.env.Execute(j.spec, ckptDir, preempt, onStep)
 }
 
 // park records that j's work is safely on disk (journal entry, plus the
@@ -426,6 +467,7 @@ func (s *Server) attempt(j *jobState, attempt int, start time.Time) (payload []b
 // job has not finished — this process just cannot finish it.
 func (s *Server) park(j *jobState) {
 	j.setStatus(StatusParked)
+	j.announce()
 	s.reg.Counter("repro_serve_parked_total",
 		"jobs checkpoint-parked by shutdown").Add(1)
 }
@@ -556,9 +598,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Store hit: the work is already done — no queueing, no journal.
-	if _, ok := s.store.Get(key); ok {
+	if payload, ok := s.store.Get(key); ok {
 		j.setStatus(StatusDone)
 		close(j.done)
+		j.hub.terminal(j.terminalEventID(), StatusDone, payload)
 		writeJSON(w, http.StatusOK, jobResponse{ID: id, Status: StatusDone, Kind: req.Spec.Kind, Cached: true})
 		return
 	}
@@ -661,6 +704,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(payload)
+	case r.Method == http.MethodGet && sub == "events":
+		s.handleEvents(w, r, j)
+	case r.Method == http.MethodGet && sub == "profile":
+		s.handleProfile(w, j)
 	case r.Method == http.MethodDelete && sub == "":
 		j.cancel()
 		st, _, _, _ := j.snapshot()
@@ -668,7 +715,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			// Not on a worker: terminate immediately; a worker that later
 			// dequeues it sees the terminal state and skips.
 			if !j.terminal() {
-				s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled while queued"))
+				s.finish(j, StatusCanceled, Errf(KindCanceled, "cancelled while queued"), nil)
 			}
 		}
 		st, _, _, _ = j.snapshot()
@@ -676,6 +723,89 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, Errf(KindBadRequest, "unsupported %s %s", r.Method, r.URL.Path))
 	}
+}
+
+// handleEvents streams the job's lifecycle as server-sent events:
+// progress transitions, one id-carrying step event per completed MD step
+// (monotone, never duplicated even when a rank crash rewinds the
+// engine), heartbeat comments while idle, and exactly one terminal event
+// whose data for a done job is byte-identical to the polling result. A
+// client that reconnects with Last-Event-ID — to this process or to a
+// reopened server recomputing the same job — resumes after the id it
+// names.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *jobState) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, Errf(KindInternal, "streaming unsupported"))
+		return
+	}
+	lastID := 0
+	if v := strings.TrimSpace(r.Header.Get("Last-Event-ID")); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, Errf(KindBadRequest, "bad Last-Event-ID %q: want a non-negative integer", v))
+			return
+		}
+		lastID = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := j.hub.subscribe(lastID)
+	defer cancel()
+	for _, e := range replay {
+		writeSSE(w, e)
+	}
+	fl.Flush()
+	if ch == nil {
+		return // already terminal: the replay ended the story
+	}
+	hb := time.NewTicker(s.cfg.EventHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return // hub closed after its terminal event
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-hb.C:
+			// Comment-only keepalive: ignored by SSE parsers, defeats idle
+			// connection reapers between steps of a slow run.
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		case <-s.quit:
+			return // shutdown: the client reconnects with Last-Event-ID
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleProfile serves the stored bottleneck-attribution profile of a
+// completed run job.
+func (s *Server) handleProfile(w http.ResponseWriter, j *jobState) {
+	if j.spec.Kind != KindRun {
+		writeJSON(w, http.StatusBadRequest,
+			Errf(KindBadRequest, "profiles exist for run jobs only (job kind %q)", j.spec.Kind))
+		return
+	}
+	st, _, _, jerr := j.snapshot()
+	if st != StatusDone {
+		writeJSON(w, http.StatusConflict, jobResponse{ID: j.id, Status: st, Kind: j.spec.Kind, Error: jerr})
+		return
+	}
+	payload, ok := s.store.Get(profileKey(j.key))
+	if !ok {
+		// Evicted, or the result predates the profiler: an honest miss,
+		// same contract as the result endpoint.
+		writeJSON(w, http.StatusGone, Errf(KindTransient, "profile evicted or not recorded; resubmit to recompute"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(payload)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -167,8 +167,11 @@ func TestServeStatusLongPoll(t *testing.T) {
 	}
 
 	// An expired wait reports the in-flight status instead of blocking:
-	// with the lone worker busy, a fresh job is still queued or running
-	// when a 1ms wait runs out — and the response is still a 200.
+	// with the lone worker parked on a longer run, a fresh job is still
+	// queued or running when a 1ms wait runs out — and the response is
+	// still a 200. (Parking the worker first makes this deterministic:
+	// a relaxed-box-cached 3-step run alone can finish inside 1ms.)
+	_, blocker, _ := postJob(t, base, "a", runSpec(40), 0)
 	_, slow, _ := postJob(t, base, "a", runSpec(3), 0)
 	resp, err = http.Get(base + "/v1/jobs/" + slow.ID + "?wait=1ms")
 	if err != nil {
@@ -183,6 +186,7 @@ func TestServeStatusLongPoll(t *testing.T) {
 	if got.Status == StatusDone || got.Status == StatusFailed {
 		t.Fatalf("1ms wait outlived a multi-step run: status %q", got.Status)
 	}
+	waitStatus(t, base, blocker.ID, StatusDone, 30*time.Second)
 	waitStatus(t, base, slow.ID, StatusDone, 30*time.Second)
 
 	// Malformed and negative waits are rejected before any blocking.
